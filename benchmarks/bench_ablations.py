@@ -1,0 +1,84 @@
+"""Bench: design-choice ablations (DESIGN.md §5).
+
+Times the ablation experiment and asserts the direction of each design
+decision the paper made.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.bench.ablations import run as run_ablations
+from repro.ccglib.perfmodel import model_gemm
+from repro.ccglib.precision import Precision
+from repro.ccglib.tuning import published_tuning
+from repro.gpusim.arch import BitOp, FRAG_INT1_16x8x256, FRAG_INT1_8x8x128
+from repro.gpusim.specs import get_spec
+from repro.kerneltuner.tuner import PAPER_TUNING_PROBLEMS
+
+
+def test_ablation_experiment(benchmark):
+    result = benchmark.pedantic(run_ablations, rounds=1, iterations=1)
+    benchmark.extra_info["findings"] = result.findings
+    assert set(result.tables) == {
+        "complex_decomposition", "xor_vs_and", "fragment_layout",
+        "transpose_free", "pipeline_depth",
+    }
+
+
+@pytest.mark.parametrize("gpu", ["AD4000", "A100", "GH200"])
+def test_bit_op_auto_switch_is_optimal(benchmark, gpu):
+    spec = get_spec(gpu)
+    params = published_tuning(gpu, Precision.INT1).params
+    problem = PAPER_TUNING_PROBLEMS[Precision.INT1]
+
+    def both():
+        xor = model_gemm(spec, Precision.INT1, problem, params, bit_op=BitOp.XOR)
+        and_ = model_gemm(spec, Precision.INT1, problem, params, bit_op=BitOp.AND)
+        auto = model_gemm(spec, Precision.INT1, problem, params)
+        return xor, and_, auto
+
+    xor, and_, auto = benchmark(both)
+    assert auto.ops_per_second == max(xor.ops_per_second, and_.ops_per_second)
+    benchmark.extra_info["auto_op"] = auto.name
+
+
+@pytest.mark.parametrize("gpu", ["AD4000", "A100", "GH200"])
+def test_large_fragment_never_slower(benchmark, gpu):
+    spec = get_spec(gpu)
+    params = published_tuning(gpu, Precision.INT1).params
+    problem = PAPER_TUNING_PROBLEMS[Precision.INT1]
+    op = spec.caps.preferred_bit_op
+
+    def both():
+        small = model_gemm(spec, Precision.INT1, problem, params, bit_op=op,
+                           fragment=FRAG_INT1_8x8x128)
+        big = model_gemm(spec, Precision.INT1, problem, params, bit_op=op,
+                         fragment=FRAG_INT1_16x8x256)
+        return small, big
+
+    small, big = benchmark(both)
+    assert big.ops_per_second >= small.ops_per_second * 0.999
+    benchmark.extra_info["speedup_16x8x256"] = round(
+        big.ops_per_second / small.ops_per_second, 2
+    )
+
+
+def test_pipeline_depth_direction(benchmark):
+    """2-stage async buffering beats single-stage on NVIDIA fp16."""
+    spec = get_spec("A100")
+    base = published_tuning("A100", Precision.FLOAT16).params
+    problem = PAPER_TUNING_PROBLEMS[Precision.FLOAT16]
+
+    def sweep():
+        return [
+            model_gemm(spec, Precision.FLOAT16, problem,
+                       dataclasses.replace(base, num_buffers=nb)).ops_per_second
+            for nb in (1, 2, 4)
+        ]
+
+    one, two, four = benchmark(sweep)
+    assert two > one
+    assert two >= four  # fp16 stages are large; 2 is the sweet spot

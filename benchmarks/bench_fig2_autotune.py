@@ -1,0 +1,40 @@
+"""Bench: paper Fig 2 — the auto-tuning sweep itself.
+
+Times brute-force tuning of the GEMM kernel (the ~400-point search space
+evaluated against the analytic device model) per device class, and records
+the tuned optima.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ccglib.precision import Precision
+from repro.gpusim.specs import get_spec
+from repro.kerneltuner.tuner import tune_gemm
+
+
+@pytest.mark.parametrize(
+    "gpu,precision",
+    [("A100", Precision.FLOAT16), ("MI300X", Precision.FLOAT16), ("GH200", Precision.INT1)],
+    ids=lambda v: getattr(v, "value", v),
+)
+def test_brute_force_tuning(benchmark, gpu, precision):
+    spec = get_spec(gpu)
+    result = benchmark(tune_gemm, spec, precision)
+    benchmark.extra_info["best_params"] = str(result.best_params)
+    benchmark.extra_info["best_tops"] = round(result.best.metrics["tops"], 1)
+    benchmark.extra_info["best_tops_per_joule"] = round(
+        result.best.metrics["tops_per_joule"], 2
+    )
+    benchmark.extra_info["valid_configs"] = len(result.records)
+    assert result.best.metrics["tops"] > 0
+
+
+def test_fig2_full_experiment(benchmark):
+    from repro.bench.fig2 import run
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    headers, rows = result.tables["summary"]
+    benchmark.extra_info["summary"] = {r[0] + "/" + r[1]: r[2] for r in rows}
+    assert len(rows) == 10  # 7 fp16 + 3 int1

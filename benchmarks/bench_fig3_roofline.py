@@ -1,0 +1,53 @@
+"""Bench: paper Fig 3 — roofline analysis of the four benchmark shapes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ccglib.perfmodel import model_gemm
+from repro.ccglib.precision import Precision
+from repro.ccglib.tuning import published_tuning
+from repro.gpusim.specs import get_spec
+from repro.roofline.model import FIG3_PROBLEMS, build_roofline, place_point
+
+
+@pytest.mark.parametrize("gpu", ["A100", "GH200", "MI300X"])
+def test_roofline_construction(benchmark, gpu):
+    roofline = benchmark(build_roofline, get_spec(gpu))
+    benchmark.extra_info["ceilings_tops"] = {
+        name: round(peak / 1e12, 0) for name, peak in roofline.peaks_ops.items()
+    }
+    assert roofline.mem_bandwidth_bytes > 0
+
+
+@pytest.mark.parametrize(
+    "precision,size",
+    list(FIG3_PROBLEMS),
+    ids=lambda v: getattr(v, "value", v),
+)
+def test_fig3_point_on_a100(benchmark, precision, size):
+    spec = get_spec("A100")
+    problem = FIG3_PROBLEMS[(precision, size)]
+    params = published_tuning("A100", precision).params
+
+    def place():
+        cost = model_gemm(spec, precision, problem, params)
+        return place_point(spec, precision, problem, cost, size)
+
+    point = benchmark(place)
+    benchmark.extra_info["arithmetic_intensity"] = round(point.arithmetic_intensity, 1)
+    benchmark.extra_info["fraction_of_roofline"] = round(point.fraction_of_roofline, 3)
+    benchmark.extra_info["memory_bound"] = point.memory_bound
+    # Paper reading: small memory-bound; big compute-bound at 50-85% of peak.
+    if size == "small":
+        assert point.memory_bound
+        assert point.fraction_of_roofline > 0.8
+    else:
+        assert not point.memory_bound
+
+
+def test_fig3_full_experiment(benchmark):
+    from repro.bench.fig3 import run
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert "roofline" in result.tables

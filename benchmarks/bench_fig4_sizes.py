@@ -1,0 +1,53 @@
+"""Bench: paper Fig 4 — GEMM performance across matrix sizes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ccglib.benchmark import size_grid, sweep_cubic, sweep_k, sweep_mn
+from repro.ccglib.precision import Precision
+from repro.gpusim.specs import get_spec
+
+
+@pytest.mark.parametrize("gpu", ["A100", "MI300X"])
+def test_fp16_cubic_sweep(benchmark, gpu):
+    spec = get_spec(gpu)
+    sizes = size_grid(512, 16384, 1024, include_offsets=(0, 136))
+
+    points = benchmark(sweep_cubic, spec, Precision.FLOAT16, sizes)
+    peak = max(p.tops for p in points)
+    benchmark.extra_info["sweep_peak_tops"] = round(peak, 1)
+    benchmark.extra_info["n_points"] = len(points)
+    # the plateau approaches the Table III tuned value
+    from repro.ccglib.tuning import published_tuning
+
+    assert peak >= 0.95 * published_tuning(gpu, Precision.FLOAT16).tops
+
+
+def test_int1_mn_sweep(benchmark):
+    spec = get_spec("GH200")
+    sizes = size_grid(1024, 16384, 2048, include_offsets=(0, 100))
+    points = benchmark(sweep_mn, spec, Precision.INT1, sizes, 524288)
+    benchmark.extra_info["sweep_peak_tops"] = round(max(p.tops for p in points), 0)
+
+
+def test_int1_k_sweep(benchmark):
+    spec = get_spec("A100")
+    ks = size_grid(32768, 1048576, 131072, include_offsets=(0, 4096))
+    points = benchmark(sweep_k, spec, Precision.INT1, ks, 32768, 8192)
+    benchmark.extra_info["sweep_peak_tops"] = round(max(p.tops for p in points), 0)
+
+
+def test_sawtooth_visible(benchmark):
+    """Off-tile sizes are measurably slower: the Fig 4 sawtooth."""
+    spec = get_spec("A100")
+
+    def measure_pair():
+        aligned = sweep_cubic(spec, Precision.FLOAT16, [8192])[0].tops
+        off = sweep_cubic(spec, Precision.FLOAT16, [8192 + 136])[0].tops
+        return aligned, off
+
+    aligned, off = benchmark(measure_pair)
+    benchmark.extra_info["aligned_tops"] = round(aligned, 1)
+    benchmark.extra_info["offset_tops"] = round(off, 1)
+    assert off < aligned

@@ -1,0 +1,46 @@
+"""Bench: paper Fig 5 — ultrasound frames/s vs voxel count."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.ultrasound.realtime import (
+    FULL_VOLUME_VOXELS,
+    REQUIRED_FPS,
+    THREE_PLANES_VOXELS,
+    default_voxel_sweep,
+    frames_per_second,
+    max_realtime_voxels,
+    sweep_voxels,
+)
+from repro.gpusim.specs import INT1_GPUS, get_spec
+
+
+@pytest.mark.parametrize("gpu", list(INT1_GPUS))
+def test_voxel_sweep(benchmark, gpu):
+    spec = get_spec(gpu)
+    voxels = default_voxel_sweep(12)
+    points = benchmark(sweep_voxels, spec, voxels)
+    benchmark.extra_info["fps_at_three_planes"] = round(points[0].fps, 0)
+    benchmark.extra_info["fps_at_full_volume"] = round(points[-1].fps, 0)
+    # paper structure: planes real-time, full volume not.
+    assert points[0].fps > REQUIRED_FPS
+    assert points[-1].fps < REQUIRED_FPS
+
+
+def test_gh200_realtime_fraction(benchmark):
+    spec = get_spec("GH200")
+    limit = benchmark(max_realtime_voxels, spec)
+    fraction = limit / FULL_VOLUME_VOXELS
+    benchmark.extra_info["realtime_voxel_fraction"] = round(fraction, 3)
+    benchmark.extra_info["paper_fraction"] = 0.85
+    assert 0.75 <= fraction <= 0.95
+
+
+def test_fig5_full_experiment(benchmark):
+    from repro.bench.fig5 import run
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    headers, rows = result.tables["summary"]
+    benchmark.extra_info["summary"] = {r[0]: r[3] for r in rows}
+    assert len(rows) == 3

@@ -1,0 +1,99 @@
+"""Bench: paper Fig 6 — mouse-brain volume: image quality and throughput.
+
+The functional half *really computes*: model matrix, frame simulation,
+clutter filter, 1-bit reconstruction at reduced scale — the most expensive
+functional path in the repository. The throughput half compares the
+dry-run recorded-dataset timing against the Octave baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.ultrasound import (
+    ClutterFilter,
+    EnsembleConfig,
+    ImagingConfig,
+    TransducerArray,
+    UltrasoundBeamformer,
+    VoxelGrid,
+    apply_clutter_filter,
+    build_model_matrix,
+    contrast_db,
+    make_phantom,
+    max_intensity_projections,
+    power_doppler,
+    simulate_frames,
+)
+from repro.bench.fig6 import (
+    OCTAVE_OPENCL_EFFICIENCY,
+    PAPER_OCTAVE_SECONDS,
+    PAPER_TCBF_SECONDS,
+    RECORDED_K,
+    RECORDED_M,
+    RECORDED_N,
+)
+from repro.ccglib.precision import Precision, complex_ops
+from repro.gpusim.device import Device, ExecutionMode
+from repro.gpusim.specs import get_spec
+
+
+@pytest.fixture(scope="module")
+def imaging_setup():
+    cfg = ImagingConfig(
+        array=TransducerArray(4, 4),
+        grid=VoxelGrid(shape=(12, 12, 10)),
+        n_frequencies=16,
+        n_transmissions=8,
+    )
+    model = build_model_matrix(cfg)
+    phantom = make_phantom(cfg.grid, n_generations=3)
+    frames = simulate_frames(model, phantom, EnsembleConfig(n_frames=64))
+    return cfg, model, phantom, frames
+
+
+def test_functional_onebit_reconstruction(benchmark, imaging_setup):
+    """Wall-clock of the real 1-bit reconstruction (pack + popcount GEMM)."""
+    cfg, model, phantom, frames = imaging_setup
+    filtered = apply_clutter_filter(frames, ClutterFilter.SVD, 2)
+    device = Device("GH200")
+    bf = UltrasoundBeamformer(device, model, n_frames=64, precision=Precision.INT1)
+
+    result = benchmark(bf.reconstruct, filtered)
+    image = power_doppler(result.frames)
+    mips = max_intensity_projections(cfg.grid.to_volume(image))
+    mask = phantom.blood_mask_volume()
+    contrast = contrast_db(mips["axial"], mask.max(axis=0))
+    benchmark.extra_info["vessel_contrast_db"] = round(contrast, 1)
+    assert contrast > 4.0
+
+
+def test_clutter_filter_cost(benchmark, imaging_setup):
+    """Wall-clock of the SVD clutter filter (Doppler pre-processing)."""
+    *_, frames = imaging_setup
+    filtered = benchmark(apply_clutter_filter, frames, ClutterFilter.SVD, 2)
+    assert filtered.shape == frames.shape
+
+
+def test_recorded_dataset_throughput(benchmark):
+    """Dry-run timing of the paper's recorded dataset on the GH200."""
+
+    def run():
+        device = Device("GH200", ExecutionMode.DRY_RUN)
+        bf = UltrasoundBeamformer(
+            device, n_voxels=RECORDED_M, k=RECORDED_K, n_frames=RECORDED_N,
+            precision=Precision.INT1,
+        )
+        return bf.reconstruct()
+
+    result = benchmark(run)
+    ops = complex_ops(1, RECORDED_M, RECORDED_N, RECORDED_K)
+    octave_s = ops / (get_spec("A100").fp32_peak_ops() * OCTAVE_OPENCL_EFFICIENCY)
+    benchmark.extra_info["tcbf_seconds_model"] = round(result.time_s, 2)
+    benchmark.extra_info["tcbf_seconds_paper"] = PAPER_TCBF_SECONDS
+    benchmark.extra_info["octave_seconds_model"] = round(octave_s, 0)
+    benchmark.extra_info["octave_seconds_paper"] = PAPER_OCTAVE_SECONDS
+    benchmark.extra_info["speedup"] = round(octave_s / result.time_s, 0)
+    assert result.time_s < 8.0  # inside the real-time budget
+    assert octave_s / result.time_s > 300  # "nearly three orders of magnitude"

@@ -1,0 +1,83 @@
+"""Bench: paper Fig 7 — LOFAR beamformer vs receiver count."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.radioastronomy import (
+    LOFARBeamformer,
+    Observation,
+    PointSource,
+    ReferenceBeamformer,
+    beam_grid,
+    generate_station_data,
+    lofar_like_layout,
+    steering_weights,
+)
+from repro.bench.fig7 import receiver_sweep
+from repro.ccglib.precision import Precision
+from repro.gpusim.device import Device, ExecutionMode
+from repro.util.units import tera
+
+
+def test_receiver_sweep_all_gpus(benchmark):
+    """The full Fig 7 left panel: 7 GPUs x receiver sweep (dry-run)."""
+    ks = receiver_sweep(quick=True)
+
+    def sweep():
+        out = {}
+        for gpu in ("AD4000", "A100", "GH200", "W7700", "MI210", "MI300X", "MI300A"):
+            device = Device(gpu, ExecutionMode.DRY_RUN)
+            out[gpu] = [
+                LOFARBeamformer(device, 1024, k, 1024, 256).predict_cost().ops_per_second / tera
+                for k in ks
+            ]
+        return out
+
+    curves = benchmark(sweep)
+    benchmark.extra_info["tflops_at_512"] = {g: round(v[-1], 0) for g, v in curves.items()}
+    assert curves["MI300X"][-1] > curves["GH200"][-1] > curves["A100"][-1]
+
+
+def test_reference_comparison(benchmark):
+    """TCBF/reference speedup and energy curves on the A100."""
+    ks = [8, 48, 128, 512]
+
+    def compare():
+        device = Device("A100", ExecutionMode.DRY_RUN)
+        rows = []
+        for k in ks:
+            t = LOFARBeamformer(device, 1024, k, 1024, 256).predict_cost()
+            r = ReferenceBeamformer(device, 1024, k, 1024, 256).predict_cost()
+            rows.append((k, t.ops_per_second / r.ops_per_second,
+                         t.ops_per_joule / r.ops_per_joule))
+        return rows
+
+    rows = benchmark(compare)
+    benchmark.extra_info["speedups"] = {k: round(s, 1) for k, s, _ in rows}
+    benchmark.extra_info["energy_ratios"] = {k: round(e, 1) for k, _, e in rows}
+    assert rows[-1][1] > 10  # paper: up to 20x
+    assert rows[0][1] < 2  # crossover at very small receiver counts
+
+
+def test_functional_beamforming_block(benchmark):
+    """Wall-clock of a real (functional) beamforming block."""
+    layout = lofar_like_layout(32)
+    obs = Observation(layout=layout, n_channels=8, n_samples=256)
+    data = generate_station_data(obs, [PointSource(l=0.005, m=0.0, flux=2.0)])
+    weights = steering_weights(layout, obs.channel_frequencies(), beam_grid(16))
+    device = Device("A100")
+    bf = LOFARBeamformer(device, 16, 32, 256, 8, precision=Precision.FLOAT16)
+
+    out = benchmark(bf.form_beams, weights, data)
+    assert out.beams.shape == (8, 16, 256)
+    benchmark.extra_info["modelled_tflops"] = round(out.cost.ops_per_second / tera, 2)
+
+
+def test_fig7_full_experiment(benchmark):
+    from repro.bench.fig7 import run
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1, kwargs={"quick": True})
+    headers, rows = result.tables["summary"]
+    benchmark.extra_info["summary"] = {r[0]: r[1] for r in rows}

@@ -1,0 +1,31 @@
+"""Bench: paper Table I — tensor-core micro-benchmarks.
+
+Times the full 19-cell micro-benchmark matrix and records every
+measured-vs-paper ratio in the benchmark metadata.
+"""
+
+from __future__ import annotations
+
+from repro.bench.table1 import PAPER_TABLE1, run as run_table1_experiment
+from repro.cudapeak.microbench import run_table1
+
+
+def test_table1_microbenchmarks(benchmark):
+    results = benchmark(run_table1)
+    assert len(results) == 19
+    ratios = {}
+    for r in results:
+        op = r.bit_op.value if r.bit_op else None
+        paper = PAPER_TABLE1.get((r.gpu, r.precision, str(r.fragment), op))
+        if paper:
+            ratios[f"{r.gpu}/{r.precision}/{r.fragment}/{op}"] = round(
+                r.measured_tops / paper, 3
+            )
+    benchmark.extra_info["measured_over_paper"] = ratios
+    assert all(0.89 <= v <= 1.11 for v in ratios.values())
+
+
+def test_table1_full_experiment(benchmark):
+    result = benchmark.pedantic(run_table1_experiment, rounds=3, iterations=1)
+    benchmark.extra_info["findings"] = result.findings
+    assert result.tables

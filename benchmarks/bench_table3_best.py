@@ -1,0 +1,38 @@
+"""Bench: paper Table III — tuned kernel performance and energy.
+
+Evaluates the kernel model at the paper's published optimal configurations
+(the calibration anchor) and records model-vs-paper for every row.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ccglib.perfmodel import model_gemm
+from repro.ccglib.tuning import TABLE_III
+from repro.gpusim.specs import get_spec
+from repro.kerneltuner.tuner import PAPER_TUNING_PROBLEMS
+from repro.util.units import tera
+
+
+@pytest.mark.parametrize("row", TABLE_III, ids=lambda r: f"{r.gpu}-{r.precision.value}")
+def test_table3_row(benchmark, row):
+    spec = get_spec(row.gpu)
+    problem = PAPER_TUNING_PROBLEMS[row.precision]
+
+    cost = benchmark(model_gemm, spec, row.precision, problem, row.params)
+    model_tops = cost.ops_per_second / tera
+    model_tpj = cost.ops_per_joule / tera
+    benchmark.extra_info["paper_tops"] = row.tops
+    benchmark.extra_info["model_tops"] = round(model_tops, 1)
+    benchmark.extra_info["paper_tops_per_joule"] = row.tops_per_joule
+    benchmark.extra_info["model_tops_per_joule"] = round(model_tpj, 2)
+    assert model_tops == pytest.approx(row.tops, rel=0.01)
+    assert model_tpj == pytest.approx(row.tops_per_joule, rel=0.03)
+
+
+def test_table3_full_experiment(benchmark):
+    from repro.bench.table3 import run
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert "table3" in result.tables

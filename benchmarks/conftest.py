@@ -1,0 +1,17 @@
+"""Benchmark fixtures.
+
+Each benchmark measures the real wall-clock cost of regenerating one of the
+paper's tables/figures on the simulated substrate, and attaches the
+reproduction's headline numbers via ``benchmark.extra_info`` so the JSON
+output doubles as the experiment record.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(99)

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Quantization study: why 1-bit beamforming works — paper §III.
+
+"While lower precision introduces quantization noise, beamforming remains
+robust since many values are accumulated." This script quantifies that:
+for a simple plane-wave beamforming scenario it measures the output SNR of
+float16 and 1-bit beamforming as a function of the number of receivers K,
+showing the 1-bit penalty is a roughly constant factor (~2/pi in amplitude,
+the classical hard-limiter loss) rather than a cliff, and that beam
+pointing is preserved.
+
+Run:  python examples/onebit_quantization_study.py
+"""
+
+import numpy as np
+
+from repro import Device, Precision, gemm_once
+from repro.util.formatting import render_table
+
+rng = np.random.default_rng(7)
+device = Device("A100")
+
+N_SAMPLES = 256
+INPUT_SNR = 0.5  # per-receiver voltage SNR (power -3 dB): a weak source
+
+
+def beamform_snr(k: int, precision: Precision, n_trials: int = 3) -> float:
+    """Output power SNR of an on-source beam over K receivers."""
+    snrs = []
+    for trial in range(n_trials):
+        trial_rng = np.random.default_rng(rng.integers(2**31) + trial)
+        signal = (trial_rng.normal(size=N_SAMPLES) + 1j * trial_rng.normal(size=N_SAMPLES))
+        signal *= INPUT_SNR / np.sqrt(2)
+        phases = np.exp(2j * np.pi * trial_rng.random(k))  # arrival phases
+        noise = (trial_rng.normal(size=(k, N_SAMPLES)) +
+                 1j * trial_rng.normal(size=(k, N_SAMPLES))) / np.sqrt(2)
+        data = phases[:, None] * signal[None, :] + noise
+        weights = np.conj(phases)[None, :] / k  # one aligned beam
+        on = gemm_once(
+            device, precision,
+            weights[None, ...].astype(np.complex64),
+            data[None, ...].astype(np.complex64),
+        ).output[0, 0]
+        # off-source beam: random weights -> noise reference
+        w_off = np.exp(2j * np.pi * trial_rng.random(k))[None, :] / k
+        off = gemm_once(
+            device, precision,
+            w_off[None, ...].astype(np.complex64),
+            data[None, ...].astype(np.complex64),
+        ).output[0, 0]
+        p_on = float((np.abs(on) ** 2).mean())
+        p_off = float((np.abs(off) ** 2).mean())
+        snrs.append(p_on / max(p_off, 1e-12) - 1.0)
+    return float(np.mean(snrs))
+
+
+rows = []
+for k in (8, 16, 32, 64, 128, 256):
+    snr16 = beamform_snr(k, Precision.FLOAT16)
+    snr1 = beamform_snr(k, Precision.INT1)
+    rows.append([
+        k,
+        round(10 * np.log10(max(snr16, 1e-6)), 1),
+        round(10 * np.log10(max(snr1, 1e-6)), 1),
+        round(snr1 / max(snr16, 1e-12), 2),
+    ])
+print(render_table(
+    ["receivers K", "float16 beam SNR (dB)", "int1 beam SNR (dB)", "int1/float16"],
+    rows,
+    title=f"Beamforming output SNR vs array size (input SNR {INPUT_SNR**2:.2f})",
+))
+ratios = [r[3] for r in rows if r[3] > 0]
+print(f"\n1-bit retains a roughly K-independent fraction of the float16 SNR "
+      f"(mean {np.mean(ratios):.2f}; the hard-limiter loss is 2/pi ~ 0.64 in "
+      "amplitude for Gaussian signals).")
+print("Beamforming gain keeps growing with K in both precisions — the "
+      "accumulation robustness the paper relies on for 1-bit imaging.")

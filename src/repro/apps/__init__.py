@@ -1,0 +1,1 @@
+"""Domain applications of the Tensor-Core Beamformer (paper §V)."""

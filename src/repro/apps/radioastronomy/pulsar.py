@@ -1,0 +1,117 @@
+"""Pulsar post-processing: dedispersion, folding, detection.
+
+"Beamforming is used to search for pulsars or Fast Radio Bursts in radio
+astronomy" (paper §II): the beamformed dynamic spectrum of each tied-array
+beam is dedispersed (undoing the frequency-dependent interstellar delay),
+summed over frequency, and folded at the pulsar period; a pulsar reveals
+itself as a significant peak in the folded profile of the beam pointing at
+it — and not in off-source beams. This is the end-to-end science check of
+the LOFAR pipeline reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.radioastronomy.sky import DISPERSION_MS
+from repro.errors import ShapeError
+
+
+def dedisperse(
+    dynamic_spectrum: np.ndarray,
+    dm_pc_cm3: float,
+    channel_frequencies_hz: np.ndarray,
+    sample_time_s: float,
+    f_ref_hz: float | None = None,
+) -> np.ndarray:
+    """Incoherent dedispersion: shift every channel by its dispersion delay.
+
+    ``dynamic_spectrum`` is (n_channels, n_samples) power. Shifts are
+    rounded to whole samples (incoherent dedispersion); samples wrapped
+    around the end are valid because our synthetic pulse train is periodic.
+    """
+    if dynamic_spectrum.ndim != 2:
+        raise ShapeError(f"expected (C, T) dynamic spectrum, got {dynamic_spectrum.shape}")
+    freqs = np.asarray(channel_frequencies_hz, dtype=np.float64)
+    if freqs.shape[0] != dynamic_spectrum.shape[0]:
+        raise ShapeError("one frequency per channel required")
+    f_ref = f_ref_hz if f_ref_hz is not None else float(freqs.max())
+    delays = (
+        DISPERSION_MS * 1e-3 * dm_pc_cm3 * ((freqs / 1e9) ** -2 - (f_ref / 1e9) ** -2)
+    )
+    out = np.empty_like(dynamic_spectrum)
+    for ch, delay in enumerate(delays):
+        shift = int(np.rint(delay / sample_time_s))
+        out[ch] = np.roll(dynamic_spectrum[ch], -shift)
+    return out
+
+
+def fold(
+    series: np.ndarray, period_s: float, sample_time_s: float, n_bins: int = 32
+) -> np.ndarray:
+    """Fold a time series at a period into a pulse profile of ``n_bins``."""
+    if series.ndim != 1:
+        raise ShapeError(f"expected a 1D series, got {series.shape}")
+    t = np.arange(series.shape[0]) * sample_time_s
+    phase_bins = ((t / period_s) % 1.0 * n_bins).astype(int)
+    profile = np.zeros(n_bins)
+    counts = np.zeros(n_bins)
+    np.add.at(profile, phase_bins, series)
+    np.add.at(counts, phase_bins, 1.0)
+    counts[counts == 0] = 1.0
+    return profile / counts
+
+
+def profile_snr(profile: np.ndarray, on_fraction: float = 0.25) -> float:
+    """Pulse significance: peak over off-pulse mean, in off-pulse sigmas.
+
+    The off-pulse region is the ``1 - on_fraction`` quietest bins.
+    """
+    if profile.ndim != 1 or profile.size < 4:
+        raise ShapeError("profile must be 1D with at least 4 bins")
+    order = np.argsort(profile)
+    n_off = max(2, int(profile.size * (1.0 - on_fraction)))
+    off = profile[order[:n_off]]
+    sigma = float(off.std())
+    if sigma == 0.0:
+        sigma = 1e-12
+    return (float(profile.max()) - float(off.mean())) / sigma
+
+
+@dataclass(frozen=True)
+class PulsarDetection:
+    """Outcome of a folded-profile search in one beam."""
+
+    beam_index: int
+    snr: float
+    profile: np.ndarray
+
+    @property
+    def detected(self) -> bool:
+        return self.snr >= 5.0  # the conventional radio-transient threshold
+
+
+def search_beams(
+    beam_powers: np.ndarray,
+    dm_pc_cm3: float,
+    period_s: float,
+    channel_frequencies_hz: np.ndarray,
+    sample_time_s: float,
+    n_bins: int = 32,
+) -> list[PulsarDetection]:
+    """Dedisperse + fold every beam of a (B, C, T) power cube."""
+    if beam_powers.ndim != 3:
+        raise ShapeError(f"expected (B, C, T) beam powers, got {beam_powers.shape}")
+    detections = []
+    for b in range(beam_powers.shape[0]):
+        dedispersed = dedisperse(
+            beam_powers[b], dm_pc_cm3, channel_frequencies_hz, sample_time_s
+        )
+        series = dedispersed.sum(axis=0)
+        profile = fold(series, period_s, sample_time_s, n_bins)
+        detections.append(
+            PulsarDetection(beam_index=b, snr=profile_snr(profile), profile=profile)
+        )
+    return detections

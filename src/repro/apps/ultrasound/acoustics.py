@@ -1,0 +1,93 @@
+"""Pulse-echo acoustic model in the temporal-frequency domain.
+
+The cUSi reconstruction operates on temporal frequencies (the paper's model
+matrix has "128 (temporal frequencies) x 64 (transceivers) x 32
+transmissions" rows). We model monochromatic propagation with the free-space
+Green's function::
+
+    G(f, a -> b) = exp(-2*pi*i*f*(|b - a|/c + tau_mask)) / |b - a|
+
+and a Gaussian transmit pulse spectrum around the centre frequency. The
+expected pulse-echo signal of a unit scatterer in voxel v for transmission t,
+receive element e, frequency f is::
+
+    h[f, e, t](v) = S(f) * [ sum_e' c_t[e'] G(f, e' -> v) ] * G(f, v -> e)
+
+i.e. encoded transmit field times return path — exactly the quantity the
+paper's model matrix tabulates per voxel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.ultrasound.array_geometry import SPEED_OF_SOUND
+
+
+@dataclass(frozen=True)
+class PulseSpectrum:
+    """Gaussian amplitude spectrum of the transmit pulse."""
+
+    centre_hz: float = 5.0e6
+    fractional_bandwidth: float = 0.6
+
+    def frequencies(self, n_frequencies: int) -> np.ndarray:
+        """The temporal-frequency grid: ``n_frequencies`` bins across the
+        pulse's -6 dB band."""
+        half_band = self.centre_hz * self.fractional_bandwidth / 2.0
+        return np.linspace(self.centre_hz - half_band, self.centre_hz + half_band, n_frequencies)
+
+    def amplitude(self, f_hz: np.ndarray) -> np.ndarray:
+        sigma = self.centre_hz * self.fractional_bandwidth / 2.355  # FWHM -> sigma
+        return np.exp(-0.5 * ((np.asarray(f_hz) - self.centre_hz) / sigma) ** 2)
+
+
+def greens_function(
+    f_hz: np.ndarray,
+    from_positions: np.ndarray,
+    to_positions: np.ndarray,
+    extra_delay_s: np.ndarray | None = None,
+    speed: float = SPEED_OF_SOUND,
+) -> np.ndarray:
+    """Monochromatic free-space propagation between two point sets.
+
+    Shapes: ``f_hz`` (F,), ``from_positions`` (A, 3), ``to_positions``
+    (B, 3), optional ``extra_delay_s`` (A, B). Returns (F, A, B) complex64.
+    """
+    f_hz = np.atleast_1d(np.asarray(f_hz, dtype=np.float64))
+    diff = from_positions[:, None, :] - to_positions[None, :, :]
+    dist = np.linalg.norm(diff, axis=-1)
+    delay = dist / speed
+    if extra_delay_s is not None:
+        delay = delay + extra_delay_s
+    phase = -2.0 * np.pi * f_hz[:, None, None] * delay[None, :, :]
+    amp = 1.0 / np.maximum(dist, 1e-6)
+    return (amp[None, :, :] * np.exp(1j * phase)).astype(np.complex64)
+
+
+def pulse_echo_response(
+    f_hz: np.ndarray,
+    element_positions: np.ndarray,
+    voxel_positions: np.ndarray,
+    tx_codes: np.ndarray,
+    mask_delays: np.ndarray | None = None,
+    spectrum: PulseSpectrum | None = None,
+) -> np.ndarray:
+    """Expected pulse-echo signals for every (frequency, element, transmission, voxel).
+
+    Returns a complex64 array of shape (F, E, T, V): the building block of
+    the cUSi model matrix. ``mask_delays`` (E, V) applies the coded aperture
+    on both the transmit and receive paths (the wave crosses the mask twice).
+    """
+    spectrum = spectrum or PulseSpectrum()
+    s = spectrum.amplitude(f_hz).astype(np.float32)
+    # (F, E, V) one-way propagation element -> voxel, mask applied.
+    g_out = greens_function(f_hz, element_positions, voxel_positions, mask_delays)
+    # Encoded transmit field per (F, T, V): sum over transmit elements.
+    tx_field = np.einsum("te,fev->ftv", tx_codes.astype(np.complex64), g_out)
+    # Return path voxel -> element is reciprocal: same Green's function.
+    # h[f, e, t, v] = S(f) * tx_field[f, t, v] * g_out[f, e, v]
+    h = s[:, None, None, None] * g_out[:, :, None, :] * tx_field[:, None, :, :]
+    return h.astype(np.complex64)

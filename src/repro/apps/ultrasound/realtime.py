@@ -1,0 +1,124 @@
+"""Real-time feasibility analysis of cUSi imaging (paper Fig 5).
+
+"Considering a pulse-echo repetition frequency of 32 kHz and an ensemble
+size of 8000, the time required for the image reconstruction ... should be
+less than 8 seconds in order to maintain real-time feedback" (§V-A): with
+32 transmissions per frame at 32 kHz PRF, one frame of data arrives every
+millisecond, so sustained reconstruction must exceed **1000 frames per
+second** — the dash-dotted line of Fig 5.
+
+Fig 5 sweeps the number of voxels from three orthogonal 128x128 planes
+(49152) to the full 128^3 volume (2097152) and reports sustainable fps per
+GPU, *including* the per-batch 1-bit packing and transpose of the
+measurement matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.ultrasound.imaging import UltrasoundBeamformer
+from repro.ccglib.precision import Precision
+from repro.gpusim.device import Device, ExecutionMode
+from repro.gpusim.specs import GPUSpec
+
+#: 32 kHz pulse-echo repetition frequency / 32 transmissions per frame.
+PRF_HZ = 32000.0
+TRANSMISSIONS_PER_FRAME = 32
+REQUIRED_FPS = PRF_HZ / TRANSMISSIONS_PER_FRAME  # = 1000 frames/s
+
+#: the paper's real-time K: 128 frequencies x 64 transceivers x 32 tx.
+PAPER_REALTIME_K = 128 * 64 * 32
+
+#: full imaging volume and the three-orthogonal-planes alternative.
+FULL_VOLUME_VOXELS = 128**3
+THREE_PLANES_VOXELS = 3 * 128 * 128
+
+
+@dataclass(frozen=True)
+class RealTimePoint:
+    """One Fig 5 sample: sustained fps at a voxel count."""
+
+    gpu: str
+    n_voxels: int
+    fps: float
+    gemm_tops: float
+
+    @property
+    def real_time(self) -> bool:
+        return self.fps >= REQUIRED_FPS
+
+
+def frames_per_second(
+    spec: GPUSpec,
+    n_voxels: int,
+    k: int = PAPER_REALTIME_K,
+    batch_frames: int = 1024,
+    precision: Precision = Precision.INT1,
+) -> RealTimePoint:
+    """Sustained reconstruction rate for one configuration.
+
+    Uses a dry-run device; the per-batch cost includes measurement
+    transpose + packing + GEMM (Fig 5 accounting), and fps is
+    ``batch_frames / batch_time``.
+    """
+    device = Device(spec, ExecutionMode.DRY_RUN)
+    beamformer = UltrasoundBeamformer(
+        device,
+        n_voxels=n_voxels,
+        k=k,
+        n_frames=batch_frames,
+        precision=precision,
+    )
+    result = beamformer.reconstruct()
+    gemm_cost = result.costs[-1]
+    return RealTimePoint(
+        gpu=spec.name,
+        n_voxels=n_voxels,
+        fps=batch_frames / result.time_s,
+        gemm_tops=gemm_cost.ops_per_second / 1e12,
+    )
+
+
+def sweep_voxels(
+    spec: GPUSpec,
+    voxel_counts: list[int] | None = None,
+    k: int = PAPER_REALTIME_K,
+    batch_frames: int = 1024,
+) -> list[RealTimePoint]:
+    """The Fig 5 curve for one GPU."""
+    if voxel_counts is None:
+        voxel_counts = default_voxel_sweep()
+    return [frames_per_second(spec, v, k=k, batch_frames=batch_frames) for v in voxel_counts]
+
+
+def default_voxel_sweep(n_points: int = 12) -> list[int]:
+    """Log-spaced voxel counts from three planes to the full volume."""
+    return [
+        int(v)
+        for v in np.geomspace(THREE_PLANES_VOXELS, FULL_VOLUME_VOXELS, n_points).round()
+    ]
+
+
+def max_realtime_voxels(
+    spec: GPUSpec, k: int = PAPER_REALTIME_K, batch_frames: int = 1024
+) -> int:
+    """Largest voxel count sustaining 1000 fps (bisection on the model).
+
+    The paper reads this off Fig 5: e.g. "the GH200 is capable of
+    processing ~85% of the voxels in real time" for the full 128^3 volume.
+    """
+    lo, hi = 1024, FULL_VOLUME_VOXELS
+    if frames_per_second(spec, hi, k, batch_frames).real_time:
+        return hi
+    if not frames_per_second(spec, lo, k, batch_frames).real_time:
+        return 0
+    while hi - lo > 1024:
+        mid = (lo + hi) // 2
+        if frames_per_second(spec, mid, k, batch_frames).real_time:
+            lo = mid
+        else:
+            hi = mid
+    return lo

@@ -1,0 +1,57 @@
+"""CLI: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.bench                 # run everything -> results/
+    python -m repro.bench fig5 fig7       # selected experiments
+    python -m repro.bench --quick         # coarser sweeps
+    python -m repro.bench --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.registry import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tcbf-bench",
+        description="Regenerate the tables and figures of 'The Tensor-Core Beamformer'",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help=f"experiments to run (default: all). Known: {', '.join(EXPERIMENTS)}",
+    )
+    parser.add_argument("--outdir", default="results", help="output directory")
+    parser.add_argument("--quick", action="store_true", help="coarser sweeps")
+    parser.add_argument("--list", action="store_true", help="list experiments and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    names = args.experiments or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)}")
+
+    for name in names:
+        t0 = time.perf_counter()
+        result = run_experiment(name, quick=args.quick)
+        elapsed = time.perf_counter() - t0
+        print(result.full_text())
+        written = result.write(args.outdir)
+        print(f"[{name}] done in {elapsed:.1f}s; wrote {len(written)} files to {args.outdir}/")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,112 @@
+"""Experiment: paper Fig 4 — performance/energy across matrix sizes.
+
+Three sweeps with the Table III parameters, reproducing the panels of
+Fig 4: (a) float16 with M=N=K swept to 16384 on all GPUs; (b) int1 with
+M=N swept at the tuned K, and K swept at the tuned M, N (NVIDIA only).
+Off-tile sizes are included to expose the padding sawtooth.
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import ExperimentResult
+from repro.ccglib.benchmark import size_grid, sweep_cubic, sweep_k, sweep_mn
+from repro.ccglib.precision import Precision
+from repro.gpusim.specs import GPU_CATALOG, INT1_GPUS
+from repro.util.formatting import ascii_series, render_table
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    step = 2048 if quick else 1024
+    sizes = size_grid(512, 16384, step, include_offsets=(0, 136))
+    tables: dict[str, tuple[list[str], list[list[object]]]] = {}
+    sections: list[str] = []
+    headers = ["size", "tops", "tops_per_joule", "bound"]
+
+    # (a) float16 cubic sweep on every GPU.
+    fp16_series: dict[str, tuple[list[float], list[float]]] = {}
+    sawtooth_checks = []
+    for gpu, spec in GPU_CATALOG.items():
+        points = sweep_cubic(spec, Precision.FLOAT16, sizes)
+        rows = [[p.m, round(p.tops, 1), round(p.tops_per_joule, 3), p.bound] for p in points]
+        tables[f"fp16_{gpu}"] = (headers, rows)
+        fp16_series[gpu] = ([float(p.m) for p in points], [p.tops for p in points])
+        by_size = {p.m: p.tops for p in points}
+        pairs = [(s, s + 136) for s in by_size if s + 136 in by_size]
+        if pairs:
+            sawtooth_checks.append(
+                sum(by_size[off] < by_size[base] for base, off in pairs) / len(pairs)
+            )
+    sections.append(
+        ascii_series(
+            fp16_series,
+            width=60,
+            height=14,
+            xlabel="matrix size (all axes)",
+            ylabel="TFLOPs/s",
+            title="float16 GEMM performance vs size (Fig 4a)",
+        )
+    )
+
+    # (b) int1 sweeps (NVIDIA only).
+    int1_mn_series: dict[str, tuple[list[float], list[float]]] = {}
+    int1_k_series: dict[str, tuple[list[float], list[float]]] = {}
+    k_values = size_grid(32768, 1048576, 131072 if quick else 65536, include_offsets=(0, 4096))
+    for gpu in INT1_GPUS:
+        spec = GPU_CATALOG[gpu]
+        mn_points = sweep_mn(spec, Precision.INT1, sizes, k=524288)
+        tables[f"int1_mn_{gpu}"] = (
+            headers,
+            [[p.m, round(p.tops, 1), round(p.tops_per_joule, 3), p.bound] for p in mn_points],
+        )
+        int1_mn_series[gpu] = ([float(p.m) for p in mn_points], [p.tops for p in mn_points])
+        k_points = sweep_k(spec, Precision.INT1, k_values, m=32768, n=8192)
+        tables[f"int1_k_{gpu}"] = (
+            ["k", "tops", "tops_per_joule", "bound"],
+            [[p.k, round(p.tops, 1), round(p.tops_per_joule, 3), p.bound] for p in k_points],
+        )
+        int1_k_series[gpu] = ([float(p.k) for p in k_points], [p.tops for p in k_points])
+    sections.append(
+        ascii_series(
+            int1_mn_series,
+            width=60,
+            height=12,
+            xlabel="matrix size (M, N)",
+            ylabel="TOPs/s",
+            title="int1 GEMM performance vs M=N at K=524288 (Fig 4b left)",
+        )
+    )
+    sections.append(
+        ascii_series(
+            int1_k_series,
+            width=60,
+            height=12,
+            xlabel="matrix size (K)",
+            ylabel="TOPs/s",
+            title="int1 GEMM performance vs K at M=32768, N=8192 (Fig 4b right)",
+        )
+    )
+
+    # Summary of asymptotic levels.
+    summary_rows = []
+    for gpu, (xs, ys) in fp16_series.items():
+        summary_rows.append([gpu, "float16", round(max(ys), 1)])
+    for gpu, (xs, ys) in int1_mn_series.items():
+        summary_rows.append([gpu, "int1", round(max(ys), 1)])
+    tables["summary"] = (["GPU", "precision", "peak TOPs/s in sweep"], summary_rows)
+    sections.append(render_table(*tables["summary"], title="Sweep maxima"))
+
+    findings = [
+        "performance and energy efficiency are substantially lower for small "
+        "matrices and plateau from a few thousand elements per side",
+        f"off-tile sizes are slower than aligned sizes in "
+        f"{100 * sum(sawtooth_checks) / max(len(sawtooth_checks), 1):.0f}% of "
+        "float16 samples (the padding sawtooth)",
+        "sweep maxima approach the Table III tuned values per GPU",
+    ]
+    return ExperimentResult(
+        name="fig4",
+        title="Complex GEMM benchmark across matrix sizes (paper Fig 4)",
+        text="\n".join(sections),
+        tables=tables,
+        findings=findings,
+    )

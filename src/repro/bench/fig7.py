@@ -1,0 +1,150 @@
+"""Experiment: paper Fig 7 — LOFAR TCBF performance vs receiver count.
+
+Sweeps the number of receivers (stations) from 8 to 512 with the paper's
+configuration (1024 beams, 1024 samples, batch 256 = polarizations x
+channels) on all seven GPUs in float16, plus the float32 reference
+beamformer on A100 and GH200. Checks the paper's reading: the TCBF beats
+the reference except at very small receiver counts, reaches up to ~20x
+speedup and ~10x energy advantage on the A100, is still several times
+faster at the typical 48-station configuration, and the MI300X tops the
+GH200 by up to ~50% while remaining unsaturated at 512 receivers.
+"""
+
+from __future__ import annotations
+
+from repro.apps.radioastronomy.beamformer import LOFARBeamformer
+from repro.apps.radioastronomy.reference import ReferenceBeamformer
+from repro.bench.report import ExperimentResult
+from repro.ccglib.precision import Precision
+from repro.gpusim.device import Device, ExecutionMode
+from repro.gpusim.specs import GPU_CATALOG
+from repro.util.formatting import ascii_series, render_table
+from repro.util.units import tera
+
+N_BEAMS = 1024
+N_SAMPLES = 1024
+BATCH_CHANNELS = 256
+REFERENCE_GPUS = ("A100", "GH200")
+TYPICAL_STATIONS = 48
+
+
+def receiver_sweep(quick: bool = False) -> list[int]:
+    """8..512 receivers including off-fragment values for the sawtooth."""
+    if quick:
+        return [8, 16, 48, 96, 200, 341, 512]
+    values = list(range(8, 513, 8))
+    values += [k + 3 for k in range(16, 512, 32)]  # off-multiple points
+    return sorted(set(values))
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    ks = receiver_sweep(quick)
+    headers = ["receivers", "tflops", "tflops_per_joule", "bound"]
+    tables: dict[str, tuple[list[str], list[list[object]]]] = {}
+    perf_series: dict[str, tuple[list[float], list[float]]] = {}
+    eff_series: dict[str, tuple[list[float], list[float]]] = {}
+
+    def tcbf_cost(spec_name: str, k: int):
+        device = Device(spec_name, ExecutionMode.DRY_RUN)
+        return LOFARBeamformer(
+            device, N_BEAMS, k, N_SAMPLES, BATCH_CHANNELS, precision=Precision.FLOAT16
+        ).predict_cost()
+
+    def ref_cost(spec_name: str, k: int):
+        device = Device(spec_name, ExecutionMode.DRY_RUN)
+        return ReferenceBeamformer(device, N_BEAMS, k, N_SAMPLES, BATCH_CHANNELS).predict_cost()
+
+    for gpu in GPU_CATALOG:
+        rows = []
+        xs, ys, es = [], [], []
+        for k in ks:
+            cost = tcbf_cost(gpu, k)
+            rows.append(
+                [k, round(cost.ops_per_second / tera, 1), round(cost.ops_per_joule / tera, 3), cost.bound.value]
+            )
+            xs.append(float(k))
+            ys.append(cost.ops_per_second / tera)
+            es.append(cost.ops_per_joule / tera)
+        tables[f"tcbf_{gpu}"] = (headers, rows)
+        perf_series[gpu] = (xs, ys)
+        eff_series[gpu] = (xs, es)
+    for gpu in REFERENCE_GPUS:
+        rows = []
+        xs, ys, es = [], [], []
+        for k in ks:
+            cost = ref_cost(gpu, k)
+            rows.append(
+                [k, round(cost.ops_per_second / tera, 2), round(cost.ops_per_joule / tera, 4), cost.bound.value]
+            )
+            xs.append(float(k))
+            ys.append(cost.ops_per_second / tera)
+            es.append(cost.ops_per_joule / tera)
+        tables[f"reference_{gpu}"] = (headers, rows)
+        perf_series[f"ref {gpu}"] = (xs, ys)
+        eff_series[f"ref {gpu}"] = (xs, es)
+
+    sections = [
+        ascii_series(
+            perf_series,
+            width=60,
+            height=14,
+            xlabel="number of receivers",
+            ylabel="TFLOPs/s",
+            title="LOFAR TCBF performance (Fig 7 left)",
+        ),
+        ascii_series(
+            eff_series,
+            width=60,
+            height=12,
+            xlabel="number of receivers",
+            ylabel="TFLOPs/J",
+            title="LOFAR TCBF energy efficiency (Fig 7 right)",
+        ),
+    ]
+
+    # Headline ratios on the A100.
+    a100_tcbf_512 = tcbf_cost("A100", 512)
+    a100_ref_512 = ref_cost("A100", 512)
+    a100_tcbf_48 = tcbf_cost("A100", TYPICAL_STATIONS)
+    a100_ref_48 = ref_cost("A100", TYPICAL_STATIONS)
+    a100_tcbf_8 = tcbf_cost("A100", 8)
+    a100_ref_8 = ref_cost("A100", 8)
+    mi300x_512 = tcbf_cost("MI300X", 512)
+    gh200_512 = tcbf_cost("GH200", 512)
+    speedup_512 = a100_tcbf_512.ops_per_second / a100_ref_512.ops_per_second
+    energy_512 = a100_tcbf_512.ops_per_joule / a100_ref_512.ops_per_joule
+    speedup_48 = a100_tcbf_48.ops_per_second / a100_ref_48.ops_per_second
+    speedup_8 = a100_tcbf_8.ops_per_second / a100_ref_8.ops_per_second
+    mi_vs_gh = mi300x_512.ops_per_second / gh200_512.ops_per_second
+    mi_frac_of_big = mi300x_512.ops_per_second / tera / 603.0
+
+    summary_headers = ["quantity", "measured", "paper"]
+    summary_rows = [
+        ["A100 TCBF/reference speedup @512 rcv", round(speedup_512, 1), "up to 20x"],
+        ["A100 TCBF/reference energy ratio @512 rcv", round(energy_512, 1), "~10x"],
+        ["A100 TCBF/reference speedup @48 rcv", round(speedup_48, 1), "several times"],
+        ["A100 TCBF/reference speedup @8 rcv", round(speedup_8, 2), "~1 (crossover)"],
+        ["MI300X / GH200 @512 rcv", round(mi_vs_gh, 2), "up to 1.5x"],
+        ["MI300X @512 rcv vs its big-matrix peak", round(mi_frac_of_big, 2), "<1 (unsaturated)"],
+    ]
+    tables["summary"] = (summary_headers, summary_rows)
+    sections.append(render_table(summary_headers, summary_rows, title="Headline comparisons"))
+
+    findings = [
+        f"TCBF outperforms the reference beamformer except at very small "
+        f"receiver counts (speedup {speedup_8:.2f}x at 8 receivers, "
+        f"{speedup_48:.1f}x at 48, {speedup_512:.1f}x at 512)",
+        f"energy advantage on the A100 reaches {energy_512:.1f}x (paper: ~10x)",
+        f"MI300X delivers {mi_vs_gh:.2f}x the GH200 throughput at 512 receivers "
+        f"while reaching only {mi_frac_of_big * 100:.0f}% of its large-matrix "
+        "performance (workload too small to saturate it)",
+        "the K-padding sawtooth is visible at receiver counts that are not "
+        "multiples of the fragment K granularity",
+    ]
+    return ExperimentResult(
+        name="fig7",
+        title="LOFAR TCBF performance and energy efficiency (paper Fig 7)",
+        text="\n".join(sections),
+        tables=tables,
+        findings=findings,
+    )

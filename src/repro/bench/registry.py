@@ -1,0 +1,42 @@
+"""Experiment registry: every paper table/figure mapped to its runner."""
+
+from __future__ import annotations
+
+import inspect
+from collections.abc import Callable
+
+from repro.bench import ablations, claims, fig2, fig3, fig4, fig5, fig6, fig7, table1, table3
+from repro.bench.report import ExperimentResult
+from repro.errors import ReproError
+
+#: experiment name -> runner. Order matches the paper's evaluation flow.
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "table1": table1.run,
+    "fig2": fig2.run,
+    "table3": table3.run,
+    "fig3": fig3.run,
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "ablations": ablations.run,
+    "claims": claims.run,
+}
+
+
+def run_experiment(name: str, quick: bool = False) -> ExperimentResult:
+    """Run one experiment by name; passes ``quick`` where supported."""
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError as exc:
+        raise ReproError(
+            f"unknown experiment {name!r}; available: {', '.join(EXPERIMENTS)}"
+        ) from exc
+    if "quick" in inspect.signature(runner).parameters:
+        return runner(quick=quick)
+    return runner()
+
+
+def run_all(quick: bool = False) -> list[ExperimentResult]:
+    """Run every registered experiment in paper order."""
+    return [run_experiment(name, quick=quick) for name in EXPERIMENTS]

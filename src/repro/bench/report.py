@@ -1,0 +1,52 @@
+"""Experiment result container and file output.
+
+Every experiment runner returns an :class:`ExperimentResult` holding the
+rendered text report (tables + ASCII figures) and the raw series. The CLI
+writes ``<name>.txt`` plus one ``<name>_<table>.csv`` per series to the
+output directory, so the figures can be re-plotted with any tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from collections.abc import Sequence
+
+from repro.util.formatting import render_csv
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one table/figure reproduction."""
+
+    name: str
+    title: str
+    #: rendered human-readable report (tables, ASCII plots, findings).
+    text: str
+    #: raw numeric series: table name -> (headers, rows).
+    tables: dict[str, tuple[Sequence[str], list[Sequence[object]]]] = field(
+        default_factory=dict
+    )
+    #: headline comparisons against the paper, one line each.
+    findings: list[str] = field(default_factory=list)
+
+    def full_text(self) -> str:
+        parts = [f"=== {self.name}: {self.title} ===", "", self.text]
+        if self.findings:
+            parts += ["", "Findings vs paper:"]
+            parts += [f"  - {f}" for f in self.findings]
+        return "\n".join(parts) + "\n"
+
+    def write(self, outdir: str | Path) -> list[Path]:
+        """Write the report and CSVs; returns the created paths."""
+        outdir = Path(outdir)
+        outdir.mkdir(parents=True, exist_ok=True)
+        written = []
+        report = outdir / f"{self.name}.txt"
+        report.write_text(self.full_text())
+        written.append(report)
+        for table_name, (headers, rows) in self.tables.items():
+            csv_path = outdir / f"{self.name}_{table_name}.csv"
+            csv_path.write_text(render_csv(headers, rows))
+            written.append(csv_path)
+        return written

@@ -1,0 +1,122 @@
+"""Built-in benchmark tools of the ccglib reproduction.
+
+"We take the best parameters from Table III, and use the built-in benchmark
+tools of ccglib to measure performance and energy efficiency across a range
+of matrix sizes" (paper §IV-C). These helpers sweep the analytical kernel
+model over matrix-size grids and return flat records that the Fig 4
+harness renders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+
+from repro.ccglib.perfmodel import GemmProblem, model_gemm
+from repro.ccglib.precision import Precision
+from repro.ccglib.tuning import TuneParams, default_params
+from repro.gpusim.arch import BitOp
+from repro.gpusim.specs import GPUSpec
+from repro.gpusim.timing import KernelCost
+from repro.util.units import tera
+
+
+@dataclass(frozen=True)
+class BenchmarkPoint:
+    """One measured point of a size sweep."""
+
+    gpu: str
+    precision: Precision
+    batch: int
+    m: int
+    n: int
+    k: int
+    tops: float
+    tops_per_joule: float
+    time_s: float
+    bound: str
+
+    @classmethod
+    def from_cost(
+        cls, spec: GPUSpec, precision: Precision, problem: GemmProblem, cost: KernelCost
+    ) -> "BenchmarkPoint":
+        return cls(
+            gpu=spec.name,
+            precision=precision,
+            batch=problem.batch,
+            m=problem.m,
+            n=problem.n,
+            k=problem.k,
+            tops=cost.ops_per_second / tera,
+            tops_per_joule=cost.ops_per_joule / tera,
+            time_s=cost.time_s,
+            bound=cost.bound.value,
+        )
+
+
+def measure(
+    spec: GPUSpec,
+    precision: Precision,
+    problem: GemmProblem,
+    params: TuneParams | None = None,
+    bit_op: BitOp | None = None,
+) -> BenchmarkPoint:
+    """Single-point benchmark with the shipped (or given) parameters."""
+    params = params or default_params(spec, precision)
+    cost = model_gemm(spec, precision, problem, params, bit_op=bit_op)
+    return BenchmarkPoint.from_cost(spec, precision, problem, cost)
+
+
+def sweep_cubic(
+    spec: GPUSpec,
+    precision: Precision,
+    sizes: Sequence[int],
+    params: TuneParams | None = None,
+) -> list[BenchmarkPoint]:
+    """Sweep M = N = K over ``sizes`` (paper Fig 4a: "Matrix size (all axes)")."""
+    return [
+        measure(spec, precision, GemmProblem(batch=1, m=s, n=s, k=s), params)
+        for s in sizes
+    ]
+
+
+def sweep_mn(
+    spec: GPUSpec,
+    precision: Precision,
+    sizes: Sequence[int],
+    k: int,
+    params: TuneParams | None = None,
+) -> list[BenchmarkPoint]:
+    """Sweep M = N with fixed K (paper Fig 4b left: "Matrix size (M, N)")."""
+    return [
+        measure(spec, precision, GemmProblem(batch=1, m=s, n=s, k=k), params)
+        for s in sizes
+    ]
+
+
+def sweep_k(
+    spec: GPUSpec,
+    precision: Precision,
+    ks: Sequence[int],
+    m: int,
+    n: int,
+    params: TuneParams | None = None,
+) -> list[BenchmarkPoint]:
+    """Sweep K with fixed M, N (paper Fig 4b right: "Matrix size (K)")."""
+    return [
+        measure(spec, precision, GemmProblem(batch=1, m=m, n=n, k=k), params)
+        for k in ks
+    ]
+
+
+def size_grid(lo: int, hi: int, step: int, include_offsets: Iterable[int] = (0,)) -> list[int]:
+    """Build a size grid with optional off-tile offsets to expose the
+    padding sawtooth of Fig 4 (sizes that are not tile multiples pay for
+    padded work)."""
+    sizes: set[int] = set()
+    for base in range(lo, hi + 1, step):
+        for off in include_offsets:
+            s = base + off
+            if lo <= s <= hi:
+                sizes.add(s)
+    return sorted(sizes)

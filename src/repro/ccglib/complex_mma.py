@@ -1,0 +1,126 @@
+"""Complex matrix multiplication on real-valued tensor-core MMAs.
+
+Tensor cores only execute real-valued matrix products and only provide
+accumulation (no subtraction). The paper (§III-B) therefore decomposes one
+complex GEMM into four real MMAs plus a register-level negation of the
+imaginary part of B::
+
+    1) Re(C) += Re(A) Re(B)
+    2) Im(C) += Re(A) Im(B)
+    3) Im(B)  = -Im(B)          (in registers; global data untouched)
+    4) Re(C) += Im(A) Im(B)     (now the negated copy)
+    5) Im(C) += Im(A) Re(B)
+
+This module implements that exact 5-step schedule functionally (on the
+fragment model of :mod:`repro.gpusim.tensorcore`) so tests can verify it
+against a straightforward complex reference, including the float16
+quantization the hardware applies to the inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ccglib.layouts import IMAG, REAL
+from repro.errors import ShapeError
+from repro.gpusim.tensorcore import mma_f16, mma_tf32, quantize_f16, quantize_tf32
+
+
+def complex_mma_f16(
+    a_planar: np.ndarray,
+    b_planar: np.ndarray,
+    c_planar: np.ndarray | None = None,
+) -> np.ndarray:
+    """One complex tile product via the paper's 5-step decomposition.
+
+    ``a_planar``: (2, m, k) float-like; ``b_planar``: (2, k, n);
+    ``c_planar``: optional (2, m, n) float32 accumulator. Returns the
+    accumulated (2, m, n) float32 planar result.
+
+    The negation of Im(B) happens on the float16-quantized register copy,
+    exactly like the kernel does — float16 negation is exact, so steps 3+4
+    equal a true subtraction of ``Im(A) Im(B)``.
+    """
+    if a_planar.ndim != 3 or a_planar.shape[0] != 2:
+        raise ShapeError(f"a_planar must be (2, m, k), got {a_planar.shape}")
+    if b_planar.ndim != 3 or b_planar.shape[0] != 2:
+        raise ShapeError(f"b_planar must be (2, k, n), got {b_planar.shape}")
+    a_re = quantize_f16(a_planar[REAL])
+    a_im = quantize_f16(a_planar[IMAG])
+    b_re = quantize_f16(b_planar[REAL])
+    b_im = quantize_f16(b_planar[IMAG])
+
+    m, n = a_re.shape[0], b_re.shape[1]
+    if c_planar is None:
+        c_re = np.zeros((m, n), dtype=np.float32)
+        c_im = np.zeros((m, n), dtype=np.float32)
+    else:
+        if c_planar.shape != (2, m, n):
+            raise ShapeError(f"c_planar must be (2, {m}, {n}), got {c_planar.shape}")
+        c_re = c_planar[REAL].astype(np.float32)
+        c_im = c_planar[IMAG].astype(np.float32)
+
+    c_re = mma_f16(a_re, b_re, c_re)        # step 1
+    c_im = mma_f16(a_re, b_im, c_im)        # step 2
+    b_im_neg = -b_im                        # step 3 (registers only)
+    c_re = mma_f16(a_im, b_im_neg, c_re)    # step 4
+    c_im = mma_f16(a_im, b_re, c_im)        # step 5
+    return np.stack([c_re, c_im])
+
+
+def complex_mma_f16_naive(
+    a_planar: np.ndarray,
+    b_planar: np.ndarray,
+) -> np.ndarray:
+    """Baseline decomposition without the register negation trick.
+
+    Computes the four partial products into *separate* accumulators and
+    combines them afterwards with a subtraction on the regular cores. This
+    needs the same four MMAs but an extra full-size combine pass (2*m*n
+    reads + m*n subtract/add), which is what the in-register negation
+    avoids. Kept as an ablation baseline (DESIGN.md §5.1).
+    """
+    a_re = quantize_f16(a_planar[REAL])
+    a_im = quantize_f16(a_planar[IMAG])
+    b_re = quantize_f16(b_planar[REAL])
+    b_im = quantize_f16(b_planar[IMAG])
+    rr = mma_f16(a_re, b_re)
+    ii = mma_f16(a_im, b_im)
+    ri = mma_f16(a_re, b_im)
+    ir = mma_f16(a_im, b_re)
+    return np.stack([rr - ii, ri + ir])
+
+
+def reference_complex_gemm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Full-precision complex reference for accuracy checks (complex128)."""
+    return np.asarray(a, dtype=np.complex128) @ np.asarray(b, dtype=np.complex128)
+
+
+def complex_mma_tf32(
+    a_planar: np.ndarray,
+    b_planar: np.ndarray,
+    c_planar: np.ndarray | None = None,
+) -> np.ndarray:
+    """The 5-step schedule with TensorFloat-32 fragments (experimental §VI).
+
+    Same structure as :func:`complex_mma_f16`; the inputs keep float32
+    range with 10-bit mantissas.
+    """
+    if a_planar.ndim != 3 or a_planar.shape[0] != 2:
+        raise ShapeError(f"a_planar must be (2, m, k), got {a_planar.shape}")
+    if b_planar.ndim != 3 or b_planar.shape[0] != 2:
+        raise ShapeError(f"b_planar must be (2, k, n), got {b_planar.shape}")
+    a_re, a_im = quantize_tf32(a_planar[REAL]), quantize_tf32(a_planar[IMAG])
+    b_re, b_im = quantize_tf32(b_planar[REAL]), quantize_tf32(b_planar[IMAG])
+    m, n = a_re.shape[0], b_re.shape[1]
+    if c_planar is None:
+        c_re = np.zeros((m, n), dtype=np.float32)
+        c_im = np.zeros((m, n), dtype=np.float32)
+    else:
+        c_re = c_planar[REAL].astype(np.float32)
+        c_im = c_planar[IMAG].astype(np.float32)
+    c_re = mma_tf32(a_re, b_re, c_re)
+    c_im = mma_tf32(a_re, b_im, c_im)
+    c_re = mma_tf32(a_im, -b_im, c_re)
+    c_im = mma_tf32(a_im, b_re, c_im)
+    return np.stack([c_re, c_im])

@@ -1,0 +1,217 @@
+"""Public complex-GEMM API of the ccglib reproduction.
+
+Usage mirrors the real library: the user creates a :class:`Gemm` plan for a
+device, telling it only the shapes and precision; tensor-core details
+(fragment layouts, bit ops, tuning parameters, padding) are chosen
+internally ("The use of the tensor cores ... is hidden from the user. The
+user only has to provide the input and output matrices and tell ccglib what
+shapes and types the matrices have", paper §III). Plans are specialized at
+creation time for the device and problem shape, the moral equivalent of
+ccglib's runtime kernel compilation.
+
+>>> from repro.gpusim import Device
+>>> from repro.ccglib import Gemm, Precision
+>>> import numpy as np
+>>> rng = np.random.default_rng(0)
+>>> a = (rng.normal(size=(1, 8, 16)) + 1j * rng.normal(size=(1, 8, 16))).astype(np.complex64)
+>>> b = (rng.normal(size=(1, 16, 4)) + 1j * rng.normal(size=(1, 16, 4))).astype(np.complex64)
+>>> gemm = Gemm(Device("A100"), Precision.FLOAT16, batch=1, m=8, n=4, k=16)
+>>> result = gemm.run(a, b)
+>>> np.allclose(result.output, a @ b, atol=0.2)
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ccglib.bit_gemm import complex_bit_gemm
+from repro.ccglib.complex_mma import complex_mma_f16
+from repro.ccglib.layouts import (
+    ComplexLayout,
+    ensure_batched,
+    to_planar,
+    validate_planar_pair,
+)
+from repro.ccglib.packing import pack_sign_planar
+from repro.ccglib.perfmodel import GemmProblem, model_gemm, resolve_bit_op, validate_config
+from repro.ccglib.precision import Precision, require_supported, traits
+from repro.ccglib.transpose import planar_to_kmajor
+from repro.ccglib.tuning import TuneParams, select_params
+from repro.errors import ShapeError
+from repro.gpusim.arch import BitOp, FragmentShape
+from repro.gpusim.device import Device
+from repro.gpusim.timing import KernelCost
+from repro.util.validation import require_positive_int, round_up
+
+
+@dataclass
+class GemmResult:
+    """Outcome of one planned GEMM execution.
+
+    ``output`` is a complex64 array (batch, M, N) in functional mode (for
+    int1 precision the values are exact small integers stored as complex)
+    and ``None`` in dry-run mode. ``cost`` is always populated.
+    """
+
+    output: np.ndarray | None
+    cost: KernelCost
+
+
+class Gemm:
+    """A complex matrix-multiply plan bound to a device.
+
+    Parameters
+    ----------
+    device:
+        Simulated GPU to run on.
+    precision:
+        :class:`~repro.ccglib.precision.Precision` of the matrix values.
+    batch, m, n, k:
+        Problem shape: ``batch`` independent products of (M,K) x (K,N)
+        matrices ("It is also possible to execute several matrix-matrix
+        multiplications at once through a batch size option", §III).
+    params:
+        Optional tuning override; defaults to the shipped (Table III)
+        parameters adapted to the problem shape.
+    bit_op:
+        1-bit multiply op override; by default XOR, or AND on Hopper-class
+        devices where XOR is software-emulated (§III-E).
+    """
+
+    def __init__(
+        self,
+        device: Device,
+        precision: Precision,
+        batch: int,
+        m: int,
+        n: int,
+        k: int,
+        *,
+        params: TuneParams | None = None,
+        bit_op: BitOp | None = None,
+        fragment: FragmentShape | None = None,
+        experimental_ok: bool = False,
+    ):
+        require_positive_int(batch, "batch")
+        require_positive_int(m, "m")
+        require_positive_int(n, "n")
+        require_positive_int(k, "k")
+        require_supported(device.spec, precision, experimental_ok=experimental_ok)
+        self.device = device
+        self.precision = precision
+        self.problem = GemmProblem(batch=batch, m=m, n=n, k=k)
+        self.params = select_params(device.spec, precision, m, n, params)
+        self.fragment = fragment or traits(precision).default_fragment
+        self.bit_op = resolve_bit_op(device.spec, precision, bit_op)
+        # Fail fast on invalid configurations at plan time, like a runtime
+        # compilation failure would.
+        validate_config(device.spec, precision, self.params, self.fragment)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def padded_k(self) -> int:
+        """K after padding to the fragment granularity."""
+        return round_up(self.problem.k, self.fragment.k)
+
+    def predict_cost(self) -> KernelCost:
+        """Cost-model prediction without executing anything."""
+        return model_gemm(
+            self.device.spec,
+            self.precision,
+            self.problem,
+            self.params,
+            bit_op=self.bit_op,
+            fragment=self.fragment,
+        )
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, a: np.ndarray | None = None, b: np.ndarray | None = None) -> GemmResult:
+        """Execute the plan.
+
+        Functional devices require interleaved complex operands ``a`` of
+        shape (batch, M, K) (or (M, K) for batch=1) and ``b`` of shape
+        (batch, K, N); dry-run devices ignore the operands and return the
+        predicted cost only. The launch is recorded on the device timeline
+        either way.
+        """
+        cost = self.predict_cost()
+        self.device.record_kernel(cost)
+        if not self.device.is_functional:
+            return GemmResult(output=None, cost=cost)
+        if a is None or b is None:
+            raise ShapeError("functional execution requires both operands")
+        a_planar, b_planar = self._prepare_operands(a, b)
+        if self.precision is Precision.INT1:
+            output = self._run_int1(a_planar, b_planar)
+        else:
+            output = self._run_float(a_planar, b_planar)
+        return GemmResult(output=output, cost=cost)
+
+    # -- internals ----------------------------------------------------------
+
+    def _prepare_operands(self, a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        a = np.asarray(a)
+        b = np.asarray(b)
+        if not np.iscomplexobj(a) or not np.iscomplexobj(b):
+            raise ShapeError("operands must be complex arrays (interleaved layout)")
+        a, _ = ensure_batched(a, 3)
+        b, _ = ensure_batched(b, 3)
+        a_planar = to_planar(a)
+        b_planar = to_planar(b)
+        batch, m, n, k = validate_planar_pair(a_planar, b_planar)
+        expected = (self.problem.batch, self.problem.m, self.problem.n, self.problem.k)
+        if (batch, m, n, k) != expected:
+            raise ShapeError(
+                f"operand shapes (batch={batch}, M={m}, N={n}, K={k}) do not match "
+                f"the plan (batch={expected[0]}, M={expected[1]}, N={expected[2]}, "
+                f"K={expected[3]})"
+            )
+        return a_planar, b_planar
+
+    def _run_float(self, a_planar: np.ndarray, b_planar: np.ndarray) -> np.ndarray:
+        """float16 (and experimental tf32) functional path."""
+        from repro.ccglib.complex_mma import complex_mma_tf32
+
+        mma = complex_mma_tf32 if self.precision is Precision.TF32 else complex_mma_f16
+        batch = self.problem.batch
+        out = np.empty((batch, self.problem.m, self.problem.n), dtype=np.complex64)
+        for i in range(batch):
+            planar = mma(a_planar[i], b_planar[i])
+            out[i] = planar[0] + 1j * planar[1]
+        return out
+
+    def _run_int1(self, a_planar: np.ndarray, b_planar: np.ndarray) -> np.ndarray:
+        """1-bit functional path: sign-quantize, pack, binary GEMM (Eq. 5/6)."""
+        batch = self.problem.batch
+        k_pad_to = self.padded_k
+        out = np.empty((batch, self.problem.m, self.problem.n), dtype=np.complex64)
+        for i in range(batch):
+            a_words = pack_sign_planar(a_planar[i], k_pad_to=k_pad_to)
+            b_kmajor = planar_to_kmajor(b_planar[i])
+            b_words = pack_sign_planar(b_kmajor, k_pad_to=k_pad_to)
+            planar = complex_bit_gemm(
+                a_words, b_words, k_valid=self.problem.k, bit_op=self.bit_op or BitOp.XOR
+            )
+            out[i] = planar[0].astype(np.float32) + 1j * planar[1].astype(np.float32)
+        return out
+
+
+def gemm_once(
+    device: Device,
+    precision: Precision,
+    a: np.ndarray,
+    b: np.ndarray,
+    **kwargs,
+) -> GemmResult:
+    """One-shot convenience wrapper: plan from operand shapes and run."""
+    a_arr, _ = ensure_batched(np.asarray(a), 3)
+    b_arr, _ = ensure_batched(np.asarray(b), 3)
+    batch, m, k = a_arr.shape
+    n = b_arr.shape[2]
+    plan = Gemm(device, precision, batch=batch, m=m, n=n, k=k, **kwargs)
+    return plan.run(a_arr, b_arr)

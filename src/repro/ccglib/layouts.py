@@ -1,0 +1,108 @@
+"""Matrix layout conventions of the ccglib data path.
+
+ccglib separates complex data into planar real/imaginary components
+(paper §VI: kernels "require a transpose of the input data because the
+complex data have to be separated into their real and imaginary
+components, instead of the more usual interleaved storage format").
+
+Host-side (user-facing) formats:
+
+* ``interleaved``: ordinary NumPy ``complex64``/``complex128`` arrays, shape
+  ``(batch, M, K)`` for A and ``(batch, K, N)`` for B;
+* ``planar``: real arrays with a leading complex axis of length 2, shape
+  ``(batch, 2, M, K)`` and ``(batch, 2, K, N)``.
+
+Device-side the GEMM consumes planar data, optionally tiled into
+block-tile-major order by the transpose kernel (see
+:mod:`repro.ccglib.transpose`).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+#: index of the real plane along the complex axis.
+REAL = 0
+#: index of the imaginary plane along the complex axis.
+IMAG = 1
+
+
+class ComplexLayout(enum.Enum):
+    """How complex values are stored in a host array."""
+
+    INTERLEAVED = "interleaved"
+    PLANAR = "planar"
+
+
+class MatrixSide(enum.Enum):
+    """Which GEMM operand a matrix is (decides expected shape)."""
+
+    A = "a"  # (batch, M, K): e.g. beam weights
+    B = "b"  # (batch, K, N): e.g. receiver samples
+    C = "c"  # (batch, M, N): beamformed output
+
+
+def to_planar(array: np.ndarray, dtype=None) -> np.ndarray:
+    """Convert an interleaved complex array to planar layout.
+
+    Input shape ``(..., R, C)`` complex; output shape ``(..., 2, R, C)``
+    real with ``out[..., REAL, :, :]`` the real part. ``dtype`` optionally
+    quantizes the planes (e.g. ``np.float16`` for the 16-bit data path).
+    """
+    array = np.asarray(array)
+    if not np.iscomplexobj(array):
+        raise ShapeError(f"to_planar expects a complex array, got {array.dtype}")
+    planar = np.stack([array.real, array.imag], axis=-3)
+    if dtype is not None:
+        planar = planar.astype(dtype)
+    return planar
+
+
+def to_interleaved(planar: np.ndarray) -> np.ndarray:
+    """Convert a planar array ``(..., 2, R, C)`` back to complex64/128."""
+    planar = np.asarray(planar)
+    if planar.ndim < 3 or planar.shape[-3] != 2:
+        raise ShapeError(
+            f"planar array must have a complex axis of length 2 third-from-last, "
+            f"got shape {planar.shape}"
+        )
+    out_dtype = np.complex128 if planar.dtype == np.float64 else np.complex64
+    return (planar[..., REAL, :, :] + 1j * planar[..., IMAG, :, :].astype(np.float64 if out_dtype == np.complex128 else np.float32)).astype(out_dtype)
+
+
+def ensure_batched(array: np.ndarray, expected_ndim: int) -> tuple[np.ndarray, bool]:
+    """Add a singleton batch axis if ``array`` is one batch item.
+
+    Returns ``(batched_array, had_batch)`` so results can be un-batched.
+    """
+    array = np.asarray(array)
+    if array.ndim == expected_ndim:
+        return array, True
+    if array.ndim == expected_ndim - 1:
+        return array[None, ...], False
+    raise ShapeError(
+        f"expected {expected_ndim}D (batched) or {expected_ndim - 1}D array, "
+        f"got {array.ndim}D with shape {array.shape}"
+    )
+
+
+def validate_planar_pair(a: np.ndarray, b: np.ndarray) -> tuple[int, int, int, int]:
+    """Validate planar GEMM operands and return ``(batch, M, N, K)``.
+
+    ``a``: (batch, 2, M, K); ``b``: (batch, 2, K, N).
+    """
+    if a.ndim != 4 or b.ndim != 4:
+        raise ShapeError(f"expected 4D planar operands, got {a.shape} and {b.shape}")
+    if a.shape[1] != 2 or b.shape[1] != 2:
+        raise ShapeError("planar operands need a complex axis of length 2 at index 1")
+    if a.shape[0] != b.shape[0]:
+        raise ShapeError(f"batch mismatch: {a.shape[0]} vs {b.shape[0]}")
+    if a.shape[3] != b.shape[2]:
+        raise ShapeError(f"K mismatch: A has K={a.shape[3]}, B has K={b.shape[2]}")
+    batch, _, m, k = a.shape
+    n = b.shape[3]
+    return batch, m, n, k

@@ -1,0 +1,123 @@
+"""Packing/unpacking kernels for the 1-bit data path.
+
+"For 1-bit precision, the input data must be packed, i.e. 32 consecutive
+1-bit samples must be stored in a single 32-bit integer. Packing and
+unpacking kernels are provided to handle this. [They] are relatively
+straightforward, and [...] bound by memory bandwidth as they only move data
+around." (paper §III)
+
+The functional implementation quantizes to the sign bit and packs along the
+K axis; the cost model charges the kernel at the device's achievable memory
+bandwidth, reading the full-precision input and writing the 32x smaller
+packed output.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.gpusim.device import Device
+from repro.gpusim.timing import Bound, KernelCost
+from repro.util.bits import (
+    PACK_WORD_BITS,
+    pack_bits,
+    pad_to_words,
+    sign_to_bits,
+    unpack_bits,
+)
+from repro.util.validation import round_up
+
+
+class PackDirection(enum.Enum):
+    """Mirror of ccglib's packing API: forward packs, backward unpacks."""
+
+    PACK = "pack"
+    UNPACK = "unpack"
+
+
+def pack_sign_planar(values_planar: np.ndarray, k_pad_to: int | None = None) -> np.ndarray:
+    """Quantize a planar real array to sign bits and pack the last axis.
+
+    ``values_planar``: (..., K) real values; the sign is kept (>= 0 -> +1).
+    ``k_pad_to`` optionally pads K up to a tensor-core fragment multiple
+    *before* packing; padding bits are binary 0 (decimal -1) per §III-D.
+    Output: (..., W) uint32 with ``W = padded_K / 32``.
+    """
+    values_planar = np.asarray(values_planar)
+    bits = sign_to_bits(values_planar)
+    if k_pad_to is not None:
+        k = bits.shape[-1]
+        if k_pad_to < k:
+            raise ShapeError(f"k_pad_to {k_pad_to} smaller than K {k}")
+        pad = [(0, 0)] * (bits.ndim - 1) + [(0, k_pad_to - k)]
+        bits = np.pad(bits, pad, constant_values=0)
+    bits = pad_to_words(bits, axis=-1, pad_bit=0)
+    return pack_bits(bits, axis=-1)
+
+
+def unpack_sign_planar(words: np.ndarray, k_valid: int) -> np.ndarray:
+    """Unpack packed sign words back to ±1 int8 values (inverse transport)."""
+    bits = unpack_bits(words, axis=-1, count=k_valid)
+    return (bits.astype(np.int8) * 2 - 1)
+
+
+def packing_cost(
+    device: Device,
+    n_values: int,
+    input_bytes_per_value: float,
+    direction: PackDirection = PackDirection.PACK,
+) -> KernelCost:
+    """Analytic cost of a packing/unpacking kernel launch.
+
+    Pure data movement: reads ``n_values`` at the input element size and
+    writes one bit per value (or vice versa for unpacking). Runs at the
+    device's achievable DRAM bandwidth (paper: "bound by memory bandwidth").
+    """
+    spec = device.spec
+    full_bytes = n_values * input_bytes_per_value
+    packed_bytes = round_up(int(n_values), PACK_WORD_BITS) / 8.0
+    dram_bytes = full_bytes + packed_bytes
+    bw = spec.mem_bandwidth_bytes() * spec.mem_efficiency
+    time_s = dram_bytes / bw + spec.kernel_launch_overhead_s
+    power = device.power.kernel_power(
+        precision=None,
+        tensor_utilization=0.0,
+        dram_utilization=min(1.0, (dram_bytes / max(time_s, 1e-12)) / spec.mem_bandwidth_bytes()),
+        smem_utilization=0.0,
+    )
+    return KernelCost(
+        name=f"{direction.value}_bits",
+        time_s=time_s,
+        useful_ops=float(n_values),
+        issued_ops=float(n_values),
+        dram_bytes=dram_bytes,
+        smem_bytes=0.0,
+        bound=Bound.MEMORY,
+        power_w=power.total_w,
+        energy_j=power.total_w * time_s,
+        detail={"n_values": float(n_values)},
+    )
+
+
+def run_pack_kernel(
+    device: Device,
+    values_planar: np.ndarray | None,
+    n_values: int,
+    input_bytes_per_value: float,
+    k_pad_to: int | None = None,
+) -> tuple[np.ndarray | None, KernelCost]:
+    """Execute the packing kernel on a device (functional or dry-run).
+
+    Returns ``(packed_words_or_None, cost)`` and records the launch on the
+    device timeline. Passing ``values_planar=None`` records the cost only
+    (used when a higher-level functional path performs the quantization
+    itself).
+    """
+    cost = packing_cost(device, n_values, input_bytes_per_value, PackDirection.PACK)
+    device.record_kernel(cost)
+    if device.is_functional and values_planar is not None:
+        return pack_sign_planar(values_planar, k_pad_to=k_pad_to), cost
+    return None, cost

@@ -1,0 +1,15 @@
+"""cudapeak reproduction: tensor-core peak micro-benchmarks (paper Table I)."""
+
+from repro.cudapeak.microbench import (
+    MicrobenchResult,
+    run_microbenchmark,
+    run_table1,
+    functional_fragment_check,
+)
+
+__all__ = [
+    "MicrobenchResult",
+    "run_microbenchmark",
+    "run_table1",
+    "functional_fragment_check",
+]

@@ -1,0 +1,57 @@
+"""Tuning result cache.
+
+Kernel Tuner persists evaluated configurations so repeated tuning runs (and
+crash recovery) skip known points. We reproduce a JSON-file cache keyed by
+(device, precision, problem shape, configuration).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.kerneltuner.space import Config
+
+
+def _key(device: str, precision: str, problem_key: str, config: Config) -> str:
+    cfg = ",".join(f"{k}={config[k]}" for k in sorted(config))
+    return f"{device}|{precision}|{problem_key}|{cfg}"
+
+
+@dataclass
+class TuningCache:
+    """In-memory cache with optional JSON persistence."""
+
+    path: Path | None = None
+    _entries: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.path is not None:
+            self.path = Path(self.path)
+            if self.path.exists():
+                self._entries = json.loads(self.path.read_text())
+
+    def get(
+        self, device: str, precision: str, problem_key: str, config: Config
+    ) -> dict[str, float] | None:
+        return self._entries.get(_key(device, precision, problem_key, config))
+
+    def put(
+        self,
+        device: str,
+        precision: str,
+        problem_key: str,
+        config: Config,
+        metrics: dict[str, float],
+    ) -> None:
+        self._entries[_key(device, precision, problem_key, config)] = dict(metrics)
+
+    def flush(self) -> None:
+        """Write the cache to disk (no-op for purely in-memory caches)."""
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self.path.write_text(json.dumps(self._entries, indent=1, sort_keys=True))
+
+    def __len__(self) -> int:
+        return len(self._entries)

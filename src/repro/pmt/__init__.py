@@ -1,0 +1,19 @@
+"""Power Measurement Toolkit (PMT) reproduction.
+
+Sensors model the NVML (NVIDIA) and rocm-smi (AMD) power counters over the
+simulated devices; :class:`~repro.pmt.meter.PowerMeter` integrates energy
+between readings, feeding the TOPs/J metrics of Figs 2, 4, 7 and Table III.
+"""
+
+from repro.pmt.sensor import PowerSensor, NVMLSensor, ROCmSMISensor, PowerReading, create_sensor
+from repro.pmt.meter import PowerMeter, PMTState
+
+__all__ = [
+    "PowerSensor",
+    "NVMLSensor",
+    "ROCmSMISensor",
+    "PowerReading",
+    "create_sensor",
+    "PowerMeter",
+    "PMTState",
+]

@@ -1,0 +1,74 @@
+"""PMT meter API: start/stop measurement around kernel executions.
+
+Mirrors the Power Measurement Toolkit usage pattern::
+
+    meter = PowerMeter(device)
+    begin = meter.read()
+    ...   # launch kernels
+    end = meter.read()
+    joules = meter.joules(begin, end)
+    watts = meter.watts(begin, end)
+
+The paper divides measured throughput "by the average power consumption of
+the GPU during the kernel execution to obtain the number of operations per
+second per Watt, or equivalently the number of operations per Joule"
+(§IV-A); :meth:`PowerMeter.ops_per_joule` implements exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PowerError
+from repro.gpusim.device import Device
+from repro.pmt.sensor import PowerSensor, create_sensor
+
+
+@dataclass(frozen=True)
+class PMTState:
+    """A PMT reading: monotonic timestamp plus cumulative energy."""
+
+    time_s: float
+    energy_j: float
+
+
+class PowerMeter:
+    """Integrating power meter over one simulated device."""
+
+    def __init__(self, device: Device, sensor: PowerSensor | None = None):
+        self.device = device
+        self.sensor = sensor or create_sensor(device)
+        self._origin_s = device.now_s
+
+    def read(self) -> PMTState:
+        """Cumulative energy since meter construction, at device 'now'."""
+        now = self.device.now_s
+        return PMTState(
+            time_s=now,
+            energy_j=self.sensor.integrate_energy(self._origin_s, now),
+        )
+
+    @staticmethod
+    def seconds(begin: PMTState, end: PMTState) -> float:
+        if end.time_s < begin.time_s:
+            raise PowerError("PMT states passed in reverse order")
+        return end.time_s - begin.time_s
+
+    @staticmethod
+    def joules(begin: PMTState, end: PMTState) -> float:
+        return end.energy_j - begin.energy_j
+
+    @classmethod
+    def watts(cls, begin: PMTState, end: PMTState) -> float:
+        dt = cls.seconds(begin, end)
+        if dt <= 0:
+            raise PowerError("zero-length PMT interval")
+        return cls.joules(begin, end) / dt
+
+    @classmethod
+    def ops_per_joule(cls, useful_ops: float, begin: PMTState, end: PMTState) -> float:
+        """The paper's energy-efficiency metric for a measured section."""
+        joules = cls.joules(begin, end)
+        if joules <= 0:
+            raise PowerError("non-positive energy over the measured interval")
+        return useful_ops / joules

@@ -1,0 +1,19 @@
+"""Roofline analysis (paper §IV-B, Fig 3)."""
+
+from repro.roofline.model import (
+    Roofline,
+    RooflinePoint,
+    build_roofline,
+    place_point,
+    is_memory_bound,
+    FIG3_PROBLEMS,
+)
+
+__all__ = [
+    "Roofline",
+    "RooflinePoint",
+    "build_roofline",
+    "place_point",
+    "is_memory_bound",
+    "FIG3_PROBLEMS",
+]

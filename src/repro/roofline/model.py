@@ -1,0 +1,132 @@
+"""Roofline analysis of the GEMM kernels (paper §IV-B, Fig 3).
+
+"To construct the ceiling of the roofline, we use the theoretical memory
+bandwidth of the GPU and the measured peak tensor core throughput (see
+Table I). ... We then use the theoretical amount of bytes transferred to
+and from device memory to calculate the arithmetic intensity."
+
+The ceilings per device are therefore:
+
+* the DRAM bandwidth slope (theoretical bandwidth);
+* the *measured* tensor-core peak for float16 and (NVIDIA) int1, i.e. the
+  cudapeak micro-benchmark values, which already fold in sustained clocks
+  and the Hopper WMMA factor;
+* the float32 peak of the normal cores, drawn for comparison ("in all cases
+  except the small matrix size on the workstation-grade GPUs, ccglib is
+  faster than the theoretical maximum of the normal single-precision
+  cores").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ccglib.perfmodel import GemmProblem, theoretical_min_bytes
+from repro.ccglib.precision import Precision
+from repro.cudapeak.microbench import run_microbenchmark
+from repro.gpusim.arch import FRAG_FLOAT16_16x16x16, FRAG_INT1_16x8x256, BitOp
+from repro.gpusim.specs import GPUSpec
+from repro.gpusim.timing import KernelCost
+from repro.util.units import tera
+
+
+@dataclass(frozen=True)
+class Roofline:
+    """The ceilings of one device."""
+
+    gpu: str
+    mem_bandwidth_bytes: float
+    peaks_ops: dict[str, float]  # ceiling name -> ops/s
+
+    def attainable(self, ceiling: str, arithmetic_intensity: float) -> float:
+        """min(peak, AI * bandwidth): the classic roofline bound."""
+        return min(self.peaks_ops[ceiling], arithmetic_intensity * self.mem_bandwidth_bytes)
+
+    def ridge_point(self, ceiling: str) -> float:
+        """AI at which the kernel turns compute-bound under this ceiling."""
+        return self.peaks_ops[ceiling] / self.mem_bandwidth_bytes
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One measured kernel placed on the roofline."""
+
+    gpu: str
+    precision: Precision
+    label: str
+    arithmetic_intensity: float
+    achieved_ops: float
+    attainable_ops: float
+    ceiling: str
+    #: True when the roofline bound at this AI is the bandwidth slope
+    #: (AI below the ridge point), i.e. the kernel is memory-bound.
+    memory_bound: bool
+
+    @property
+    def fraction_of_roofline(self) -> float:
+        return self.achieved_ops / self.attainable_ops
+
+
+def build_roofline(spec: GPUSpec) -> Roofline:
+    """Construct the Fig 3 ceilings for one device."""
+    peaks: dict[str, float] = {}
+    fp16 = run_microbenchmark(spec, "float16", FRAG_FLOAT16_16x16x16)
+    peaks["float16 tensor"] = fp16.measured_tops * tera
+    if spec.caps.supports_precision("int1"):
+        op = spec.caps.preferred_bit_op
+        int1 = run_microbenchmark(spec, "int1", FRAG_INT1_16x8x256, op)
+        measured = int1.measured_tops * tera
+        if op is BitOp.AND:
+            # AND needs two instructions per useful op (§III-E); the useful-
+            # ops ceiling is half the instruction throughput.
+            measured /= 2.0
+        peaks["int1 tensor"] = measured
+    peaks["float32"] = spec.fp32_peak_ops()
+    return Roofline(
+        gpu=spec.name,
+        mem_bandwidth_bytes=spec.mem_bandwidth_bytes(),
+        peaks_ops=peaks,
+    )
+
+
+def place_point(
+    spec: GPUSpec,
+    precision: Precision,
+    problem: GemmProblem,
+    cost: KernelCost,
+    label: str,
+) -> RooflinePoint:
+    """Place a measured kernel cost on the device roofline.
+
+    Arithmetic intensity uses the theoretical minimum traffic (read A and B
+    once, write C once), exactly as the paper computes the Fig 3 x-axis.
+    """
+    roofline = build_roofline(spec)
+    ceiling = "int1 tensor" if precision is Precision.INT1 else "float16 tensor"
+    ai = problem.useful_ops() / theoretical_min_bytes(precision, problem)
+    attainable = roofline.attainable(ceiling, ai)
+    return RooflinePoint(
+        gpu=spec.name,
+        precision=precision,
+        label=label,
+        arithmetic_intensity=ai,
+        achieved_ops=cost.ops_per_second,
+        attainable_ops=attainable,
+        ceiling=ceiling,
+        memory_bound=is_memory_bound(roofline, ceiling, ai),
+    )
+
+
+def is_memory_bound(roofline: Roofline, ceiling: str, ai: float) -> bool:
+    """Whether a kernel at arithmetic intensity ``ai`` sits on the slope."""
+    return ai < roofline.ridge_point(ceiling)
+
+
+#: The four Fig 3 benchmark shapes: "for both the 16-bit and 1-bit kernels,
+#: we then select a small and large matrix size" (§IV-B).
+FIG3_PROBLEMS: dict[tuple[Precision, str], GemmProblem] = {
+    (Precision.FLOAT16, "small"): GemmProblem(batch=256, m=1024, n=1024, k=64),
+    (Precision.FLOAT16, "big"): GemmProblem(batch=1, m=8192, n=8192, k=8192),
+    (Precision.INT1, "small"): GemmProblem(batch=256, m=1024, n=1024, k=256),
+    (Precision.INT1, "big"): GemmProblem(batch=1, m=32768, n=8192, k=524288),
+}

@@ -1,0 +1,129 @@
+"""Bit-level helpers for the 1-bit tensor-core data path.
+
+The paper stores 1-bit samples packed 32-per-word ("32 consecutive 1-bit
+samples must be stored in a single 32-bit integer", §III). The encoding maps
+the sign of a real number to one bit: binary 1 represents +1 and binary 0
+represents -1 (Fig. 1 of the paper). Zero is not representable.
+
+Packing order
+-------------
+Within one 32-bit word, sample ``i`` (0-based, counted along the packed axis)
+occupies bit position ``31 - (i % 32)``: the first sample lands in the most
+significant bit. This matches the big-endian bit order used by the CUDA
+``b1`` fragments and keeps lexicographic sample order equal to numeric word
+order, which the transpose kernel relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+#: Number of 1-bit samples stored per packed 32-bit word.
+PACK_WORD_BITS = 32
+
+# Lookup table fallback for popcount on platforms without np.bitwise_count.
+_POPCNT8 = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+
+def popcount(words: np.ndarray) -> np.ndarray:
+    """Population count of each element of an unsigned integer array.
+
+    Uses :func:`numpy.bitwise_count` when available (NumPy >= 2.0) and an
+    8-bit lookup table otherwise. The return dtype is ``int64`` so that
+    accumulating popcounts over the K axis of a large GEMM cannot overflow.
+    """
+    words = np.asarray(words)
+    if not np.issubdtype(words.dtype, np.unsignedinteger):
+        raise ShapeError(f"popcount requires an unsigned integer array, got {words.dtype}")
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(words).astype(np.int64)
+    as_bytes = words.reshape(-1).view(np.uint8)
+    counts = _POPCNT8[as_bytes].reshape(words.shape + (words.dtype.itemsize,))
+    return counts.sum(axis=-1, dtype=np.int64)
+
+
+def sign_to_bits(values: np.ndarray) -> np.ndarray:
+    """Map real values to the 1-bit encoding: >= 0 -> 1 (i.e. +1), < 0 -> 0 (-1).
+
+    The paper quantizes by "only keeping the sign of the signal" (§V-A). The
+    convention for exact zero follows the hardware comparison used in the
+    CUDA packing kernel: ``x >= 0`` maps to binary one.
+    """
+    return (np.asarray(values) >= 0).astype(np.uint8)
+
+
+def bits_to_sign(bits: np.ndarray, dtype=np.int8) -> np.ndarray:
+    """Map the 1-bit encoding back to ±1 values (1 -> +1, 0 -> -1)."""
+    bits = np.asarray(bits)
+    return (bits.astype(np.int8) * 2 - 1).astype(dtype)
+
+
+def pack_bits(bits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Pack an array of {0,1} samples along ``axis`` into uint32 words.
+
+    ``axis`` must have a length that is a multiple of 32; callers pad first
+    (the GEMM layer pads with binary 0, i.e. decimal -1, per paper §III-D).
+    The first sample of each 32-group becomes the most significant bit.
+    """
+    bits = np.asarray(bits)
+    axis = axis % bits.ndim
+    n = bits.shape[axis]
+    if n % PACK_WORD_BITS != 0:
+        raise ShapeError(
+            f"packed axis length {n} is not a multiple of {PACK_WORD_BITS}; pad first"
+        )
+    moved = np.moveaxis(bits, axis, -1)
+    grouped = moved.reshape(moved.shape[:-1] + (n // PACK_WORD_BITS, PACK_WORD_BITS))
+    # np.packbits packs 8 bits per byte MSB-first; view 4 consecutive bytes as
+    # one big-endian uint32 so sample order matches bit significance.
+    packed_bytes = np.packbits(grouped.astype(np.uint8), axis=-1, bitorder="big")
+    words = packed_bytes.view(">u4")[..., 0].astype(np.uint32)
+    return np.moveaxis(words, -1, axis)
+
+
+def unpack_bits(words: np.ndarray, axis: int = -1, count: int | None = None) -> np.ndarray:
+    """Inverse of :func:`pack_bits`: expand uint32 words into {0,1} samples.
+
+    ``count`` optionally trims the unpacked axis to the original (pre-padding)
+    number of samples.
+    """
+    words = np.asarray(words)
+    if words.dtype != np.uint32:
+        raise ShapeError(f"unpack_bits expects uint32 words, got {words.dtype}")
+    axis = axis % words.ndim
+    moved = np.moveaxis(words, axis, -1)
+    as_bytes = moved[..., None].astype(">u4").view(np.uint8)
+    bits = np.unpackbits(as_bytes, axis=-1, bitorder="big")
+    flat = bits.reshape(moved.shape[:-1] + (moved.shape[-1] * PACK_WORD_BITS,))
+    if count is not None:
+        if count > flat.shape[-1]:
+            raise ShapeError(f"count {count} exceeds unpacked length {flat.shape[-1]}")
+        flat = flat[..., :count]
+    return np.moveaxis(flat, -1, axis)
+
+
+def packed_length(n: int) -> int:
+    """Number of uint32 words needed to store ``n`` 1-bit samples."""
+    return -(-n // PACK_WORD_BITS)
+
+
+def pad_to_words(bits: np.ndarray, axis: int = -1, pad_bit: int = 0) -> np.ndarray:
+    """Pad a {0,1} array along ``axis`` up to a multiple of 32 samples.
+
+    The default ``pad_bit=0`` encodes decimal -1, matching the padding
+    convention of the 1-bit GEMM (paper §III-D: "we set the padded region to
+    binary 0, which corresponds to decimal -1").
+    """
+    bits = np.asarray(bits)
+    axis = axis % bits.ndim
+    n = bits.shape[axis]
+    target = packed_length(n) * PACK_WORD_BITS
+    if target == n:
+        return bits
+    pad_width = [(0, 0)] * bits.ndim
+    pad_width[axis] = (0, target - n)
+    return np.pad(bits, pad_width, constant_values=pad_bit)

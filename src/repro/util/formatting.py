@@ -1,0 +1,195 @@
+"""ASCII table and plot rendering for benchmark reports.
+
+The benchmark harness regenerates the paper's tables and figures as text:
+tables are rendered with aligned columns, figures as ASCII scatter/line plots
+plus the underlying series dumped as CSV so they can be re-plotted elsewhere.
+No plotting library is required (the environment is offline).
+"""
+
+from __future__ import annotations
+
+import io
+import math
+from collections.abc import Iterable, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    float_fmt: str = "{:.3g}",
+) -> str:
+    """Render a monospace table with a header rule, similar to the paper's tables."""
+    str_rows: list[list[str]] = []
+    for row in rows:
+        rendered = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_fmt.format(cell))
+            else:
+                rendered.append(str(cell))
+        str_rows.append(rendered)
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    header_line = fmt_row(list(headers))
+    out.write(header_line + "\n")
+    out.write("-+-".join("-" * w for w in widths) + "\n")
+    for row in str_rows:
+        out.write(fmt_row(row) + "\n")
+    return out.getvalue()
+
+
+def render_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Minimal CSV writer (no quoting needs arise for our numeric tables)."""
+    lines = [",".join(headers)]
+    for row in rows:
+        lines.append(",".join(repr(c) if isinstance(c, float) else str(c) for c in row))
+    return "\n".join(lines) + "\n"
+
+
+def ascii_scatter(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 64,
+    height: int = 18,
+    xlabel: str = "x",
+    ylabel: str = "y",
+    title: str | None = None,
+    logx: bool = False,
+    logy: bool = False,
+    marker: str = "o",
+) -> str:
+    """Render points as an ASCII scatter plot.
+
+    Used to give an at-a-glance view of figure reproductions (Fig 2 tuning
+    clouds, Fig 4 sawtooth curves, Fig 5 fps curves) directly in terminal
+    output; the exact series are emitted separately as CSV.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    pts = [(x, y) for x, y in zip(xs, ys) if _finite(x, logx) and _finite(y, logy)]
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    if not pts:
+        out.write("(no data)\n")
+        return out.getvalue()
+
+    def tx(v: float) -> float:
+        return math.log10(v) if logx else v
+
+    def ty(v: float) -> float:
+        return math.log10(v) if logy else v
+
+    xs_t = [tx(x) for x, _ in pts]
+    ys_t = [ty(y) for _, y in pts]
+    x_lo, x_hi = min(xs_t), max(xs_t)
+    y_lo, y_hi = min(ys_t), max(ys_t)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs_t, ys_t):
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+        grid[row][col] = marker
+    y_hi_label = f"{_inv(y_hi, logy):.3g}"
+    y_lo_label = f"{_inv(y_lo, logy):.3g}"
+    margin = max(len(y_hi_label), len(y_lo_label))
+    for i, line in enumerate(grid):
+        if i == 0:
+            label = y_hi_label.rjust(margin)
+        elif i == height - 1:
+            label = y_lo_label.rjust(margin)
+        else:
+            label = " " * margin
+        out.write(f"{label} |{''.join(line)}|\n")
+    out.write(" " * margin + " +" + "-" * width + "+\n")
+    x_lo_label = f"{_inv(x_lo, logx):.3g}"
+    x_hi_label = f"{_inv(x_hi, logx):.3g}"
+    pad = width - len(x_lo_label) - len(x_hi_label)
+    out.write(" " * (margin + 2) + x_lo_label + " " * max(pad, 1) + x_hi_label + "\n")
+    out.write(" " * (margin + 2) + f"{xlabel}  (y: {ylabel})\n")
+    return out.getvalue()
+
+
+def ascii_series(
+    series: dict[str, tuple[Sequence[float], Sequence[float]]],
+    width: int = 64,
+    height: int = 18,
+    xlabel: str = "x",
+    ylabel: str = "y",
+    title: str | None = None,
+    logx: bool = False,
+    logy: bool = False,
+) -> str:
+    """Overlay several named series on one ASCII plot, one marker per series."""
+    markers = "ox+*#@%&$~"
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    all_pts: list[tuple[float, float, str]] = []
+    legend: list[str] = []
+    for idx, (name, (xs, ys)) in enumerate(series.items()):
+        marker = markers[idx % len(markers)]
+        legend.append(f"{marker}={name}")
+        for x, y in zip(xs, ys):
+            if _finite(x, logx) and _finite(y, logy):
+                all_pts.append((x, y, marker))
+    if not all_pts:
+        out.write("(no data)\n")
+        return out.getvalue()
+
+    def tx(v: float) -> float:
+        return math.log10(v) if logx else v
+
+    def ty(v: float) -> float:
+        return math.log10(v) if logy else v
+
+    xs_t = [tx(p[0]) for p in all_pts]
+    ys_t = [ty(p[1]) for p in all_pts]
+    x_lo, x_hi = min(xs_t), max(xs_t)
+    y_lo, y_hi = min(ys_t), max(ys_t)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for (x, y, marker), xt, yt in zip(all_pts, xs_t, ys_t):
+        col = int((xt - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((yt - y_lo) / y_span * (height - 1))
+        grid[row][col] = marker
+    y_hi_label = f"{_inv(y_hi, logy):.3g}"
+    y_lo_label = f"{_inv(y_lo, logy):.3g}"
+    margin = max(len(y_hi_label), len(y_lo_label))
+    for i, line in enumerate(grid):
+        if i == 0:
+            label = y_hi_label.rjust(margin)
+        elif i == height - 1:
+            label = y_lo_label.rjust(margin)
+        else:
+            label = " " * margin
+        out.write(f"{label} |{''.join(line)}|\n")
+    out.write(" " * margin + " +" + "-" * width + "+\n")
+    x_lo_label = f"{_inv(x_lo, logx):.3g}"
+    x_hi_label = f"{_inv(x_hi, logx):.3g}"
+    pad = width - len(x_lo_label) - len(x_hi_label)
+    out.write(" " * (margin + 2) + x_lo_label + " " * max(pad, 1) + x_hi_label + "\n")
+    out.write(" " * (margin + 2) + f"{xlabel}  (y: {ylabel})   " + "  ".join(legend) + "\n")
+    return out.getvalue()
+
+
+def _finite(v: float, log: bool) -> bool:
+    if not math.isfinite(v):
+        return False
+    return v > 0 if log else True
+
+
+def _inv(v: float, log: bool) -> float:
+    return 10**v if log else v

@@ -1,0 +1,184 @@
+"""Ultrasound substrate: geometry, acoustics, model matrix, phantom."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.apps.ultrasound.acoustics import PulseSpectrum, greens_function, pulse_echo_response
+from repro.apps.ultrasound.array_geometry import (
+    CodedAperture,
+    TransducerArray,
+    TransmissionScheme,
+    VoxelGrid,
+    SPEED_OF_SOUND,
+)
+from repro.apps.ultrasound.model_matrix import (
+    ImagingConfig,
+    build_model_matrix,
+    paper_scale_config,
+    recorded_dataset_config,
+)
+from repro.apps.ultrasound.phantom import grow_vessel_tree, make_phantom
+from repro.errors import ShapeError
+
+
+class TestGeometry:
+    def test_array_positions(self):
+        arr = TransducerArray(n_x=4, n_y=2, pitch_m=1e-3)
+        pos = arr.positions()
+        assert pos.shape == (8, 3)
+        assert np.allclose(pos.mean(axis=0), 0.0)  # centred
+        assert np.all(pos[:, 2] == 0.0)  # in the z=0 plane
+
+    def test_voxel_grid(self):
+        grid = VoxelGrid(shape=(4, 3, 2), spacing_m=1e-3, origin_m=(0, 0, 5e-3))
+        pos = grid.positions()
+        assert pos.shape == (24, 3)
+        assert pos[:, 2].min() == pytest.approx(5e-3)
+
+    def test_grid_volume_roundtrip(self):
+        grid = VoxelGrid(shape=(4, 3, 2))
+        flat = np.arange(grid.n_voxels, dtype=float)
+        vol = grid.to_volume(flat)
+        assert vol.shape == (2, 3, 4)
+        assert vol[0, 0, 1] == 1.0  # x-fastest ordering
+
+    def test_grid_wrong_size(self):
+        with pytest.raises(ShapeError):
+            VoxelGrid(shape=(2, 2, 2)).to_volume(np.zeros(9))
+
+
+class TestCodedAperture:
+    def test_deterministic(self):
+        arr = TransducerArray(4, 4)
+        grid = VoxelGrid(shape=(3, 3, 3))
+        mask = CodedAperture(n_elements=16)
+        d1 = mask.delays(arr.positions(), grid.positions())
+        d2 = mask.delays(arr.positions(), grid.positions())
+        assert np.array_equal(d1, d2)
+        assert d1.shape == (16, 27)
+
+    def test_rms_scale(self):
+        arr = TransducerArray(8, 8)
+        grid = VoxelGrid(shape=(8, 8, 8))
+        mask = CodedAperture(n_elements=64, delay_rms_s=1e-7)
+        d = mask.delays(arr.positions(), grid.positions())
+        assert 0.3e-7 < d.std() < 3e-7
+
+    def test_element_count_checked(self):
+        mask = CodedAperture(n_elements=4)
+        with pytest.raises(ShapeError):
+            mask.delays(np.zeros((5, 3)), np.ones((2, 3)))
+
+
+class TestAcoustics:
+    def test_greens_amplitude_decay(self):
+        f = np.array([5e6])
+        src = np.zeros((1, 3))
+        near = np.array([[0, 0, 1e-3]])
+        far = np.array([[0, 0, 2e-3]])
+        g_near = np.abs(greens_function(f, src, near))[0, 0, 0]
+        g_far = np.abs(greens_function(f, src, far))[0, 0, 0]
+        assert g_near / g_far == pytest.approx(2.0, rel=1e-3)
+
+    def test_greens_phase_velocity(self):
+        f = np.array([1e6])
+        src = np.zeros((1, 3))
+        dst = np.array([[0, 0, SPEED_OF_SOUND / 1e6]])  # exactly one wavelength
+        g = greens_function(f, src, dst)[0, 0, 0]
+        assert np.angle(g) == pytest.approx(0.0, abs=1e-3)
+
+    def test_spectrum_peak_at_centre(self):
+        spec = PulseSpectrum(centre_hz=5e6)
+        freqs = spec.frequencies(11)
+        amps = spec.amplitude(freqs)
+        assert amps.argmax() == 5  # symmetric grid -> middle bin
+        assert amps.max() == pytest.approx(1.0)
+
+    def test_pulse_echo_shape(self):
+        arr = TransducerArray(2, 2)
+        grid = VoxelGrid(shape=(2, 2, 2))
+        codes = TransmissionScheme(3, 4).codes()
+        h = pulse_echo_response(
+            np.array([4e6, 5e6]), arr.positions(), grid.positions(), codes
+        )
+        assert h.shape == (2, 4, 3, 8)
+        assert h.dtype == np.complex64
+
+
+class TestModelMatrix:
+    def test_row_count(self):
+        cfg = ImagingConfig(
+            array=TransducerArray(2, 2), grid=VoxelGrid(shape=(3, 3, 2)),
+            n_frequencies=5, n_transmissions=3,
+        )
+        model = build_model_matrix(cfg)
+        assert model.data.shape == (5 * 4 * 3, 18)
+        assert model.k == cfg.n_rows
+
+    def test_matched_filter_unit_rows(self):
+        cfg = ImagingConfig(
+            array=TransducerArray(2, 2), grid=VoxelGrid(shape=(2, 2, 2)),
+            n_frequencies=4, n_transmissions=2,
+        )
+        filt = build_model_matrix(cfg).matched_filter()
+        norms = np.linalg.norm(filt, axis=1)
+        assert np.allclose(norms, 1.0, atol=1e-5)
+
+    def test_voxel_signatures_distinct(self):
+        # The coded aperture must decorrelate voxel signatures: the Gram
+        # matrix of normalized columns stays well below 1 off-diagonal
+        # on average.
+        cfg = ImagingConfig(
+            array=TransducerArray(4, 4), grid=VoxelGrid(shape=(4, 4, 3)),
+            n_frequencies=8, n_transmissions=4,
+        )
+        h = build_model_matrix(cfg).data
+        hn = h / np.linalg.norm(h, axis=0, keepdims=True)
+        gram = np.abs(hn.conj().T @ hn)
+        np.fill_diagonal(gram, 0.0)
+        assert gram.mean() < 0.3
+
+    def test_paper_scale_shapes(self):
+        cfg = paper_scale_config()
+        assert cfg.n_rows == 262144  # 128 * 64 * 32
+        assert cfg.n_voxels == 128**3
+        rec = recorded_dataset_config()
+        assert rec.n_rows == 524288  # 128 * 64 * 64
+        assert rec.n_voxels == 38880
+
+
+class TestPhantom:
+    def test_tree_is_a_tree(self):
+        tree = grow_vessel_tree(VoxelGrid(shape=(16, 16, 16)), n_generations=3)
+        assert nx.is_tree(tree.to_undirected())
+        assert tree.number_of_nodes() == 1 + 2 + 4 + 8
+
+    def test_radii_and_speeds_shrink(self):
+        tree = grow_vessel_tree(VoxelGrid(shape=(8, 8, 8)), n_generations=3)
+        for u, v in tree.edges:
+            assert tree.nodes[v]["radius"] < tree.nodes[u]["radius"]
+            assert tree.nodes[v]["speed"] < tree.nodes[u]["speed"]
+
+    def test_phantom_fields(self):
+        grid = VoxelGrid(shape=(10, 10, 8))
+        phantom = make_phantom(grid, n_generations=3)
+        assert phantom.blood_amplitude.shape == (grid.n_voxels,)
+        assert 0 < phantom.n_blood_voxels < grid.n_voxels / 2
+        # flow only inside vessels
+        assert np.all((phantom.flow_speed > 0) == (phantom.blood_amplitude > 0))
+
+    def test_tissue_dominates_blood(self):
+        phantom = make_phantom(VoxelGrid(shape=(8, 8, 8)), tissue_to_blood_db=30.0)
+        blood_level = phantom.blood_amplitude[phantom.blood_amplitude > 0].mean()
+        tissue_level = phantom.tissue_amplitude.mean()
+        ratio_db = 20 * np.log10(tissue_level / blood_level)
+        assert 24.0 < ratio_db < 36.0
+
+    def test_deterministic(self):
+        grid = VoxelGrid(shape=(6, 6, 6))
+        p1 = make_phantom(grid, seed=3)
+        p2 = make_phantom(grid, seed=3)
+        assert np.array_equal(p1.blood_amplitude, p2.blood_amplitude)

@@ -1,0 +1,23 @@
+"""Benchmark CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "fig7" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_single_experiment_writes_output(self, tmp_path, capsys):
+        assert main(["table1", "--outdir", str(tmp_path)]) == 0
+        assert (tmp_path / "table1.txt").exists()
+        assert "Table I" in capsys.readouterr().out

@@ -1,0 +1,103 @@
+"""Complex MMA decomposition (paper §III-B 5-step schedule)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ccglib.complex_mma import (
+    complex_mma_f16,
+    complex_mma_f16_naive,
+    reference_complex_gemm,
+)
+from repro.errors import ShapeError
+
+
+def _planar(z: np.ndarray) -> np.ndarray:
+    return np.stack([z.real, z.imag]).astype(np.float32)
+
+
+@st.composite
+def complex_tile(draw):
+    m = draw(st.integers(1, 12))
+    k = draw(st.integers(1, 24))
+    n = draw(st.integers(1, 12))
+    seed = draw(st.integers(0, 2**31))
+    rng = np.random.default_rng(seed)
+    a = (rng.normal(size=(m, k)) + 1j * rng.normal(size=(m, k))).astype(np.complex64)
+    b = (rng.normal(size=(k, n)) + 1j * rng.normal(size=(k, n))).astype(np.complex64)
+    return a, b
+
+
+class TestFiveStepSchedule:
+    @given(complex_tile())
+    def test_matches_reference_within_fp16_tolerance(self, ab):
+        a, b = ab
+        got = complex_mma_f16(_planar(a), _planar(b))
+        want = reference_complex_gemm(a, b)
+        got_c = got[0] + 1j * got[1]
+        # float16 inputs: relative error bounded by ~2^-10 per element times
+        # accumulation; loose but meaningful bound.
+        scale = max(np.abs(want).max(), 1e-3)
+        assert np.abs(got_c - want).max() / scale < 5e-2
+
+    @given(complex_tile())
+    def test_naive_equals_fused(self, ab):
+        # The register-negation trick changes scheduling, not results:
+        # fp16 negation is exact.
+        a, b = ab
+        fused = complex_mma_f16(_planar(a), _planar(b))
+        naive = complex_mma_f16_naive(_planar(a), _planar(b))
+        assert np.allclose(fused, naive, rtol=1e-6, atol=1e-6)
+
+    def test_accumulation(self, rng):
+        a = (rng.normal(size=(4, 8)) + 1j * rng.normal(size=(4, 8))).astype(np.complex64)
+        b = (rng.normal(size=(8, 4)) + 1j * rng.normal(size=(8, 4))).astype(np.complex64)
+        base = complex_mma_f16(_planar(a), _planar(b))
+        acc = complex_mma_f16(_planar(a), _planar(b), base.copy())
+        assert np.allclose(acc, 2 * base, rtol=1e-6)
+
+    def test_pure_real_inputs(self, rng):
+        a = rng.normal(size=(3, 5)).astype(np.complex64)
+        b = rng.normal(size=(5, 2)).astype(np.complex64)
+        out = complex_mma_f16(_planar(a), _planar(b))
+        # real x real: imaginary component exactly zero.
+        assert np.all(out[1] == 0)
+
+    def test_pure_imaginary_inputs(self, rng):
+        a = (1j * rng.normal(size=(3, 5))).astype(np.complex64)
+        b = (1j * rng.normal(size=(5, 2))).astype(np.complex64)
+        out = complex_mma_f16(_planar(a), _planar(b))
+        # i*x * i*y = -x*y: purely real and negative-definite structure.
+        assert np.all(out[1] == 0)
+        ref = -(a.imag.astype(np.float16).astype(np.float32)
+                @ b.imag.astype(np.float16).astype(np.float32))
+        assert np.allclose(out[0], ref, rtol=1e-6)
+
+    def test_output_dtype_float32(self, rng):
+        a = rng.normal(size=(2, 2)).astype(np.complex64)
+        out = complex_mma_f16(_planar(a), _planar(a))
+        assert out.dtype == np.float32
+
+    def test_shape_errors(self):
+        with pytest.raises(ShapeError):
+            complex_mma_f16(np.zeros((3, 2, 2)), np.zeros((2, 2, 2)))
+        with pytest.raises(ShapeError):
+            complex_mma_f16(np.zeros((2, 2, 2)), np.zeros((2, 2, 2)),
+                            np.zeros((2, 3, 3), dtype=np.float32))
+
+    def test_fp32_accumulation_beats_fp16_accumulation(self, rng):
+        # Long-K sums: fp32 accumulators (the tensor-core mode) must be far
+        # more accurate than doing everything in fp16.
+        k = 2048
+        a = (rng.normal(size=(1, k)) + 1j * rng.normal(size=(1, k))).astype(np.complex64)
+        b = (rng.normal(size=(k, 1)) + 1j * rng.normal(size=(k, 1))).astype(np.complex64)
+        ref = reference_complex_gemm(a, b)[0, 0]
+        got = complex_mma_f16(_planar(a), _planar(b))
+        got_c = got[0, 0, 0] + 1j * got[1, 0, 0]
+        all_fp16 = (a.astype(np.complex64).real.astype(np.float16).astype(np.float16) @
+                    b.real.astype(np.float16)).astype(np.float32)
+        # sanity: our error is small relative to the magnitude of the sum
+        assert abs(got_c - ref) / max(abs(ref), 1.0) < 0.05

@@ -1,0 +1,89 @@
+"""Packing kernels: sign quantization, padding, cost model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ccglib.packing import (
+    PackDirection,
+    pack_sign_planar,
+    packing_cost,
+    run_pack_kernel,
+    unpack_sign_planar,
+)
+from repro.errors import ShapeError
+from repro.gpusim.device import Device, ExecutionMode
+from repro.gpusim.timing import Bound
+
+
+class TestPackSign:
+    @given(st.integers(1, 4), st.integers(1, 100), st.integers(0, 2**31))
+    def test_roundtrip_signs(self, rows, k, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(size=(rows, k)).astype(np.float32)
+        values[values == 0] = 1.0
+        packed = pack_sign_planar(values)
+        signs = unpack_sign_planar(packed, k)
+        assert np.array_equal(signs, np.where(values >= 0, 1, -1).astype(np.int8))
+
+    def test_k_pad_to(self):
+        values = np.ones((1, 10), dtype=np.float32)
+        packed = pack_sign_planar(values, k_pad_to=256)
+        assert packed.shape == (1, 8)  # 256 bits = 8 words
+
+    def test_k_pad_too_small(self):
+        with pytest.raises(ShapeError):
+            pack_sign_planar(np.ones((1, 10)), k_pad_to=5)
+
+    def test_padding_bits_are_zero(self):
+        packed = pack_sign_planar(np.ones((1, 1), dtype=np.float32), k_pad_to=64)
+        # first bit 1 (MSB of word 0), everything else 0 (= decimal -1).
+        assert packed[0, 0] == 0x80000000
+        assert packed[0, 1] == 0
+
+
+class TestPackingCost:
+    def test_memory_bound(self, a100_device):
+        cost = packing_cost(a100_device, 10**8, 4.0)
+        assert cost.bound is Bound.MEMORY
+        assert cost.dram_bytes > 4e8
+
+    def test_scales_with_values(self, a100_device):
+        # Not exactly 100x: the fixed launch overhead dilutes small packs.
+        small = packing_cost(a100_device, 10**6, 4.0).time_s
+        big = packing_cost(a100_device, 10**8, 4.0).time_s
+        assert 30 * small < big < 100 * small
+
+    def test_bandwidth_sanity(self, a100_device):
+        # Large packs approach the achievable DRAM bandwidth.
+        n = 10**9
+        cost = packing_cost(a100_device, n, 4.0)
+        achieved = cost.dram_bytes / cost.time_s
+        spec = a100_device.spec
+        assert achieved <= spec.mem_bandwidth_bytes() * spec.mem_efficiency + 1
+        assert achieved > 0.9 * spec.mem_bandwidth_bytes() * spec.mem_efficiency
+
+    def test_direction_label(self, a100_device):
+        assert packing_cost(a100_device, 10, 2.0, PackDirection.UNPACK).name == "unpack_bits"
+
+
+class TestRunPackKernel:
+    def test_functional_returns_words(self, a100_device):
+        values = np.ones((2, 3, 32), dtype=np.float32)
+        words, cost = run_pack_kernel(a100_device, values, values.size, 4.0)
+        assert words.shape == (2, 3, 1)
+        assert a100_device.timeline[-1].cost is cost
+
+    def test_cost_only_when_values_none(self, a100_device):
+        words, cost = run_pack_kernel(a100_device, None, 1000, 4.0)
+        assert words is None
+        assert cost.time_s > 0
+
+    def test_dry_run(self):
+        dev = Device("A100", ExecutionMode.DRY_RUN)
+        words, cost = run_pack_kernel(dev, None, 10**6, 2.0)
+        assert words is None
+        assert len(dev.timeline) == 1

@@ -1,0 +1,78 @@
+"""Precision traits and peaks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ccglib.precision import (
+    Precision,
+    complex_ops,
+    require_supported,
+    tensor_peak_ops,
+    traits,
+)
+from repro.errors import UnsupportedPrecisionError
+from repro.gpusim.arch import FRAG_INT1_16x8x256
+from repro.gpusim.specs import get_spec
+
+
+class TestTraits:
+    def test_float16(self):
+        t = traits(Precision.FLOAT16)
+        assert t.input_bytes == 2.0
+        assert t.output_dtype == np.float32
+        assert str(t.default_fragment) == "16x16x16"
+
+    def test_int1_packed(self):
+        t = traits(Precision.INT1)
+        assert t.input_bytes == pytest.approx(1 / 8)
+        assert t.input_dtype == np.uint32
+        assert t.output_dtype == np.int32
+        # Paper §III-A: no reason to use the small layout.
+        assert t.default_fragment == FRAG_INT1_16x8x256
+
+    def test_stage_k_matches_fragment(self):
+        assert traits(Precision.INT1).stage_k == 256
+        assert traits(Precision.FLOAT16).stage_k == 16
+
+
+class TestPeaks:
+    def test_catalog_values(self):
+        assert tensor_peak_ops(get_spec("A100"), Precision.INT1) == pytest.approx(4992e12)
+
+    def test_tf32_half_of_fp16_on_nvidia(self):
+        spec = get_spec("GH200")
+        assert tensor_peak_ops(spec, Precision.TF32) == pytest.approx(
+            tensor_peak_ops(spec, Precision.FLOAT16) / 2
+        )
+
+    def test_tf32_on_cdna3_only_for_amd(self):
+        assert tensor_peak_ops(get_spec("MI300X"), Precision.TF32) > 0
+        with pytest.raises(UnsupportedPrecisionError):
+            tensor_peak_ops(get_spec("MI210"), Precision.TF32)
+
+    def test_int1_amd_raises(self):
+        with pytest.raises(Exception):
+            tensor_peak_ops(get_spec("W7700"), Precision.INT1)
+
+
+class TestRequireSupported:
+    def test_experimental_gate(self):
+        with pytest.raises(UnsupportedPrecisionError, match="experimental"):
+            require_supported(get_spec("A100"), Precision.TF32)
+        require_supported(get_spec("A100"), Precision.TF32, experimental_ok=True)
+
+    def test_int1_vendor_gate(self):
+        require_supported(get_spec("AD4000"), Precision.INT1)
+        with pytest.raises(UnsupportedPrecisionError):
+            require_supported(get_spec("MI300A"), Precision.INT1)
+
+
+class TestComplexOps:
+    def test_paper_definition(self):
+        # §IV-A: "the number of useful operations, i.e. 8 x M x N x K".
+        assert complex_ops(1, 8192, 8192, 8192) == pytest.approx(8 * 8192**3)
+
+    def test_batch_scales(self):
+        assert complex_ops(256, 10, 10, 10) == 256 * complex_ops(1, 10, 10, 10)

@@ -1,0 +1,91 @@
+"""Experimental TensorFloat-32 support (paper §VI future work).
+
+"Both NVIDIA and AMD (starting with CDNA3) support tensorfloat32 ...
+Support for these formats is currently available as an experimental
+feature in ccglib."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ccglib.gemm import Gemm
+from repro.ccglib.perfmodel import GemmProblem, model_gemm
+from repro.ccglib.precision import Precision
+from repro.ccglib.tuning import TuneParams
+from repro.errors import UnsupportedPrecisionError
+from repro.gpusim.device import Device
+from repro.gpusim.specs import get_spec
+from tests.conftest import random_complex
+
+TF32_PARAMS = TuneParams(128, 64, 64, 32, 2)
+TF32_PARAMS_AMD = TuneParams(128, 64, 64, 32, 1)
+
+
+class TestTf32Model:
+    def test_half_the_float16_rate_on_nvidia(self):
+        spec = get_spec("A100")
+        problem = GemmProblem(1, 8192, 8192, 8192)
+        tf32 = model_gemm(spec, Precision.TF32, problem, TF32_PARAMS)
+        fp16 = model_gemm(spec, Precision.FLOAT16, problem, TF32_PARAMS)
+        # Half tensor rate, but also 2x the bytes: compute-bound here, so
+        # roughly half the throughput.
+        assert 0.35 < tf32.ops_per_second / fp16.ops_per_second < 0.65
+
+    def test_supported_on_cdna3_not_cdna2(self):
+        problem = GemmProblem(1, 4096, 4096, 4096)
+        cost = model_gemm(get_spec("MI300X"), Precision.TF32, problem, TF32_PARAMS_AMD)
+        assert cost.time_s > 0
+        with pytest.raises(UnsupportedPrecisionError):
+            model_gemm(get_spec("MI210"), Precision.TF32, problem, TF32_PARAMS_AMD)
+
+    def test_gated_behind_experimental_flag(self):
+        with pytest.raises(UnsupportedPrecisionError, match="experimental"):
+            Gemm(Device("A100"), Precision.TF32, 1, 32, 32, 32)
+
+
+class TestTf32Functional:
+    def test_tf32_keeps_float32_range(self, rng):
+        # 70000 overflows float16 but is exactly representable in TF32
+        # range (the paper: "a 19-bit format with the same range as float32
+        # but less precision").
+        dev = Device("A100")
+        a = np.zeros((1, 8, 16), dtype=np.complex64)
+        a[0, 0, 0] = 70000.0
+        b = np.zeros((1, 16, 4), dtype=np.complex64)
+        b[0, 0, 0] = 1.0
+        with np.errstate(over="ignore", invalid="ignore"):  # overflow is the point
+            out16 = Gemm(dev, Precision.FLOAT16, 1, 8, 4, 16).run(a, b).output[0, 0, 0]
+        out32 = Gemm(
+            dev, Precision.TF32, 1, 8, 4, 16, experimental_ok=True
+        ).run(a, b).output[0, 0, 0]
+        assert not np.isfinite(out16.real)  # fp16 overflow (inf/NaN)
+        assert out32.real == pytest.approx(70000.0, rel=1e-3)
+
+    def test_tf32_matches_fp16_precision_in_range(self, rng):
+        # TF32 and float16 share the 10-bit mantissa; for unit-scale values
+        # the two paths agree to quantization error — TF32's advantage is
+        # range, not precision (only rounding tie-breaks differ).
+        dev = Device("A100")
+        a = random_complex(rng, (1, 16, 64))
+        b = random_complex(rng, (1, 64, 16))
+        ref = a.astype(np.complex128) @ b.astype(np.complex128)
+        out16 = Gemm(dev, Precision.FLOAT16, 1, 16, 16, 64).run(a, b).output
+        out32 = Gemm(dev, Precision.TF32, 1, 16, 16, 64,
+                     experimental_ok=True).run(a, b).output
+        err16 = np.abs(out16 - ref).max()
+        err32 = np.abs(out32 - ref).max()
+        assert err32 < 1.5 * err16
+        assert err16 < 1.5 * err32
+
+    def test_tf32_quantization_rounds_mantissa(self):
+        from repro.gpusim.tensorcore import quantize_tf32
+
+        # 1 + 2^-11 rounds to 1 + 2^-10 or 1 under TF32 (10-bit mantissa).
+        v = np.float32(1.0 + 2.0**-11)
+        q = float(quantize_tf32(np.array([v]))[0])
+        assert q in (1.0, float(np.float32(1.0 + 2.0**-10)))
+        # exactly representable values survive unchanged
+        exact = np.float32(1.5)
+        assert float(quantize_tf32(np.array([exact]))[0]) == 1.5

@@ -1,0 +1,66 @@
+"""cudapeak micro-benchmarks vs paper Table I."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.table1 import PAPER_TABLE1
+from repro.cudapeak.microbench import (
+    TABLE1_BENCHMARKS,
+    functional_fragment_check,
+    run_microbenchmark,
+    run_table1,
+)
+from repro.errors import UnsupportedPrecisionError
+from repro.gpusim.arch import (
+    BitOp,
+    FRAG_FLOAT16_16x16x16,
+    FRAG_INT1_16x8x256,
+    FRAG_INT1_8x8x128,
+)
+from repro.gpusim.specs import get_spec
+
+
+class TestAgainstPaper:
+    @pytest.mark.parametrize(
+        "key",
+        list(PAPER_TABLE1),
+        ids=lambda k: f"{k[0]}-{k[1]}-{k[2]}-{k[3]}",
+    )
+    def test_each_cell_within_ten_percent(self, key):
+        gpu, precision, frag_str, op = key
+        frag = {"16x16x16": FRAG_FLOAT16_16x16x16, "8x8x128": FRAG_INT1_8x8x128,
+                "16x8x256": FRAG_INT1_16x8x256}[frag_str]
+        bit_op = BitOp(op) if op else None
+        result = run_microbenchmark(get_spec(gpu), precision, frag, bit_op)
+        assert result.measured_tops == pytest.approx(PAPER_TABLE1[key], rel=0.10)
+
+    def test_full_matrix_has_19_entries(self):
+        # 7 fp16 + 3 NVIDIA GPUs x 4 int1 variants = 19 (AMD int1 skipped).
+        assert len(run_table1()) == 19
+
+    def test_amd_int1_raises_directly(self):
+        with pytest.raises(UnsupportedPrecisionError):
+            run_microbenchmark(get_spec("MI300X"), "int1", FRAG_INT1_16x8x256, BitOp.XOR)
+
+    def test_workstation_ratio_above_one(self):
+        r = run_microbenchmark(get_spec("AD4000"), "float16", FRAG_FLOAT16_16x16x16)
+        assert r.ratio > 1.0
+
+    def test_gh200_wmma_ratio(self):
+        r = run_microbenchmark(get_spec("GH200"), "float16", FRAG_FLOAT16_16x16x16)
+        assert 0.60 < r.ratio < 0.70  # paper: ~65%
+
+
+class TestFunctionalChecks:
+    @pytest.mark.parametrize(
+        "precision,frag,op",
+        TABLE1_BENCHMARKS,
+        ids=lambda v: str(v),
+    )
+    def test_fragment_numerics(self, precision, frag, op):
+        assert functional_fragment_check(precision, frag, op, seed=7)
+
+    def test_unknown_precision(self):
+        with pytest.raises(UnsupportedPrecisionError):
+            functional_fragment_check("int4", FRAG_INT1_8x8x128, BitOp.XOR)

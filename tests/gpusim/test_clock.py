@@ -1,0 +1,38 @@
+"""Clock behaviour model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpusim.clock import ClockModel
+from repro.gpusim.specs import get_spec
+
+
+class TestClockModel:
+    def test_light_load_boosts(self):
+        model = ClockModel(get_spec("A100"))
+        light = model.resolve(0.05)
+        heavy = model.resolve(1.0)
+        assert light.clock_hz > heavy.clock_hz
+
+    def test_full_load_hits_sustained(self):
+        spec = get_spec("MI300X")
+        model = ClockModel(spec)
+        assert model.resolve(1.0).fraction_of_spec == pytest.approx(
+            spec.sustained_clock_fraction
+        )
+
+    def test_monotone_droop(self):
+        model = ClockModel(get_spec("GH200"))
+        clocks = [model.resolve(u).clock_hz for u in (0.0, 0.3, 0.6, 1.0)]
+        assert clocks == sorted(clocks, reverse=True)
+
+    def test_utilization_clamped(self):
+        model = ClockModel(get_spec("A100"))
+        assert model.resolve(-1.0).clock_hz == model.resolve(0.0).clock_hz
+        assert model.resolve(2.0).clock_hz == model.resolve(1.0).clock_hz
+
+    def test_workstation_boost_above_spec_even_at_full_load(self):
+        # AD4000 measured above theoretical peak in Table I.
+        model = ClockModel(get_spec("AD4000"))
+        assert model.resolve(1.0).fraction_of_spec > 1.0

@@ -1,0 +1,78 @@
+"""Device memory pool: accounting, capacity, functional vs dry-run."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryError_
+from repro.gpusim.memory import MemoryPool
+from repro.gpusim.specs import get_spec
+
+
+@pytest.fixture
+def pool():
+    return MemoryPool(get_spec("A100"))
+
+
+class TestAllocation:
+    def test_accounting(self, pool):
+        buf = pool.allocate((1024,), np.float32, materialize=True)
+        assert buf.nbytes == 4096
+        assert pool.allocated_bytes == 4096
+        pool.free(buf)
+        assert pool.allocated_bytes == 0
+
+    def test_peak_tracking(self, pool):
+        a = pool.allocate((1000,), np.float64, materialize=False)
+        b = pool.allocate((1000,), np.float64, materialize=False)
+        pool.free(a)
+        assert pool.peak_bytes == 16000
+        assert pool.allocated_bytes == 8000
+        pool.free(b)
+
+    def test_capacity_enforced(self, pool):
+        with pytest.raises(MemoryError_, match="exceeds device memory"):
+            pool.allocate((pool.capacity_bytes + 1,), np.uint8, materialize=False)
+
+    def test_dry_run_tracks_paper_scale_without_ram(self, pool):
+        # 38880 x 524288 complex64 would be ~152 GiB materialized... the
+        # A100 has 40 GiB, so this must fail on capacity, not on host RAM.
+        with pytest.raises(MemoryError_):
+            pool.allocate((38880, 524288), np.complex64, materialize=False)
+
+    def test_dry_run_buffer_not_materialized(self, pool):
+        buf = pool.allocate((16,), np.float32, materialize=False)
+        assert not buf.is_materialized
+        with pytest.raises(MemoryError_, match="dry-run"):
+            buf.require_data()
+
+    def test_free_idempotent(self, pool):
+        buf = pool.allocate((4,), np.int32, materialize=True)
+        pool.free(buf)
+        pool.free(buf)
+        assert pool.allocated_bytes == 0
+
+    def test_fill_value(self, pool):
+        buf = pool.allocate((8,), np.float32, materialize=True, fill=2.5)
+        assert np.all(buf.require_data() == 2.5)
+
+
+class TestUpload:
+    def test_functional_copy(self, pool):
+        host = np.arange(10, dtype=np.int64)
+        buf = pool.upload(host, materialize=True)
+        host[0] = 99  # device copy must be independent
+        assert buf.require_data()[0] == 0
+
+    def test_dry_upload_metadata_only(self, pool):
+        buf = pool.upload(np.zeros((3, 4), dtype=np.float16), materialize=False)
+        assert buf.shape == (3, 4)
+        assert buf.nbytes == 24
+        assert buf.data is None
+
+
+class TestTransferModel:
+    def test_pcie_estimate(self, pool):
+        # 25 GB at 25 GB/s -> 1 second.
+        assert pool.transfer_time_s(25e9) == pytest.approx(1.0)

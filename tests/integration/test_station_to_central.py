@@ -1,0 +1,93 @@
+"""Station (FPGA) stage feeding the central tensor-core beamformer.
+
+The paper's two-stage LOFAR architecture (§V-B): antennas -> station
+beamformer (delay-phase sum + channelizer) -> beamlet data -> central
+coherent beamformer. This test drives a real signal through both stages
+and verifies the coherent gains compound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.radioastronomy import (
+    LOFARBeamformer,
+    StationBeamformer,
+    StationConfig,
+    geometric_delay,
+    lofar_like_layout,
+)
+from repro.ccglib.precision import Precision
+from repro.gpusim.device import Device
+from repro.util.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def two_stage_setup():
+    """Four stations observing one far-field noise source through real
+    station hardware (antennas + PFB), then centrally beamformed."""
+    rng = make_rng(77)
+    n_stations = 4
+    layout = lofar_like_layout(n_stations, core_fraction=1.0, core_radius_m=1500, seed=5)
+    f_centre, bandwidth = 150e6, 3.2e6
+    n_channels, n_taps = 8, 4
+    n_time = n_channels * 64
+    source_lm = (0.004, -0.002)
+
+    station_cfg = StationConfig(n_antennas=12, n_channels=n_channels, n_taps=n_taps)
+    beamlets = []
+    n_spectra = None
+    base_signal = (rng.normal(size=n_time) + 1j * rng.normal(size=n_time)).astype(np.complex64)
+    freqs = None
+    for st_idx in range(n_stations):
+        station = StationBeamformer(station_cfg, f_centre, bandwidth)
+        freqs = station.channel_frequencies()
+        # Per-antenna data: the common source signal with the station's
+        # geometric phase, plus independent receiver noise per antenna.
+        tau_station = geometric_delay(layout.positions[st_idx : st_idx + 1], *source_lm)[0]
+        station_phase = np.exp(-2j * np.pi * f_centre * tau_station)
+        antennas = station.simulate_antenna_source(*source_lm, n_samples=n_time, seed=st_idx)
+        # replace the per-station random signal with the shared one, keeping
+        # the antenna phase structure: antennas encodes phases x signal_st.
+        signal_st = base_signal * station_phase
+        phases = antennas[:, 0] / antennas[0, 0]  # relative antenna phases
+        antennas = np.outer(phases * antennas[0, 0] / np.abs(antennas[0, 0]), signal_st)
+        noise = (rng.normal(size=antennas.shape) + 1j * rng.normal(size=antennas.shape))
+        antennas = antennas + 0.5 * noise.astype(np.complex64)
+        beam = station.form_station_beam(antennas.astype(np.complex64), *source_lm)
+        beamlets.append(beam)
+        n_spectra = beam.shape[1]
+    data = np.stack(beamlets, axis=1)  # (C, S, T')
+    return layout, freqs, source_lm, data, n_spectra
+
+
+class TestTwoStagePipeline:
+    def test_central_beam_gains_over_single_station(self, two_stage_setup):
+        layout, freqs, source_lm, data, n_t = two_stage_setup
+        n_st = layout.n_stations
+        # Central weights toward the source vs away from it.
+        tau = np.stack([
+            geometric_delay(layout.positions, *source_lm),
+            geometric_delay(layout.positions, 0.2, 0.15),
+        ])  # (2 beams, S)
+        weights = np.exp(2j * np.pi * freqs[:, None, None] * tau[None]) / n_st
+        bf = LOFARBeamformer(Device("A100"), 2, n_st, n_t, len(freqs),
+                             precision=Precision.FLOAT16)
+        out = bf.form_beams(weights.astype(np.complex64), data)
+        on_power = (np.abs(out.beams[:, 0]) ** 2).mean()
+        off_power = (np.abs(out.beams[:, 1]) ** 2).mean()
+        # The on-source tied beam adds station signals coherently; away from
+        # the source the geometric phases scramble and power collapses.
+        # (The contrast is bounded here by the centre-frequency narrowband
+        # approximation used in the station stage, not by the beamformer.)
+        assert on_power > 2 * off_power
+        assert np.isfinite(out.beams).all()
+
+    def test_beamlet_data_has_channel_structure(self, two_stage_setup):
+        *_, data, _ = two_stage_setup
+        assert data.ndim == 3
+        assert np.isfinite(data).all()
+        # all stations carry comparable power (same source + noise floor)
+        station_power = (np.abs(data) ** 2).mean(axis=(0, 2))
+        assert station_power.max() / station_power.min() < 3.0

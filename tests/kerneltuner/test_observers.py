@@ -1,0 +1,68 @@
+"""Observers and result cache."""
+
+from __future__ import annotations
+
+from repro.gpusim.timing import Bound, KernelCost
+from repro.kerneltuner.cache import TuningCache
+from repro.kerneltuner.observers import (
+    ObserverChain,
+    PerformanceObserver,
+    PowerObserver,
+    TimeObserver,
+    default_observers,
+)
+
+
+def _cost() -> KernelCost:
+    return KernelCost(
+        name="k", time_s=1e-3, useful_ops=2e12, issued_ops=2e12, dram_bytes=1e9,
+        smem_bytes=0.0, bound=Bound.COMPUTE, power_w=200.0, energy_j=0.2,
+    )
+
+
+class TestObservers:
+    def test_time(self):
+        assert TimeObserver().observe(_cost()) == {"time_s": 1e-3}
+
+    def test_performance_in_tops(self):
+        assert PerformanceObserver().observe(_cost())["tops"] == 2000.0
+
+    def test_power(self):
+        metrics = PowerObserver().observe(_cost())
+        assert metrics["power_w"] == 200.0
+        assert metrics["energy_j"] == 0.2
+        assert metrics["tops_per_joule"] == 10.0
+
+    def test_chain_merges(self):
+        metrics = ObserverChain([TimeObserver(), PowerObserver()]).collect(_cost())
+        assert set(metrics) == {"time_s", "power_w", "energy_j", "tops_per_joule"}
+
+    def test_default_chain_complete(self):
+        metrics = default_observers().collect(_cost())
+        assert {"time_s", "tops", "power_w", "energy_j", "tops_per_joule"} <= set(metrics)
+
+
+class TestCache:
+    def test_put_get(self):
+        cache = TuningCache()
+        cache.put("A100", "float16", "p1", {"block_m": 128}, {"tops": 1.0})
+        assert cache.get("A100", "float16", "p1", {"block_m": 128}) == {"tops": 1.0}
+
+    def test_miss_returns_none(self):
+        cache = TuningCache()
+        assert cache.get("A100", "float16", "p1", {"block_m": 64}) is None
+
+    def test_key_includes_problem(self):
+        cache = TuningCache()
+        cache.put("A100", "float16", "p1", {"block_m": 128}, {"tops": 1.0})
+        assert cache.get("A100", "float16", "p2", {"block_m": 128}) is None
+
+    def test_persistence(self, tmp_path):
+        path = tmp_path / "sub" / "cache.json"
+        cache = TuningCache(path=path)
+        cache.put("GH200", "int1", "p", {"x": 1}, {"tops": 9.0})
+        cache.flush()
+        assert TuningCache(path=path).get("GH200", "int1", "p", {"x": 1}) == {"tops": 9.0}
+
+    def test_flush_without_path_is_noop(self):
+        TuningCache().flush()
