@@ -8,6 +8,8 @@ Top-level convenience exports; see the subpackages for the full API:
 * :mod:`repro.kerneltuner` — auto-tuning framework (Fig 2, Table III);
 * :mod:`repro.pmt` — power measurement toolkit;
 * :mod:`repro.roofline` — roofline analysis (Fig 3);
+* :mod:`repro.tcbf` — the unified Tensor-Core Beamformer library (plans,
+  streaming execution, multi-device sharding);
 * :mod:`repro.apps.ultrasound` — computational ultrasound imaging (Figs 5-6);
 * :mod:`repro.apps.radioastronomy` — LOFAR beamforming (Fig 7);
 * :mod:`repro.bench` — the experiment harness regenerating every table/figure.
@@ -15,8 +17,16 @@ Top-level convenience exports; see the subpackages for the full API:
 
 from repro.ccglib import Gemm, GemmResult, Precision, gemm_once
 from repro.gpusim import Device, ExecutionMode, GPU_CATALOG, get_spec
+from repro.tcbf import (
+    BeamformerPlan,
+    BeamformResult,
+    BlockExecutor,
+    ShardedBeamformer,
+    ShardResult,
+    StreamStats,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Gemm",
@@ -27,5 +37,11 @@ __all__ = [
     "ExecutionMode",
     "GPU_CATALOG",
     "get_spec",
+    "BeamformerPlan",
+    "BeamformResult",
+    "BlockExecutor",
+    "StreamStats",
+    "ShardedBeamformer",
+    "ShardResult",
     "__version__",
 ]

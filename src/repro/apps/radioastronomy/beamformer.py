@@ -6,6 +6,13 @@ ccglib" (paper §V-B). The mapping onto the GEMM is the paper's exactly:
 corresponds to the number of stations ... the product of the number of
 polarizations and channels is the batch size."
 
+The coherent path is a thin domain adapter over
+:class:`repro.tcbf.BeamformerPlan`: streaming transpose/packing stages are
+disabled because "data are typically already GPU-resident and remain on the
+GPU for further computations" (§V-B), so the per-block cost is the GEMM
+alone, and the operand scale is restored on the output (absolute beam
+powers feed the pulsar search downstream).
+
 Incoherent beamforming ("discards phase information and instead combines
 the power from each station") is also provided: it is a memory-bound
 reduction with no tensor-core benefit, which is why only the coherent path
@@ -14,30 +21,19 @@ goes through ccglib.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
-from repro.ccglib.gemm import Gemm
 from repro.ccglib.precision import Precision
 from repro.ccglib.tuning import TuneParams
 from repro.errors import ShapeError
 from repro.gpusim.device import Device
 from repro.gpusim.timing import Bound, KernelCost
-from repro.util.units import tera
+from repro.tcbf import BeamformerPlan, BeamformResult
 
-
-@dataclass
-class BeamformOutput:
-    """Result of one coherent beamforming block."""
-
-    #: (n_channels*n_pols, n_beams, n_samples) complex beams; None in dry-run.
-    beams: np.ndarray | None
-    cost: KernelCost
-
-    @property
-    def tflops(self) -> float:
-        return self.cost.ops_per_second / tera
+#: Attribute-compatible alias: reads (``.beams``, ``.cost``, ``.tflops``)
+#: work as before, but results are constructed by the TCBF plan, not by
+#: callers — the old dataclass constructor signature is gone.
+BeamformOutput = BeamformResult
 
 
 class LOFARBeamformer:
@@ -66,15 +62,24 @@ class LOFARBeamformer:
         self.n_polarizations = n_polarizations
         self.precision = precision
         self.batch = n_channels * n_polarizations
-        self._plan = Gemm(
+        self._plan = BeamformerPlan(
             device,
-            precision,
+            n_beams=n_beams,
+            n_receivers=n_stations,
+            n_samples=n_samples,
             batch=self.batch,
-            m=n_beams,
-            n=n_samples,
-            k=n_stations,
+            precision=precision,
             params=params,
+            include_transpose=False,
+            include_packing=False,
+            restore_output_scale=True,
+            name="lofar_beamform",
         )
+
+    @property
+    def plan(self) -> BeamformerPlan:
+        """The underlying TCBF plan (streaming/sharding entry point)."""
+        return self._plan
 
     def predict_cost(self) -> KernelCost:
         """Cost of one beamforming block without executing (Fig 7 data).
@@ -83,40 +88,19 @@ class LOFARBeamformer:
         are typically already GPU-resident and remain on the GPU for
         further computations" (paper §V-B).
         """
-        return self._plan.predict_cost()
+        return self._plan.predict_gemm_cost()
 
     def form_beams(
         self, weights: np.ndarray | None = None, data: np.ndarray | None = None
-    ) -> BeamformOutput:
+    ) -> BeamformResult:
         """Beamform one block: beams[b] = sum_st w[b, st] * X[st, t].
 
         ``weights``: (batch, n_beams, n_stations) complex;
         ``data``: (batch, n_stations, n_samples) complex. Required in
-        functional mode; ignored in dry-run.
+        functional mode; ignored in dry-run. Scaling, validation, and cost
+        accounting all live in :class:`repro.tcbf.BeamformerPlan`.
         """
-        if not self.device.is_functional:
-            result = self._plan.run()
-            return BeamformOutput(beams=None, cost=result.cost)
-        if weights is None or data is None:
-            raise ShapeError("functional beamforming requires weights and data")
-        if weights.shape != (self.batch, self.n_beams, self.n_stations):
-            raise ShapeError(
-                f"weights must be ({self.batch}, {self.n_beams}, {self.n_stations}), "
-                f"got {weights.shape}"
-            )
-        if data.shape != (self.batch, self.n_stations, self.n_samples):
-            raise ShapeError(
-                f"data must be ({self.batch}, {self.n_stations}, {self.n_samples}), "
-                f"got {data.shape}"
-            )
-        # float16 inputs: keep the dynamic range tame. Weights are unit
-        # magnitude / n_st already; scale data to unit RMS (scale-invariant
-        # downstream, restored afterwards).
-        scale = float(np.abs(data).std()) or 1.0
-        result = self._plan.run(
-            weights.astype(np.complex64), (data / scale).astype(np.complex64)
-        )
-        return BeamformOutput(beams=result.output * scale, cost=result.cost)
+        return self._plan.execute(weights, data)
 
 
 def incoherent_beam(

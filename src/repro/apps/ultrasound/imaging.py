@@ -1,4 +1,4 @@
-"""The ultrasound tensor-core beamformer: a thin wrapper around ccglib.
+"""The ultrasound tensor-core beamformer: a thin wrapper around the TCBF.
 
 "In this work we show the use of an ultrasound tensor-core beamformer
 implemented as a wrapper around ccglib" (paper §V-A). Reconstruction is the
@@ -13,6 +13,10 @@ matched-filter product ``X = conj(H).T @ Y``:
   processing includes the 1-bit packing and transpose of the measurement
   matrix").
 
+Both behaviours are native :class:`repro.tcbf.BeamformerPlan` stage flags,
+so this module only maps the imaging vocabulary (model matrix, matched
+filter, frames) onto the shared library.
+
 The GEMM uses parameters auto-tuned for the ultrasound shape (huge M = many
 voxels, large K, moderate N = frames); the shipped generic defaults would
 re-stream the enormous model matrix once per N-block, so wide ``block_n``
@@ -22,25 +26,28 @@ point made concrete.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import replace
 
 import numpy as np
 
 from repro.apps.ultrasound.model_matrix import ModelMatrix
-from repro.ccglib.gemm import Gemm
-from repro.ccglib.packing import run_pack_kernel
-from repro.ccglib.precision import Precision, traits
-from repro.ccglib.transpose import run_transpose_kernel
+from repro.ccglib.perfmodel import GemmProblem
+from repro.ccglib.precision import Precision
 from repro.ccglib.tuning import TuneParams
 from repro.errors import ShapeError
 from repro.gpusim.device import Device
-from repro.gpusim.timing import KernelCost, combine_costs
+from repro.gpusim.timing import KernelCost
 from repro.kerneltuner.strategies import GreedyILS
 from repro.kerneltuner.tuner import tune_gemm
-from repro.ccglib.perfmodel import GemmProblem
+from repro.tcbf import BeamformerPlan, BeamformResult
 
 #: cache of tuned parameters keyed by (gpu, precision, shape bucket).
 _APP_PARAMS_CACHE: dict[tuple[str, str, int, int, int], TuneParams] = {}
+
+#: Attribute-compatible alias: reads (``.frames``, ``.costs``, ``.total``,
+#: ``.time_s``) work as before, but results are constructed by the TCBF
+#: plan, not by callers — the old dataclass constructor signature is gone.
+ReconstructionResult = BeamformResult
 
 
 def ultrasound_gemm_params(
@@ -63,24 +70,8 @@ def ultrasound_gemm_params(
     return _APP_PARAMS_CACHE[key]
 
 
-@dataclass
-class ReconstructionResult:
-    """Output of one frame-batch reconstruction."""
-
-    #: (V, N) beamformed complex frames; None in dry-run mode.
-    frames: np.ndarray | None
-    #: per-kernel costs in execution order (transpose, [pack], gemm).
-    costs: list[KernelCost]
-    #: total per-batch cost (what the Fig 5 frame budget counts).
-    total: KernelCost
-
-    @property
-    def time_s(self) -> float:
-        return self.total.time_s
-
-
 class UltrasoundBeamformer:
-    """cUSi reconstruction on a (simulated) GPU via ccglib.
+    """cUSi reconstruction on a (simulated) GPU via the TCBF.
 
     Parameters
     ----------
@@ -126,18 +117,30 @@ class UltrasoundBeamformer:
         self.params = params or ultrasound_gemm_params(
             device, precision, n_voxels, n_frames, k
         )
-        self._plan = Gemm(
+        self._plan = BeamformerPlan(
             device,
-            precision,
+            n_beams=n_voxels,
+            n_receivers=k,
+            n_samples=n_frames,
             batch=1,
-            m=n_voxels,
-            n=n_frames,
-            k=k,
+            precision=precision,
             params=self.params,
+            include_transpose=not fused_transpose,
+            include_packing=precision is Precision.INT1,
+            restore_output_scale=False,
+            name="ultrasound_reconstruction",
         )
         self._matched_filter: np.ndarray | None = None
-        #: cost of the one-time model preparation (excluded from Fig 5).
-        self.model_prep_cost: KernelCost | None = None
+
+    @property
+    def plan(self) -> BeamformerPlan:
+        """The underlying TCBF plan (streaming/sharding entry point)."""
+        return self._plan
+
+    @property
+    def model_prep_cost(self) -> KernelCost | None:
+        """Cost of the one-time model preparation (excluded from Fig 5)."""
+        return self._plan.weight_prep_cost
 
     def prepare_model(self) -> None:
         """One-time model-matrix preparation (tiling transpose + 1-bit pack).
@@ -147,77 +150,38 @@ class UltrasoundBeamformer:
         (paper §V-A). In functional mode this also materializes the matched
         filter used by :meth:`reconstruct`.
         """
-        n_values = 2 * self.n_voxels * self.k
-        tr = traits(self.precision)
-        costs: list[KernelCost] = []
-        _, t_cost = run_transpose_kernel(self.device, None, n_values, tr.input_bytes)
-        costs.append(t_cost)
-        if self.precision is Precision.INT1:
-            values = None
-            if self.device.is_functional and self.model is not None:
-                values = _planar(self.model.matched_filter())
-            _, p_cost = run_pack_kernel(
-                self.device,
-                values,
-                n_values,
-                input_bytes_per_value=4.0,
-                k_pad_to=self._plan.padded_k,
-            )
-            costs.append(p_cost)
+        values = None
         if self.model is not None:
             self._matched_filter = self.model.matched_filter()
-        self.model_prep_cost = combine_costs("model_prep", costs)
+            if self.device.is_functional and self.precision is Precision.INT1:
+                values = _planar(self._matched_filter)
+        self._plan.prepare_weights(values, name="model_prep")
 
-    def reconstruct(self, measurement: np.ndarray | None = None) -> ReconstructionResult:
+    def reconstruct(self, measurement: np.ndarray | None = None) -> BeamformResult:
         """Beamform one frame batch.
 
         ``measurement`` is the (K, N) complex measurement matrix (already
         clutter-filtered); required in functional mode. The recorded costs
         follow the paper's Fig 5 accounting: transpose + (1-bit) packing of
-        the measurement, then the GEMM.
+        the measurement, then the GEMM. The image is scale-invariant, so
+        the unit-RMS operand normalization is not undone on the output.
         """
-        if self.device.is_functional:
-            if measurement is None:
-                raise ShapeError("functional reconstruction requires the measurement matrix")
-            if measurement.shape != (self.k, self.n_frames):
-                raise ShapeError(
-                    f"measurement must be (K={self.k}, N={self.n_frames}), "
-                    f"got {measurement.shape}"
-                )
-        costs: list[KernelCost] = []
-        tr = traits(self.precision)
-        n_meas_values = 2 * self.k * self.n_frames
-        # Transpose of the measurement matrix into K-major tiled layout —
-        # skipped when the experimental interleaved-input kernel is used.
-        if not self.fused_transpose:
-            _, t_cost = run_transpose_kernel(self.device, None, n_meas_values, tr.input_bytes)
-            costs.append(t_cost)
-        # 1-bit packing of the measurement (sign quantization).
-        if self.precision is Precision.INT1:
-            _, p_cost = run_pack_kernel(
-                self.device, None, n_meas_values, input_bytes_per_value=4.0
+        if not self.device.is_functional:
+            return self._plan.execute()
+        if measurement is None:
+            raise ShapeError("functional reconstruction requires the measurement matrix")
+        if measurement.shape != (self.k, self.n_frames):
+            raise ShapeError(
+                f"measurement must be (K={self.k}, N={self.n_frames}), "
+                f"got {measurement.shape}"
             )
-            costs.append(p_cost)
-        # The reconstruction GEMM itself.
-        frames = None
-        if self.device.is_functional:
-            if self._matched_filter is None:
-                if self.model is None:
-                    raise ShapeError("functional mode requires a model matrix")
-                self._matched_filter = self.model.matched_filter()
-            # Scale the measurement to unit RMS: the image is scale
-            # invariant, and float16 inputs must stay inside half range.
-            scale = float(np.abs(measurement).std()) or 1.0
-            result = self._plan.run(
-                self._matched_filter[None, ...].astype(np.complex64),
-                (measurement / scale)[None, ...].astype(np.complex64),
-            )
-            frames = result.output[0]
-            costs.append(result.cost)
-        else:
-            costs.append(self._plan.run().cost)
-        total = combine_costs("ultrasound_reconstruction", costs)
-        return ReconstructionResult(frames=frames, costs=costs, total=total)
+        if self._matched_filter is None:
+            if self.model is None:
+                raise ShapeError("functional mode requires a model matrix")
+            self._matched_filter = self.model.matched_filter()
+        result = self._plan.execute(self._matched_filter, measurement)
+        # The imaging API is unbatched: strip the TCBF plan's batch axis.
+        return replace(result, output=result.output[0])
 
 
 def _planar(complex_matrix: np.ndarray) -> np.ndarray:

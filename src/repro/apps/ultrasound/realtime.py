@@ -77,7 +77,7 @@ def frames_per_second(
     return RealTimePoint(
         gpu=spec.name,
         n_voxels=n_voxels,
-        fps=batch_frames / result.time_s,
+        fps=result.fps,
         gemm_tops=gemm_cost.ops_per_second / 1e12,
     )
 

@@ -1,0 +1,38 @@
+"""The Tensor-Core Beamformer (TCBF): the paper's unified beamformer library.
+
+One domain-level API over ccglib for every beamforming workload ("hides the
+complexities of tensor-core programming ... for multidisciplinary use"):
+
+* :class:`~repro.tcbf.plan.BeamformerPlan` — a beams x receivers x samples
+  (x batch) problem bound to a device, composing transpose, 1-bit packing,
+  RMS scaling, and the complex GEMM with end-to-end cost accounting;
+* :class:`~repro.tcbf.result.BeamformResult` — the shared result record
+  (``beams``/``frames`` aliases, ``tflops``/``fps`` throughput accessors);
+* :class:`~repro.tcbf.streaming.BlockExecutor` — continuous block streaming
+  with cross-block copy/compute overlap on the kernel pipeline's
+  commit/wait protocol;
+* :class:`~repro.tcbf.sharding.ShardedBeamformer` — batch- or beam-dimension
+  sharding across multiple devices with aggregate-throughput accounting.
+
+The domain applications (:mod:`repro.apps.radioastronomy`,
+:mod:`repro.apps.ultrasound`) are thin adapters over this package.
+"""
+
+from repro.tcbf.plan import BeamformerPlan
+from repro.tcbf.result import BeamformResult
+from repro.tcbf.scaling import normalize_rms, rms
+from repro.tcbf.sharding import ShardedBeamformer, ShardResult, split_extent
+from repro.tcbf.streaming import BlockExecutor, StreamStats, pipelined_makespan
+
+__all__ = [
+    "BeamformerPlan",
+    "BeamformResult",
+    "BlockExecutor",
+    "StreamStats",
+    "ShardedBeamformer",
+    "ShardResult",
+    "split_extent",
+    "pipelined_makespan",
+    "rms",
+    "normalize_rms",
+]

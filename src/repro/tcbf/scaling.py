@@ -1,0 +1,36 @@
+"""Operand normalization for the tensor-core data path.
+
+float16 inputs must stay inside half range and 1-bit inputs are scale-free,
+so the beamformer normalizes the streaming operand to unit RMS before the
+GEMM and (optionally) restores the scale afterwards. The correct statistic
+is the root-mean-square of the complex magnitudes,
+
+    rms(x) = sqrt(mean(|x|^2)),
+
+*not* ``np.abs(x).std()`` (the standard deviation of the magnitudes): for a
+nonzero-mean signal the std under-estimates the energy and the operand would
+be mis-scaled. Both applications previously hand-rolled the std variant;
+this module is the single corrected implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rms(values: np.ndarray) -> float:
+    """Root-mean-square magnitude ``sqrt(mean(|x|^2))`` of a complex array.
+
+    Returns 1.0 for an all-zero (or empty) input so callers can divide by it
+    unconditionally.
+    """
+    values = np.asarray(values)
+    if values.size == 0:
+        return 1.0
+    return float(np.sqrt(np.mean(np.abs(values) ** 2))) or 1.0
+
+
+def normalize_rms(values: np.ndarray) -> tuple[np.ndarray, float]:
+    """Scale an array to unit RMS; returns ``(values / scale, scale)``."""
+    scale = rms(values)
+    return values / scale, scale

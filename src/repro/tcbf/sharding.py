@@ -1,0 +1,276 @@
+"""Multi-device beamforming: shard one problem across several GPUs.
+
+The roadmap scenario beyond the paper: a telescope with more channels (or an
+imaging volume with more voxels) than one GPU can beamform in real time.
+Two axes shard naturally:
+
+* ``batch`` — the channels x polarizations batch is embarrassingly parallel
+  (each device beamforms a disjoint channel range with the full weight set);
+* ``beams`` — the M axis splits the weight matrix, every device sees all
+  input samples but forms a disjoint beam range (useful when a single batch
+  item is too large).
+
+:class:`ShardedBeamformer` builds one :class:`~repro.tcbf.plan.BeamformerPlan`
+per device, executes the shards, and aggregates the per-device timelines:
+the modelled wall time of a block is the slowest shard (devices run
+concurrently), so aggregate throughput is total useful ops over that
+maximum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.ccglib.layouts import ensure_batched
+from repro.ccglib.precision import Precision
+from repro.ccglib.tuning import TuneParams
+from repro.errors import DeviceError, ShapeError
+from repro.gpusim.arch import BitOp, FragmentShape
+from repro.gpusim.device import Device
+from repro.gpusim.timing import KernelCost
+from repro.tcbf.plan import BeamformerPlan
+from repro.tcbf.result import BeamformResult
+from repro.tcbf.scaling import rms
+from repro.util.units import tera
+
+#: dimensions a beamforming problem can be sharded along.
+SHARD_DIMS = ("batch", "beams")
+
+
+def split_extent(total: int, parts: int) -> list[int]:
+    """Near-equal split of ``total`` units over ``parts`` shards.
+
+    The first ``total % parts`` shards get one extra unit; every shard is
+    non-empty (raises :class:`ShapeError` otherwise).
+    """
+    if parts < 1:
+        raise ShapeError(f"need at least one shard, got {parts}")
+    if total < parts:
+        raise ShapeError(f"cannot split {total} units over {parts} devices")
+    base, extra = divmod(total, parts)
+    return [base + (1 if i < extra else 0) for i in range(parts)]
+
+
+@dataclass
+class ShardResult:
+    """Outcome of one multi-device beamformed block.
+
+    ``output`` is the merged result (concatenated along the sharded axis);
+    ``shards`` holds each device's own :class:`BeamformResult`. Devices run
+    concurrently, so the block's wall time is the slowest shard — the basis
+    of every aggregate throughput accessor.
+    """
+
+    output: np.ndarray | None
+    shards: list[BeamformResult]
+    shard_dim: str
+    shard_sizes: list[int]
+
+    @property
+    def wall_time_s(self) -> float:
+        """Modelled block latency: the slowest device's end-to-end time."""
+        return max(s.total.time_s for s in self.shards)
+
+    @property
+    def useful_ops(self) -> float:
+        """Application-level GEMM operations across all shards.
+
+        Helper-kernel element moves are excluded, matching the GEMM-only
+        numerators of ``BeamformResult.tflops`` and ``StreamStats``.
+        """
+        return sum(s.gemm_cost.useful_ops for s in self.shards)
+
+    @property
+    def energy_j(self) -> float:
+        return sum(s.total.energy_j for s in self.shards)
+
+    @property
+    def ops_per_second(self) -> float:
+        """Aggregate throughput: all shards' useful ops over the wall time."""
+        return self.useful_ops / self.wall_time_s if self.wall_time_s > 0 else 0.0
+
+    @property
+    def tflops(self) -> float:
+        return self.ops_per_second / tera
+
+    @property
+    def load_balance(self) -> float:
+        """mean / max shard time — 1.0 means a perfectly even split."""
+        times = [s.total.time_s for s in self.shards]
+        return (sum(times) / len(times)) / max(times) if max(times) > 0 else 1.0
+
+
+class ShardedBeamformer:
+    """One beamforming problem spread over several (simulated) devices.
+
+    Accepts the same problem description as :class:`BeamformerPlan` plus the
+    device list and the shard dimension; every stage-inclusion flag is
+    forwarded to the per-device plans, so sharded LOFAR (GEMM-only
+    accounting) and sharded ultrasound (transpose+pack included) both work.
+    """
+
+    def __init__(
+        self,
+        devices: Sequence[Device],
+        *,
+        n_beams: int,
+        n_receivers: int,
+        n_samples: int,
+        batch: int = 1,
+        precision: Precision = Precision.FLOAT16,
+        shard_dim: str = "batch",
+        params: TuneParams | None = None,
+        bit_op: BitOp | None = None,
+        fragment: FragmentShape | None = None,
+        experimental_ok: bool = False,
+        include_transpose: bool = True,
+        include_packing: bool | None = None,
+        restore_output_scale: bool = False,
+        name: str = "beamform_block",
+    ):
+        if not devices:
+            raise ShapeError("sharding requires at least one device")
+        if shard_dim not in SHARD_DIMS:
+            raise ShapeError(f"shard_dim must be one of {SHARD_DIMS}, got {shard_dim!r}")
+        if len({device.is_functional for device in devices}) > 1:
+            # A mixed fleet would silently drop the functional shards'
+            # outputs (dry-run shards produce none to merge).
+            raise DeviceError(
+                "sharded devices must share one execution mode; "
+                "got a mix of functional and dry-run"
+            )
+        self.devices = list(devices)
+        self.shard_dim = shard_dim
+        self.restore_output_scale = restore_output_scale
+        self.n_beams = n_beams
+        self.n_receivers = n_receivers
+        self.n_samples = n_samples
+        self.batch = batch
+        self.precision = precision
+        total = batch if shard_dim == "batch" else n_beams
+        self.shard_sizes = split_extent(total, len(self.devices))
+        self.plans: list[BeamformerPlan] = []
+        for device, size in zip(self.devices, self.shard_sizes):
+            shard_batch = size if shard_dim == "batch" else batch
+            shard_beams = size if shard_dim == "beams" else n_beams
+            self.plans.append(
+                BeamformerPlan(
+                    device,
+                    n_beams=shard_beams,
+                    n_receivers=n_receivers,
+                    n_samples=n_samples,
+                    batch=shard_batch,
+                    precision=precision,
+                    params=params,
+                    bit_op=bit_op,
+                    fragment=fragment,
+                    experimental_ok=experimental_ok,
+                    include_transpose=include_transpose,
+                    include_packing=include_packing,
+                    restore_output_scale=restore_output_scale,
+                    name=name,
+                )
+            )
+
+    # -- prediction ----------------------------------------------------------
+
+    def predict_block_cost(self) -> list[KernelCost]:
+        """Per-shard end-to-end block cost (nothing recorded)."""
+        return [plan.predict_block_cost() for plan in self.plans]
+
+    def predicted_throughput(self) -> float:
+        """Aggregate modelled ops/s: total GEMM ops over the slowest shard.
+
+        The denominator is the end-to-end block time (stages included), the
+        numerator the GEMM operations only — consistent with
+        ``ShardResult.ops_per_second`` and the single-device metrics.
+        """
+        gemm_ops = sum(plan.predict_gemm_cost().useful_ops for plan in self.plans)
+        return gemm_ops / max(c.time_s for c in self.predict_block_cost())
+
+    # -- execution -----------------------------------------------------------
+
+    def execute(
+        self, weights: np.ndarray | None = None, data: np.ndarray | None = None
+    ) -> ShardResult:
+        """Beamform one block across all devices and merge the outputs.
+
+        Functional mode slices the operands per shard — disjoint batch
+        ranges (full weights and data rows per range) for ``batch``
+        sharding, disjoint weight rows with the full data for ``beams``
+        sharding — and concatenates the shard outputs back along the same
+        axis. Dry-run devices record their shard's timeline only.
+        """
+        shards: list[BeamformResult] = []
+        offset = 0
+        scale = None
+        shared_data = None
+        functional = self.devices[0].is_functional  # fleet mode is homogeneous
+        if not functional:
+            # Dry-run shards ignore operands (like the single-device plan),
+            # so skip the full-block normalization pass and copies.
+            weights = data = None
+        if weights is not None and data is not None:
+            # Validate against the full problem shape before slicing: the
+            # per-shard plans only see their slice, so without this an
+            # oversized operand would be silently truncated instead of
+            # rejected like the single-device plan does.
+            weights, _ = ensure_batched(np.asarray(weights), 3)
+            data, _ = ensure_batched(np.asarray(data), 3)
+            expect_w = (self.batch, self.n_beams, self.n_receivers)
+            expect_d = (self.batch, self.n_receivers, self.n_samples)
+            if weights.shape != expect_w:
+                raise ShapeError(f"weights must be {expect_w}, got {weights.shape}")
+            if data.shape != expect_d:
+                raise ShapeError(f"data must be {expect_d}, got {data.shape}")
+            # One global normalization for the whole block: per-shard RMS
+            # would scale each batch slice differently and corrupt relative
+            # amplitudes across the merged output. Skipped entirely when the
+            # plans skip it too (int1 without output-scale restore).
+            needs_scale = self.plans[0].needs_scale
+            if needs_scale:
+                scale = rms(data)
+            if self.shard_dim == "beams":
+                # Every shard consumes the identical full data block, so
+                # normalize it once instead of once per device.
+                shared_data = data
+                if needs_scale:
+                    shared_data = (data / scale).astype(np.complex64, copy=False)
+        for plan, size in zip(self.plans, self.shard_sizes):
+            w_shard = d_shard = None
+            shard_scale = None
+            if weights is not None and data is not None:
+                if self.shard_dim == "batch":
+                    w_shard = weights[offset : offset + size]
+                    d_shard = data[offset : offset + size]
+                    shard_scale = scale
+                else:
+                    w_shard = weights[..., offset : offset + size, :]
+                    d_shard = shared_data
+                    shard_scale = 1.0  # already normalized (or scale-free)
+            result = plan.execute(w_shard, d_shard, scale=shard_scale)
+            if (
+                self.shard_dim == "beams"
+                and self.restore_output_scale
+                and result.output is not None
+                and scale is not None
+                and scale != 1.0
+            ):
+                # Beams-mode plans saw pre-normalized data (unit scale), so
+                # restore the true scale here.
+                result.output = result.output * scale
+            shards.append(result)
+            offset += size
+        output = None
+        if all(s.output is not None for s in shards):
+            axis = 0 if self.shard_dim == "batch" else 1
+            output = np.concatenate([s.output for s in shards], axis=axis)
+        return ShardResult(
+            output=output,
+            shards=shards,
+            shard_dim=self.shard_dim,
+            shard_sizes=list(self.shard_sizes),
+        )

@@ -1,0 +1,232 @@
+"""BeamformerPlan: end-to-end cost accounting, scaling, validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ccglib.gemm import Gemm
+from repro.ccglib.precision import Precision
+from repro.errors import ShapeError
+from repro.gpusim.device import Device, ExecutionMode
+from repro.tcbf import BeamformerPlan, BeamformResult, normalize_rms, rms
+
+from tests.conftest import random_complex
+
+
+class TestRmsScaling:
+    def test_rms_of_constant_magnitude(self):
+        # |3+4j| = 5 everywhere: the RMS is 5, while np.abs(x).std() — the
+        # statistic both apps previously used — is 0 (fell back to 1.0).
+        x = np.full((8, 8), 3 + 4j, dtype=np.complex64)
+        assert rms(x) == pytest.approx(5.0)
+        assert float(np.abs(x).std()) == 0.0
+
+    def test_rms_nonzero_mean_exceeds_magnitude_std(self, rng):
+        # For a shifted signal the std of magnitudes under-estimates energy.
+        x = (rng.normal(size=512) + 10.0) + 1j * rng.normal(size=512)
+        assert rms(x) > float(np.abs(x).std())
+        assert rms(x) == pytest.approx(np.sqrt(np.mean(np.abs(x) ** 2)))
+
+    def test_zero_input_falls_back_to_one(self):
+        assert rms(np.zeros(16, dtype=np.complex64)) == 1.0
+        assert rms(np.array([])) == 1.0
+
+    def test_normalize_rms_round_trip(self, rng):
+        x = random_complex(rng, (4, 4), scale=37.0)
+        scaled, scale = normalize_rms(x)
+        assert rms(scaled) == pytest.approx(1.0)
+        assert np.allclose(scaled * scale, x)
+
+
+class TestCostAccounting:
+    def test_int1_block_cost_is_end_to_end(self):
+        dev = Device("A100", ExecutionMode.DRY_RUN)
+        plan = BeamformerPlan(
+            dev, n_beams=4096, n_receivers=8192, n_samples=512,
+            precision=Precision.INT1,
+        )
+        total = plan.predict_block_cost()
+        gemm = plan.predict_gemm_cost()
+        stage_in = plan.stage_in_cost()
+        assert stage_in is not None
+        assert total.time_s == pytest.approx(stage_in.time_s + gemm.time_s)
+        assert total.time_s > gemm.time_s  # GEMM-only accounting would miss this
+
+    def test_gemm_only_when_stages_disabled(self):
+        dev = Device("A100", ExecutionMode.DRY_RUN)
+        plan = BeamformerPlan(
+            dev, n_beams=1024, n_receivers=48, n_samples=1024, batch=64,
+            include_transpose=False, include_packing=False,
+        )
+        assert plan.stage_in_cost() is None
+        assert plan.predict_block_cost() == plan.predict_gemm_cost()
+
+    def test_float16_has_no_packing_stage(self):
+        dev = Device("A100", ExecutionMode.DRY_RUN)
+        plan = BeamformerPlan(dev, n_beams=256, n_receivers=128, n_samples=256)
+        result = plan.execute()
+        assert [c.name for c in result.costs] == ["transpose", "gemm_float16"]
+
+    def test_int1_stage_order(self):
+        dev = Device("A100", ExecutionMode.DRY_RUN)
+        plan = BeamformerPlan(
+            dev, n_beams=256, n_receivers=512, n_samples=256,
+            precision=Precision.INT1,
+        )
+        names = [c.name for c in plan.execute().costs]
+        assert names[0] == "transpose"
+        assert names[1] == "pack_bits"
+        assert names[2].startswith("gemm_int1")
+
+    def test_stages_recorded_on_device_timeline(self):
+        dev = Device("A100", ExecutionMode.DRY_RUN)
+        plan = BeamformerPlan(
+            dev, n_beams=64, n_receivers=256, n_samples=64,
+            precision=Precision.INT1,
+        )
+        plan.execute()
+        assert len(dev.timeline) == 3
+
+    def test_prepare_weights_excluded_from_block(self):
+        dev = Device("A100", ExecutionMode.DRY_RUN)
+        plan = BeamformerPlan(
+            dev, n_beams=64, n_receivers=256, n_samples=64,
+            precision=Precision.INT1,
+        )
+        prep = plan.prepare_weights()
+        assert prep is plan.weight_prep_cost
+        assert prep.time_s > 0
+        # weight prep = transpose + pack; the per-block cost is unchanged.
+        assert len(dev.timeline) == 2
+        assert plan.predict_block_cost().time_s == pytest.approx(
+            plan.stage_in_cost().time_s + plan.predict_gemm_cost().time_s
+        )
+
+    def test_prepare_weights_float16_transpose_only(self):
+        dev = Device("A100", ExecutionMode.DRY_RUN)
+        plan = BeamformerPlan(dev, n_beams=64, n_receivers=256, n_samples=64)
+        plan.prepare_weights()
+        assert len(dev.timeline) == 1
+        assert dev.timeline[0].cost.name == "transpose"
+
+
+class TestFunctionalExecution:
+    def test_matches_direct_gemm(self, rng):
+        w = random_complex(rng, (2, 8, 32))
+        d = random_complex(rng, (2, 32, 16))
+        plan = BeamformerPlan(
+            Device("A100"), n_beams=8, n_receivers=32, n_samples=16, batch=2,
+            include_transpose=False, include_packing=False,
+            restore_output_scale=True,
+        )
+        out = plan.execute(w, d).output
+        assert np.allclose(out, w @ d, atol=0.05)
+
+    def test_scale_restoration(self, rng):
+        # With restore_output_scale the result is in input units regardless
+        # of the operand magnitude.
+        w = random_complex(rng, (1, 8, 32))
+        d = random_complex(rng, (1, 32, 16), scale=500.0)
+        plan = BeamformerPlan(
+            Device("A100"), n_beams=8, n_receivers=32, n_samples=16,
+            include_transpose=False, restore_output_scale=True,
+        )
+        out = plan.execute(w, d).output
+        assert np.allclose(out, w @ d, rtol=5e-3, atol=0.5)
+
+    def test_unbatched_operands_accepted(self, rng):
+        w = random_complex(rng, (8, 32))
+        d = random_complex(rng, (32, 16))
+        plan = BeamformerPlan(
+            Device("A100"), n_beams=8, n_receivers=32, n_samples=16,
+            include_transpose=False,
+        )
+        assert plan.execute(w, d).output.shape == (1, 8, 16)
+
+    def test_missing_operands_raise(self):
+        plan = BeamformerPlan(Device("A100"), n_beams=8, n_receivers=32, n_samples=16)
+        with pytest.raises(ShapeError):
+            plan.execute()
+        with pytest.raises(ShapeError):
+            plan.execute(np.ones((8, 32), dtype=np.complex64), None)
+
+    def test_shape_mismatch_raises_before_recording(self, rng):
+        dev = Device("A100")
+        plan = BeamformerPlan(dev, n_beams=8, n_receivers=32, n_samples=16)
+        with pytest.raises(ShapeError):
+            plan.execute(
+                random_complex(rng, (8, 32)), random_complex(rng, (31, 16))
+            )
+        assert len(dev.timeline) == 0  # nothing charged for a rejected block
+
+    def test_dry_run_ignores_operands(self):
+        plan = BeamformerPlan(
+            Device("A100", ExecutionMode.DRY_RUN),
+            n_beams=8, n_receivers=32, n_samples=16,
+        )
+        result = plan.execute()
+        assert result.output is None
+        assert result.total.time_s > 0
+
+
+class TestBeamformResult:
+    def _result(self) -> BeamformResult:
+        plan = BeamformerPlan(
+            Device("A100", ExecutionMode.DRY_RUN),
+            n_beams=1024, n_receivers=48, n_samples=1024, batch=256,
+            include_transpose=False, include_packing=False,
+        )
+        return plan.execute()
+
+    def test_domain_aliases(self):
+        r = self._result()
+        assert r.beams is r.output
+        assert r.frames is r.output
+        assert r.cost is r.total
+
+    def test_throughput_accessors(self):
+        r = self._result()
+        assert r.tflops == pytest.approx(r.total.ops_per_second / 1e12)
+        assert r.tops == r.tflops
+        assert r.fps == pytest.approx(1024 / r.total.time_s)
+        assert r.time_s == r.total.time_s
+
+    def test_fps_requires_frame_count(self):
+        r = self._result()
+        r.n_frames = None
+        with pytest.raises(ValueError):
+            _ = r.fps
+
+    def test_useful_ops_match_complex_gemm_count(self):
+        r = self._result()
+        assert r.total.useful_ops == pytest.approx(8 * 256 * 1024 * 1024 * 48)
+
+    def test_tflops_excludes_helper_kernel_element_moves(self):
+        # transpose/pack report element moves in useful_ops; the TFLOPs
+        # metric must count the GEMM's FLOPs only (over end-to-end time).
+        plan = BeamformerPlan(
+            Device("A100", ExecutionMode.DRY_RUN),
+            n_beams=256, n_receivers=512, n_samples=256,
+            precision=Precision.INT1,
+        )
+        r = plan.execute()
+        gemm = r.costs[-1]
+        assert r.gemm_cost is gemm
+        assert r.tflops == pytest.approx(gemm.useful_ops / r.total.time_s / 1e12)
+        assert r.total.useful_ops > gemm.useful_ops  # the mix-up this guards
+
+
+class TestPlanIntrospection:
+    def test_shape_and_padding(self):
+        plan = BeamformerPlan(
+            Device("A100"), n_beams=9, n_receivers=50, n_samples=100, batch=3,
+        )
+        assert plan.shape == (3, 9, 50, 100)
+        assert plan.padded_k % 16 == 0
+        assert plan.padded_k >= 50
+
+    def test_params_resolved_from_gemm(self):
+        plan = BeamformerPlan(Device("A100"), n_beams=16, n_receivers=64, n_samples=16)
+        ref = Gemm(Device("A100"), Precision.FLOAT16, batch=1, m=16, n=16, k=64)
+        assert plan.params == ref.params

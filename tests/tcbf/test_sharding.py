@@ -1,0 +1,244 @@
+"""ShardedBeamformer: splits, merged outputs, aggregate throughput."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ccglib.precision import Precision
+from repro.errors import ShapeError
+from repro.gpusim.device import Device, ExecutionMode
+from repro.tcbf import BeamformerPlan, ShardedBeamformer, split_extent
+from tests.conftest import random_complex, random_pm1_complex
+
+#: the paper's LOFAR benchmark shape at the typical 48-station configuration.
+LOFAR = dict(n_beams=1024, n_receivers=48, n_samples=1024, batch=256)
+
+
+def dry_devices(n: int, gpu: str = "A100") -> list[Device]:
+    return [Device(gpu, ExecutionMode.DRY_RUN) for _ in range(n)]
+
+
+class TestSplitExtent:
+    def test_even(self):
+        assert split_extent(256, 2) == [128, 128]
+        assert split_extent(256, 4) == [64, 64, 64, 64]
+
+    def test_uneven_front_loaded(self):
+        assert split_extent(5, 2) == [3, 2]
+        assert split_extent(10, 3) == [4, 3, 3]
+
+    def test_errors(self):
+        with pytest.raises(ShapeError):
+            split_extent(1, 2)
+        with pytest.raises(ShapeError):
+            split_extent(4, 0)
+
+
+class TestAggregateThroughput:
+    def test_two_devices_near_double_lofar(self):
+        # The acceptance bar: batch-parallel LOFAR-sized problem, >=1.8x the
+        # single-device modelled throughput on two devices.
+        single = BeamformerPlan(
+            Device("A100", ExecutionMode.DRY_RUN), **LOFAR,
+            include_transpose=False, include_packing=False,
+        ).predict_gemm_cost()
+        sharded = ShardedBeamformer(
+            dry_devices(2), **LOFAR,
+            include_transpose=False, include_packing=False,
+        )
+        result = sharded.execute()
+        assert result.ops_per_second >= 1.8 * single.ops_per_second
+        assert result.useful_ops == pytest.approx(single.useful_ops)
+        assert sharded.predicted_throughput() == pytest.approx(result.ops_per_second)
+
+    def test_four_devices_scale_further(self):
+        single = BeamformerPlan(
+            Device("A100", ExecutionMode.DRY_RUN), **LOFAR,
+            include_transpose=False, include_packing=False,
+        ).predict_gemm_cost()
+        result = ShardedBeamformer(
+            dry_devices(4), **LOFAR,
+            include_transpose=False, include_packing=False,
+        ).execute()
+        assert result.ops_per_second >= 3.6 * single.ops_per_second
+
+    def test_even_split_balances_load(self):
+        result = ShardedBeamformer(dry_devices(2), **LOFAR).execute()
+        assert result.shard_sizes == [128, 128]
+        assert result.load_balance == pytest.approx(1.0)
+
+    def test_wall_time_is_slowest_shard(self):
+        # Heterogeneous fleet: the big GPU waits for the small one.
+        devices = [
+            Device("GH200", ExecutionMode.DRY_RUN),
+            Device("AD4000", ExecutionMode.DRY_RUN),
+        ]
+        result = ShardedBeamformer(
+            devices, **LOFAR, include_transpose=False, include_packing=False
+        ).execute()
+        times = [s.total.time_s for s in result.shards]
+        assert result.wall_time_s == max(times)
+        assert result.load_balance < 1.0
+
+    def test_per_device_timelines_populated(self):
+        devices = dry_devices(3)
+        ShardedBeamformer(devices, **LOFAR).execute()
+        for device in devices:
+            assert len(device.timeline) >= 1
+
+    def test_dry_run_ignores_operands(self):
+        # Like the single-device plan, dry-run shards predict cost only and
+        # never touch (or validate) the operands.
+        result = ShardedBeamformer(dry_devices(2), **LOFAR).execute(
+            np.zeros((1,)), np.zeros((1,))
+        )
+        assert result.output is None
+        assert all(s.output is None for s in result.shards)
+
+    def test_energy_sums_over_shards(self):
+        result = ShardedBeamformer(dry_devices(2), **LOFAR).execute()
+        assert result.energy_j == pytest.approx(
+            sum(s.total.energy_j for s in result.shards)
+        )
+
+
+class TestFunctionalSharding:
+    def test_batch_shard_merges_exactly(self, rng):
+        # int1 outputs are exact small integers, so the sharded result must
+        # equal the single-device result bit for bit.
+        batch, m, k, n = 4, 8, 64, 16
+        w = random_pm1_complex(rng, (batch, m, k))
+        d = random_pm1_complex(rng, (batch, k, n))
+        kwargs = dict(
+            n_beams=m, n_receivers=k, n_samples=n, batch=batch,
+            precision=Precision.INT1,
+        )
+        single = BeamformerPlan(Device("A100"), **kwargs).execute(w, d)
+        sharded = ShardedBeamformer(
+            [Device("A100"), Device("A100")], shard_dim="batch", **kwargs
+        ).execute(w, d)
+        assert sharded.output.shape == single.output.shape
+        assert np.array_equal(sharded.output, single.output)
+
+    def test_beam_shard_merges_exactly(self, rng):
+        m, k, n = 8, 64, 16
+        w = random_pm1_complex(rng, (1, m, k))
+        d = random_pm1_complex(rng, (1, k, n))
+        kwargs = dict(
+            n_beams=m, n_receivers=k, n_samples=n, precision=Precision.INT1
+        )
+        single = BeamformerPlan(Device("A100"), **kwargs).execute(w, d)
+        sharded = ShardedBeamformer(
+            [Device("A100"), Device("A100")], shard_dim="beams", **kwargs
+        ).execute(w, d)
+        assert np.array_equal(sharded.output, single.output)
+
+    def test_batch_shard_uses_one_global_scale(self, rng):
+        # Without output-scale restoration, per-shard RMS would normalize a
+        # loud batch item differently from a quiet one; the sharded result
+        # must match the unsharded plan bit for bit instead.
+        batch, m, k, n = 2, 4, 32, 8
+        w = random_complex(rng, (batch, m, k))
+        d = random_complex(rng, (batch, k, n))
+        d[1] *= 100.0  # item 1 is 100x louder than item 0
+        kwargs = dict(n_beams=m, n_receivers=k, n_samples=n, batch=batch,
+                      include_transpose=False, restore_output_scale=False)
+        single = BeamformerPlan(Device("A100"), **kwargs).execute(w, d)
+        sharded = ShardedBeamformer(
+            [Device("A100"), Device("A100")], shard_dim="batch", **kwargs
+        ).execute(w, d)
+        assert np.array_equal(sharded.output, single.output)
+
+    def test_gemm_only_ops_accounting(self):
+        # With streaming stages enabled, aggregate ops must still count the
+        # GEMM's FLOPs only — consistent with BeamformResult.tflops.
+        kwargs = dict(n_beams=256, n_receivers=512, n_samples=256,
+                      precision=Precision.INT1)
+        sharded = ShardedBeamformer(dry_devices(2), batch=2, shard_dim="batch", **kwargs)
+        result = sharded.execute()
+        gemm_ops = sum(s.gemm_cost.useful_ops for s in result.shards)
+        assert result.useful_ops == pytest.approx(gemm_ops)
+        assert result.useful_ops < sum(s.total.useful_ops for s in result.shards)
+        assert sharded.predicted_throughput() == pytest.approx(result.ops_per_second)
+
+    def test_beam_shard_restores_scale_like_single(self, rng):
+        # Beams mode pre-normalizes the shared data once (shards see unit
+        # scale); the restored output must still match the unsharded plan.
+        m, k, n = 8, 32, 8
+        w = random_complex(rng, (1, m, k))
+        d = random_complex(rng, (1, k, n), scale=50.0)
+        kwargs = dict(n_beams=m, n_receivers=k, n_samples=n,
+                      include_transpose=False, restore_output_scale=True)
+        single = BeamformerPlan(Device("A100"), **kwargs).execute(w, d)
+        sharded = ShardedBeamformer(
+            [Device("A100"), Device("A100")], shard_dim="beams", **kwargs
+        ).execute(w, d)
+        assert np.array_equal(sharded.output, single.output)
+
+    def test_float16_batch_shard_close(self, rng):
+        batch, m, k, n = 2, 4, 32, 8
+        w = random_complex(rng, (batch, m, k))
+        d = random_complex(rng, (batch, k, n))
+        kwargs = dict(n_beams=m, n_receivers=k, n_samples=n, batch=batch,
+                      include_transpose=False, restore_output_scale=True)
+        sharded = ShardedBeamformer(
+            [Device("A100"), Device("A100")], shard_dim="batch", **kwargs
+        ).execute(w, d)
+        assert np.allclose(sharded.output, w @ d, atol=0.05)
+
+
+class TestValidation:
+    def test_no_devices(self):
+        with pytest.raises(ShapeError):
+            ShardedBeamformer([], **LOFAR)
+
+    def test_bad_shard_dim(self):
+        with pytest.raises(ShapeError):
+            ShardedBeamformer(dry_devices(2), shard_dim="samples", **LOFAR)
+
+    def test_oversized_operands_rejected_not_truncated(self, rng):
+        # An operand larger than the declared problem along the sharded
+        # axis must raise like the single-device plan, not be sliced down.
+        kwargs = dict(n_beams=4, n_receivers=32, n_samples=8, batch=4,
+                      include_transpose=False)
+        sharded = ShardedBeamformer(
+            [Device("A100"), Device("A100")], shard_dim="batch", **kwargs
+        )
+        with pytest.raises(ShapeError):
+            sharded.execute(
+                random_complex(rng, (6, 4, 32)), random_complex(rng, (6, 32, 8))
+            )
+        beam_sharded = ShardedBeamformer(
+            [Device("A100"), Device("A100")], shard_dim="beams",
+            n_beams=8, n_receivers=32, n_samples=8, include_transpose=False,
+        )
+        with pytest.raises(ShapeError):
+            beam_sharded.execute(
+                random_complex(rng, (1, 12, 32)), random_complex(rng, (1, 32, 8))
+            )
+
+    def test_kernel_variant_kwargs_forwarded(self):
+        # AND-mode int1 (Hopper-style) must be shardable too.
+        from repro.gpusim.arch import BitOp
+
+        sharded = ShardedBeamformer(
+            dry_devices(2), n_beams=64, n_receivers=256, n_samples=64,
+            batch=2, precision=Precision.INT1, bit_op=BitOp.AND,
+        )
+        result = sharded.execute()
+        assert all(s.gemm_cost.name == "gemm_int1_and" for s in result.shards)
+
+    def test_mixed_mode_fleet_rejected(self):
+        from repro.errors import DeviceError
+
+        with pytest.raises(DeviceError):
+            ShardedBeamformer(
+                [Device("A100"), Device("A100", ExecutionMode.DRY_RUN)], **LOFAR
+            )
+
+    def test_more_devices_than_units(self):
+        with pytest.raises(ShapeError):
+            ShardedBeamformer(
+                dry_devices(3), n_beams=16, n_receivers=8, n_samples=16, batch=2
+            )
