@@ -8,14 +8,17 @@ pick a device, state the shapes and precision, run. This script:
    NumPy reference;
 2. repeats in 1-bit mode with ±1 data (exact integer arithmetic);
 3. prints the predicted kernel time/energy on several catalog GPUs, both
-   at paper scale (dry-run) and at the small functional scale.
+   at paper scale (dry-run) and at the small functional scale;
+4. states the same problem at the domain level through the TCBF
+   BeamformerPlan, which adds the streaming stages (transpose, packing,
+   RMS scaling) and end-to-end cost accounting on top of the raw GEMM.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro import Device, ExecutionMode, Gemm, Precision, gemm_once
+from repro import BeamformerPlan, Device, ExecutionMode, Gemm, Precision, gemm_once
 from repro.util.units import format_ops_per_joule, format_ops_rate, format_seconds
 
 rng = np.random.default_rng(2025)
@@ -57,5 +60,34 @@ for gpu in ("AD4000", "A100", "GH200", "MI300X"):
           f"{format_ops_per_joule(cost.ops_per_joule):>12s}  "
           f"({format_seconds(cost.time_s)}, {cost.power_w:.0f} W)")
 
+# --- 4. the domain-level BeamformerPlan ---------------------------------------
+# The TCBF layer states the *beamforming* problem — beams x receivers x
+# samples — and composes the streaming stages underneath. Functional run:
+plan = BeamformerPlan(
+    device, n_beams=m, n_receivers=k, n_samples=n, batch=batch,
+    include_transpose=False, restore_output_scale=True,
+)
+bf = plan.execute(a, b)  # weights @ data, RMS-normalized internally
+print(f"\nBeamformerPlan on {device.name}: {plan.shape} "
+      f"-> beams {bf.beams.shape}, {bf.tflops:.2f} TFLOPs/s, {bf.fps:.0f} fps")
+plan_vs_gemm = np.abs(bf.beams - result.output).max() / np.abs(result.output).max()
+print(f"  max relative deviation from the raw GEMM result: {plan_vs_gemm:.2e} "
+      f"(fp16 quantization at a different operand scale)")
+
+# Paper-scale end-to-end accounting (dry-run): unlike the raw GEMM, the
+# block budget includes the per-block measurement transpose and packing
+# (the Fig 5 accounting), plus the one-time weight preparation.
+stream_plan = BeamformerPlan(
+    Device("A100", ExecutionMode.DRY_RUN),
+    n_beams=49152, n_receivers=32768, n_samples=1024, precision=Precision.INT1,
+)
+prep = stream_plan.prepare_weights()
+block = stream_plan.predict_block_cost()
+gemm_only = stream_plan.predict_gemm_cost()
+print(f"int1 block at paper scale: {format_seconds(block.time_s)} end-to-end "
+      f"vs {format_seconds(gemm_only.time_s)} GEMM-only "
+      f"(+{format_seconds(prep.time_s)} once for weight prep)")
+
 print("\nDone. See examples/ultrasound_imaging.py and "
-      "examples/lofar_pulsar_search.py for the domain pipelines.")
+      "examples/lofar_pulsar_search.py for the domain pipelines, and "
+      "examples/serve_simulation.py for the serving tier on top.")

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Serving-tier simulation: from per-caller requests to saturating batches.
+
+The serving layer (repro.serve) turns sporadic beamforming requests into
+merged tensor-core launches. This script walks the full tier on simulated
+A100s:
+
+1. builds the two application request classes via their adapters'
+   ``service_workload()`` entry points;
+2. replays the same Poisson overload through naive per-request execution
+   and through dynamic micro-batching, printing both service reports;
+3. streams a bursty multi-tenant trace (both workloads interleaved) over a
+   two-device fleet with admission control, showing SLO tracking, plan
+   caching, and least-loaded routing;
+4. runs a small *functional* fleet end-to-end and checks the returned beams
+   against a NumPy reference — batching must not change the numbers.
+
+Run:  python examples/serve_simulation.py
+"""
+
+import numpy as np
+
+from repro.apps.radioastronomy.beamformer import service_workload as lofar_workload
+from repro.apps.ultrasound.imaging import service_workload as ultrasound_workload
+from repro.gpusim.device import Device, ExecutionMode
+from repro.serve import (
+    SLO,
+    AdmissionController,
+    BatchingPolicy,
+    BeamformingService,
+    Request,
+    bursty_arrivals,
+    merge_arrivals,
+    poisson_arrivals,
+)
+
+SEED = 42
+SLO_5MS = SLO(p99_latency_s=5e-3)
+
+
+def fleet(n: int, mode=ExecutionMode.DRY_RUN) -> list[Device]:
+    return [Device("A100", mode) for _ in range(n)]
+
+
+# --- 1+2. naive vs micro-batched under one Poisson overload -------------------
+beam_block = lofar_workload()  # one GPU-resident LOFAR beam block per request
+t_request = beam_block.make_plan(fleet(1)[0], 1).predict_block_cost().time_s
+rate_hz = 5.0 / t_request  # 5x what naive per-request execution can drain
+arrivals = poisson_arrivals(beam_block, rate_hz, horizon_s=0.02, seed=SEED)
+print(f"Poisson load: {len(arrivals)} beam-block requests at {rate_hz / 1e3:.0f}k req/s\n")
+
+for label, max_batch in (("naive per-request", 1), ("micro-batched", 32)):
+    service = BeamformingService(
+        fleet(1),
+        policy=BatchingPolicy(max_batch=max_batch, max_wait_s=200e-6),
+        slo=SLO_5MS,
+    )
+    report = service.run(arrivals)
+    print(f"--- {label} (max_batch={max_batch}) ---")
+    print(report.summary())
+    print()
+
+# --- 3. multi-tenant bursty traffic over a two-device fleet -------------------
+frames = ultrasound_workload(n_voxels=4096, k=1024, n_frames=64)
+trace = merge_arrivals(
+    bursty_arrivals(
+        beam_block, rate_on_hz=rate_hz, rate_off_hz=rate_hz / 20,
+        mean_on_s=4e-3, mean_off_s=4e-3, horizon_s=0.02, seed=SEED,
+    ),
+    poisson_arrivals(frames, rate_hz / 8, horizon_s=0.02, seed=SEED + 1),
+)
+service = BeamformingService(
+    fleet(2),
+    policy=BatchingPolicy(max_batch=32, max_wait_s=200e-6),
+    slo=SLO_5MS,
+    admission=AdmissionController(SLO_5MS, max_queue_depth=4096),
+)
+report = service.run(trace)
+print("--- multi-tenant bursty trace, 2-device fleet ---")
+print(report.summary())
+print()
+
+# --- 4. functional fleet: batching must not change the beams ------------------
+rng = np.random.default_rng(SEED)
+b, m, k, n = 2, 8, 16, 12
+weights = (rng.normal(size=(b, m, k)) + 1j * rng.normal(size=(b, m, k))).astype(np.complex64)
+functional_workload = lofar_workload(
+    n_beams=m, n_stations=k, n_samples=n, n_channels=b, weights=weights
+)
+requests = [
+    Request(
+        rid=i,
+        workload=functional_workload,
+        arrival_s=i * 1e-5,
+        data=(rng.normal(size=(b, k, n)) + 1j * rng.normal(size=(b, k, n))).astype(
+            np.complex64
+        ),
+    )
+    for i in range(6)
+]
+service = BeamformingService(
+    fleet(1, ExecutionMode.FUNCTIONAL),
+    policy=BatchingPolicy(max_batch=3, max_wait_s=1e-4),
+    slo=SLO(p99_latency_s=1.0),
+)
+report = service.run(requests)
+worst = 0.0
+for outcome in report.outcomes:
+    reference = weights @ outcome.request.data
+    worst = max(
+        worst, float(np.abs(outcome.output - reference).max() / np.abs(reference).max())
+    )
+print("--- functional fleet ---")
+print(
+    f"{report.n_completed} requests beamformed in {report.n_batches} merged "
+    f"launches; max relative error vs NumPy reference: {worst:.2e}"
+)

@@ -26,7 +26,7 @@ from repro.tcbf import (
     StreamStats,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Gemm",

@@ -21,6 +21,8 @@ goes through ccglib.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.ccglib.precision import Precision
@@ -29,6 +31,9 @@ from repro.errors import ShapeError
 from repro.gpusim.device import Device
 from repro.gpusim.timing import Bound, KernelCost
 from repro.tcbf import BeamformerPlan, BeamformResult
+
+if TYPE_CHECKING:
+    from repro.serve.workload import Workload
 
 #: Attribute-compatible alias: reads (``.beams``, ``.cost``, ``.tflops``)
 #: work as before, but results are constructed by the TCBF plan, not by
@@ -101,6 +106,43 @@ class LOFARBeamformer:
         accounting all live in :class:`repro.tcbf.BeamformerPlan`.
         """
         return self._plan.execute(weights, data)
+
+
+def service_workload(
+    n_beams: int = 256,
+    n_stations: int = 64,
+    n_samples: int = 256,
+    n_channels: int = 1,
+    n_polarizations: int = 1,
+    precision: Precision = Precision.FLOAT16,
+    weights_version: int = 0,
+    weights: np.ndarray | None = None,
+) -> "Workload":
+    """The radio-astronomy request class for :mod:`repro.serve`.
+
+    One request is a beam block — a channel range of station voltages to
+    tied-array beamform, the unit a correlator node hands off. Data are
+    GPU-resident (§V-B), so the per-block accounting is GEMM-only, and the
+    operand scale is restored (absolute beam powers feed the pulsar search).
+    ``weights`` optionally carries the ``(channels x pols, beams, stations)``
+    weight set for functional fleets; bump ``weights_version`` on
+    calibration updates so stale and fresh requests never share a batch.
+    """
+    from repro.serve.workload import Workload
+
+    return Workload(
+        name="lofar_beam_block",
+        n_beams=n_beams,
+        n_receivers=n_stations,
+        n_samples=n_samples,
+        batch_per_request=n_channels * n_polarizations,
+        precision=precision,
+        include_transpose=False,
+        include_packing=False,
+        restore_output_scale=True,
+        weights_version=weights_version,
+        weights=weights,
+    )
 
 
 def incoherent_beam(

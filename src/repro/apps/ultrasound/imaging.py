@@ -27,6 +27,7 @@ point made concrete.
 from __future__ import annotations
 
 from dataclasses import replace
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -40,6 +41,9 @@ from repro.gpusim.timing import KernelCost
 from repro.kerneltuner.strategies import GreedyILS
 from repro.kerneltuner.tuner import tune_gemm
 from repro.tcbf import BeamformerPlan, BeamformResult
+
+if TYPE_CHECKING:
+    from repro.serve.workload import Workload
 
 #: cache of tuned parameters keyed by (gpu, precision, shape bucket).
 _APP_PARAMS_CACHE: dict[tuple[str, str, int, int, int], TuneParams] = {}
@@ -182,6 +186,43 @@ class UltrasoundBeamformer:
         result = self._plan.execute(self._matched_filter, measurement)
         # The imaging API is unbatched: strip the TCBF plan's batch axis.
         return replace(result, output=result.output[0])
+
+
+def service_workload(
+    n_voxels: int = 16384,
+    k: int = 4096,
+    n_frames: int = 256,
+    precision: Precision = Precision.INT1,
+    params: TuneParams | None = None,
+    weights_version: int = 0,
+    weights: np.ndarray | None = None,
+) -> "Workload":
+    """The ultrasound request class for :mod:`repro.serve`.
+
+    One request is a frame batch — ``n_frames`` acquisitions of one probe
+    to reconstruct against a shared model matrix (the matched filter).
+    Measurement transpose and (for int1) packing run per request (the
+    Fig 5 accounting); the image is scale-invariant, so the operand scale
+    is not restored. ``weights`` optionally carries the ``(voxels, K)``
+    matched filter for functional fleets; bump ``weights_version`` when
+    the probe's model matrix is recomputed.
+    """
+    from repro.serve.workload import Workload
+
+    return Workload(
+        name="ultrasound_frames",
+        n_beams=n_voxels,
+        n_receivers=k,
+        n_samples=n_frames,
+        batch_per_request=1,
+        precision=precision,
+        include_transpose=True,
+        include_packing=precision is Precision.INT1,
+        restore_output_scale=False,
+        weights_version=weights_version,
+        params=params,
+        weights=weights,
+    )
 
 
 def _planar(complex_matrix: np.ndarray) -> np.ndarray:

@@ -5,7 +5,19 @@ from __future__ import annotations
 import inspect
 from collections.abc import Callable
 
-from repro.bench import ablations, claims, fig2, fig3, fig4, fig5, fig6, fig7, table1, table3
+from repro.bench import (
+    ablations,
+    claims,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    serve,
+    table1,
+    table3,
+)
 from repro.bench.report import ExperimentResult
 from repro.errors import ReproError
 
@@ -21,6 +33,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fig7": fig7.run,
     "ablations": ablations.run,
     "claims": claims.run,
+    "serve": serve.run,
 }
 
 

@@ -1,0 +1,59 @@
+"""repro.serve — the async beamforming service tier over :mod:`repro.tcbf`.
+
+The paper delivers a library; the roadmap's north star is a *service*:
+sporadic per-caller requests turned into the large, saturating batches the
+tensor cores need. This package is that tier, as a deterministic
+discrete-event simulation:
+
+* :mod:`~repro.serve.workload` — :class:`Workload`/:class:`Request`
+  descriptors (the app adapters construct them via ``service_workload()``);
+* :mod:`~repro.serve.arrivals` — seeded Poisson / bursty / diurnal load
+  generators;
+* :mod:`~repro.serve.batching` — the dynamic micro-batcher (``max_batch``
+  size trigger, ``max_wait_s`` latency trigger);
+* :mod:`~repro.serve.cache` — the LRU :class:`PlanCache` skipping planning
+  and one-time weight preparation for repeated workloads;
+* :mod:`~repro.serve.dispatch` — per-device queues with copy/compute
+  overlap and least-loaded fleet routing;
+* :mod:`~repro.serve.slo` — SLO targets, deterministic percentiles, and
+  front-door admission control (load shedding);
+* :mod:`~repro.serve.service` — :class:`BeamformingService`, the event
+  loop tying it together, reporting p50/p95/p99, throughput, goodput, shed
+  rate, batch and cache statistics, and fleet utilization.
+"""
+
+from repro.serve.arrivals import (
+    bursty_arrivals,
+    diurnal_arrivals,
+    merge_arrivals,
+    poisson_arrivals,
+)
+from repro.serve.batching import Batch, BatchingPolicy, MicroBatcher
+from repro.serve.cache import CachedPlan, PlanCache
+from repro.serve.dispatch import BatchExecution, DeviceWorker, FleetDispatcher
+from repro.serve.service import BeamformingService, RequestOutcome, ServiceReport
+from repro.serve.slo import SLO, AdmissionController, percentile
+from repro.serve.workload import Request, Workload
+
+__all__ = [
+    "Workload",
+    "Request",
+    "poisson_arrivals",
+    "bursty_arrivals",
+    "diurnal_arrivals",
+    "merge_arrivals",
+    "BatchingPolicy",
+    "MicroBatcher",
+    "Batch",
+    "PlanCache",
+    "CachedPlan",
+    "DeviceWorker",
+    "FleetDispatcher",
+    "BatchExecution",
+    "SLO",
+    "AdmissionController",
+    "percentile",
+    "BeamformingService",
+    "RequestOutcome",
+    "ServiceReport",
+]

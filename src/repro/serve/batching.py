@@ -1,0 +1,171 @@
+"""Dynamic micro-batching: coalesce compatible requests into one launch.
+
+The tensor cores only pay off when the GEMM is large enough to fill the
+device (wave quantization and launch overhead dominate small problems —
+exactly what the paper's performance model predicts for per-request
+shapes). The :class:`MicroBatcher` therefore holds arriving requests
+briefly and flushes a group as one merged
+:class:`~repro.tcbf.plan.BeamformerPlan` execution when either
+
+* ``max_batch`` compatible requests have accumulated (size trigger), or
+* the oldest request has waited ``max_wait_s`` (latency trigger).
+
+Compatibility is the workload's :meth:`~repro.serve.workload.Workload.compat_key`
+— same shape, precision, stage accounting, and weight-set generation.
+``max_batch = 1`` degenerates to naive per-request execution, which the
+service benchmark uses as its baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ShapeError
+from repro.serve.workload import Request, Workload
+
+
+@dataclass(frozen=True)
+class BatchingPolicy:
+    """Knobs of the micro-batcher.
+
+    ``max_batch``: requests per merged launch (the size trigger);
+    ``max_wait_s``: longest a request may sit in a forming batch before the
+    latency trigger flushes it — the explicit latency/throughput trade-off.
+    """
+
+    max_batch: int = 8
+    max_wait_s: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ShapeError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait_s < 0:
+            raise ShapeError(f"max_wait_s must be >= 0, got {self.max_wait_s}")
+
+
+@dataclass
+class Batch:
+    """A flushed group of compatible requests, ready for dispatch."""
+
+    bid: int
+    workload: Workload
+    requests: list[Request]
+    #: simulated time the batch left the batcher (its dispatch time).
+    formed_s: float
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.requests)
+
+    @property
+    def merged_batch(self) -> int:
+        """Batch extent of the merged plan execution."""
+        return self.n_requests * self.workload.batch_per_request
+
+    @property
+    def oldest_arrival_s(self) -> float:
+        return self.requests[0].arrival_s
+
+    @property
+    def batching_delay_s(self) -> float:
+        """Time the oldest member spent waiting for the batch to form."""
+        return self.formed_s - self.oldest_arrival_s
+
+
+@dataclass
+class _Group:
+    """A forming batch: members, latency-trigger deadline, creation order."""
+
+    requests: list[Request] = field(default_factory=list)
+    deadline_s: float = 0.0
+    #: monotone creation sequence — the deterministic flush tie-break.
+    seq: int = 0
+
+
+class MicroBatcher:
+    """Groups requests by compatibility key under a :class:`BatchingPolicy`.
+
+    Purely event-driven and deterministic: the caller advances time through
+    the ``now`` arguments, and ties between simultaneously-due groups break
+    on (deadline, insertion order).
+    """
+
+    def __init__(self, policy: BatchingPolicy):
+        self.policy = policy
+        self._groups: dict[tuple, _Group] = {}
+        self._next_bid = 0
+        self._next_seq = 0
+        #: lifetime counters for the service report.
+        self.n_offered = 0
+        self.n_flushed_full = 0
+        self.n_flushed_timer = 0
+
+    def depth(self) -> int:
+        """Requests currently waiting in forming batches."""
+        return sum(len(g.requests) for g in self._groups.values())
+
+    def next_deadline(self) -> float | None:
+        """Earliest latency-trigger deadline among forming batches."""
+        if not self._groups:
+            return None
+        return min(g.deadline_s for g in self._groups.values())
+
+    def offer(self, request: Request, now: float) -> Batch | None:
+        """Add one request; returns a batch iff the size trigger fired.
+
+        The caller is responsible for draining timer-due groups first
+        (:meth:`due`) so a request never joins a group whose deadline has
+        already passed.
+        """
+        key = request.workload.compat_key()
+        group = self._groups.get(key)
+        if group is None:
+            group = self._groups[key] = _Group(
+                deadline_s=now + self.policy.max_wait_s, seq=self._next_seq
+            )
+            self._next_seq += 1
+        group.requests.append(request)
+        self.n_offered += 1
+        if len(group.requests) >= self.policy.max_batch:
+            self.n_flushed_full += 1
+            return self._flush(key, now)
+        return None
+
+    def due(self, now: float) -> list[Batch]:
+        """Flush every group whose latency trigger has fired by ``now``.
+
+        Returned in deadline order; each batch's ``formed_s`` is its own
+        deadline (the timer fired then, not at the observation instant).
+        """
+        due_keys = sorted(
+            (key for key, g in self._groups.items() if g.deadline_s <= now),
+            key=lambda key: (self._groups[key].deadline_s, self._groups[key].seq),
+        )
+        batches = []
+        for key in due_keys:
+            self.n_flushed_timer += 1
+            batches.append(self._flush(key, self._groups[key].deadline_s))
+        return batches
+
+    def flush_all(self) -> list[Batch]:
+        """Drain every forming batch at its deadline (end-of-trace flush)."""
+        keys = sorted(
+            self._groups,
+            key=lambda key: (self._groups[key].deadline_s, self._groups[key].seq),
+        )
+        batches = []
+        for key in keys:
+            self.n_flushed_timer += 1
+            batches.append(self._flush(key, self._groups[key].deadline_s))
+        return batches
+
+    def _flush(self, key: tuple, formed_s: float) -> Batch:
+        group = self._groups.pop(key)
+        batch = Batch(
+            bid=self._next_bid,
+            workload=group.requests[0].workload,
+            requests=group.requests,
+            formed_s=formed_s,
+        )
+        self._next_bid += 1
+        return batch

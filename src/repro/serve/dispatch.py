@@ -1,0 +1,180 @@
+"""Fleet dispatch: route merged batches across per-device queues.
+
+Each device gets a :class:`DeviceWorker` modelling the two engines the
+streaming tier already distinguishes (:mod:`repro.tcbf.streaming`): a copy
+engine running the stage-in kernels (transpose + packing) and a compute
+engine running the GEMM. Consecutive batches on one worker overlap exactly
+like consecutive blocks in a :class:`~repro.tcbf.streaming.BlockExecutor` —
+the stage-in of batch *i+1* hides behind the GEMM of batch *i* — so the
+service inherits the library's copy/compute overlap for free.
+
+:class:`FleetDispatcher` is the routing layer: least-loaded (earliest
+compute-engine drain) with deterministic index-order tie-breaking, the
+sharding counterpart of :class:`~repro.tcbf.sharding.ShardedBeamformer` for
+many small independent problems instead of one large one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DeviceError, ShapeError
+from repro.gpusim.device import Device
+from repro.serve.batching import Batch
+from repro.serve.cache import CachedPlan, PlanCache
+from repro.tcbf import merge_batch_operands, split_batched_output
+
+
+@dataclass
+class BatchExecution:
+    """One dispatched batch on the fleet timeline."""
+
+    batch: Batch
+    device_name: str
+    worker_index: int
+    #: when the batch left the batcher.
+    ready_s: float
+    #: copy-engine start (after queueing and any one-time plan build).
+    start_s: float
+    compute_start_s: float
+    completion_s: float
+    stage_in_s: float
+    gemm_s: float
+    #: one-time plan-build latency charged to this batch (cache miss only).
+    build_s: float
+    #: per-request output blocks (functional fleets; ``None`` on dry-run).
+    outputs: list[np.ndarray] | None = None
+
+    @property
+    def queue_delay_s(self) -> float:
+        """Time the batch waited for the worker (excludes batching delay)."""
+        return self.start_s - self.ready_s
+
+    @property
+    def service_s(self) -> float:
+        return self.completion_s - self.start_s
+
+
+class DeviceWorker:
+    """One device's in-order queue with copy/compute engine overlap."""
+
+    def __init__(self, device: Device, index: int):
+        self.device = device
+        self.index = index
+        self._copy_free_s = 0.0
+        self._compute_free_s = 0.0
+        #: accumulated compute-engine busy time (utilization numerator).
+        self.busy_s = 0.0
+        self.n_batches = 0
+        self.n_requests = 0
+
+    def backlog_s(self, now: float) -> float:
+        """Seconds of queued compute ahead of a batch arriving now."""
+        return max(self._compute_free_s - now, 0.0)
+
+    def schedule(
+        self, batch: Batch, entry: CachedPlan, build_s: float
+    ) -> BatchExecution:
+        """Place one batch on this worker's engines; returns its timeline.
+
+        The one-time plan build serializes ahead of the batch's stage-in on
+        the copy engine (a cold plan cannot stage data); the GEMM starts
+        once its stage-in and the previous GEMM are both done — the same
+        event model as :func:`repro.tcbf.streaming.pipelined_makespan`.
+        """
+        start = max(batch.formed_s, self._copy_free_s)
+        copy_end = start + build_s + entry.stage_in_s
+        compute_start = max(copy_end, self._compute_free_s)
+        completion = compute_start + entry.gemm_s
+        self._copy_free_s = copy_end
+        self._compute_free_s = completion
+        self.busy_s += entry.gemm_s
+        self.n_batches += 1
+        self.n_requests += batch.n_requests
+        return BatchExecution(
+            batch=batch,
+            device_name=self.device.name,
+            worker_index=self.index,
+            ready_s=batch.formed_s,
+            start_s=start,
+            compute_start_s=compute_start,
+            completion_s=completion,
+            stage_in_s=entry.stage_in_s,
+            gemm_s=entry.gemm_s,
+            build_s=build_s,
+        )
+
+    def utilization(self, makespan_s: float) -> float:
+        """Compute-engine busy fraction over the simulated horizon."""
+        return self.busy_s / makespan_s if makespan_s > 0 else 0.0
+
+
+class FleetDispatcher:
+    """Least-loaded routing of batches over a homogeneous-mode fleet."""
+
+    def __init__(self, devices: list[Device], cache: PlanCache | None = None):
+        if not devices:
+            raise ShapeError("fleet dispatch requires at least one device")
+        if len({d.is_functional for d in devices}) > 1:
+            raise DeviceError(
+                "fleet devices must share one execution mode; "
+                "got a mix of functional and dry-run"
+            )
+        self.workers = [DeviceWorker(d, i) for i, d in enumerate(devices)]
+        self.cache = cache if cache is not None else PlanCache()
+        self.executions: list[BatchExecution] = []
+
+    @property
+    def is_functional(self) -> bool:
+        return self.workers[0].device.is_functional
+
+    def least_loaded(self, now: float) -> DeviceWorker:
+        """Worker whose compute engine drains first (ties: lowest index)."""
+        return min(self.workers, key=lambda w: (w.backlog_s(now), w.index))
+
+    def dispatch(self, batch: Batch) -> BatchExecution:
+        """Route one batch: pick a worker, fault in the plan, schedule.
+
+        Functional fleets additionally execute the merged block for real —
+        the shared weight set repeats per request, the request data blocks
+        concatenate along the batch axis, and the output scatters back one
+        slice per request (:func:`repro.tcbf.split_batched_output`).
+        """
+        worker = self.least_loaded(batch.formed_s)
+        entry, build_s = self.cache.get(worker.device, batch.workload, batch.n_requests)
+        execution = worker.schedule(batch, entry, build_s)
+        if self.is_functional:
+            execution.outputs = self._execute(batch, entry)
+        self.executions.append(execution)
+        return execution
+
+    def _execute(self, batch: Batch, entry: CachedPlan) -> list[np.ndarray]:
+        workload = batch.workload
+        if workload.weights is None:
+            raise ShapeError(
+                f"functional dispatch of {workload.name!r} requires the "
+                "workload to carry its weight set"
+            )
+        blocks = [req.data for req in batch.requests]
+        if any(b is None for b in blocks):
+            raise ShapeError(
+                f"functional dispatch of {workload.name!r} requires every "
+                "request to carry a data block"
+            )
+        weights, data = merge_batch_operands(workload.weights, blocks)
+        result = entry.plan.execute(weights, data)
+        return split_batched_output(
+            result.output, [workload.batch_per_request] * batch.n_requests
+        )
+
+    # -- aggregate statistics ------------------------------------------------
+
+    def makespan_s(self) -> float:
+        """Completion time of the last batch (0 when nothing ran)."""
+        return max((e.completion_s for e in self.executions), default=0.0)
+
+    def utilizations(self, makespan_s: float | None = None) -> list[float]:
+        span = self.makespan_s() if makespan_s is None else makespan_s
+        return [w.utilization(span) for w in self.workers]

@@ -1,0 +1,333 @@
+"""The beamforming service: a discrete-event simulation of the serving tier.
+
+:class:`BeamformingService` wires the pieces into one front door::
+
+    arrivals -> admission control -> micro-batcher -> plan cache -> fleet
+
+and replays a request trace event-by-event: at each arrival it first
+flushes any batch whose latency trigger fired earlier, then decides
+admission from an at-arrival latency estimate, then offers the request to
+the batcher (a full batch dispatches immediately). Time is purely
+simulated — batches are stamped with their trigger times, so lazy event
+processing is exact — and every component is seeded/deterministic, making
+whole service runs bit-reproducible.
+
+The output is a :class:`ServiceReport`: per-request outcomes plus the
+SLO-facing aggregates (p50/p95/p99 latency, throughput, goodput, shed
+rate, batch-size and plan-cache statistics, per-device utilization).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.gpusim.device import Device
+from repro.serve.batching import Batch, BatchingPolicy, MicroBatcher
+from repro.serve.cache import PlanCache
+from repro.serve.dispatch import BatchExecution, FleetDispatcher
+from repro.serve.slo import SLO, AdmissionController, percentile
+from repro.serve.workload import Request
+
+#: smoothing of the observed batch service time feeding admission control.
+SERVICE_ESTIMATE_ALPHA = 0.3
+
+
+@dataclass
+class RequestOutcome:
+    """Fate of one offered request."""
+
+    request: Request
+    admitted: bool
+    batch_id: int | None = None
+    completion_s: float | None = None
+    output: np.ndarray | None = None
+
+    @property
+    def latency_s(self) -> float | None:
+        if self.completion_s is None:
+            return None
+        return self.completion_s - self.request.arrival_s
+
+
+@dataclass
+class ServiceReport:
+    """Aggregate outcome of one simulated service run."""
+
+    outcomes: list[RequestOutcome]
+    executions: list[BatchExecution]
+    slo: SLO
+    policy: BatchingPolicy
+    n_devices: int
+    shed_rate: float
+    cache_hit_rate: float
+    cache_misses: int
+    utilizations: list[float] = field(default_factory=list)
+
+    # -- request-level metrics ----------------------------------------------
+
+    @property
+    def n_offered(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def n_admitted(self) -> int:
+        return sum(1 for o in self.outcomes if o.admitted)
+
+    @property
+    def n_completed(self) -> int:
+        return sum(1 for o in self.outcomes if o.completion_s is not None)
+
+    @property
+    def latencies_s(self) -> list[float]:
+        return [o.latency_s for o in self.outcomes if o.latency_s is not None]
+
+    def latency_percentile(self, q: float) -> float:
+        lat = self.latencies_s
+        return percentile(lat, q) if lat else 0.0
+
+    @property
+    def p50_latency_s(self) -> float:
+        return self.latency_percentile(50.0)
+
+    @property
+    def p95_latency_s(self) -> float:
+        return self.latency_percentile(95.0)
+
+    @property
+    def p99_latency_s(self) -> float:
+        return self.latency_percentile(99.0)
+
+    @property
+    def mean_latency_s(self) -> float:
+        lat = self.latencies_s
+        return sum(lat) / len(lat) if lat else 0.0
+
+    @property
+    def slo_attained(self) -> bool:
+        """p99 of admitted requests within the target (and anything ran)."""
+        return self.n_completed > 0 and self.p99_latency_s <= self.slo.p99_latency_s
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Completed requests beyond the admission deadline."""
+        lat = self.latencies_s
+        if not lat:
+            return 0.0
+        deadline = self.slo.admission_deadline_s
+        return sum(1 for t in lat if t > deadline) / len(lat)
+
+    # -- throughput -----------------------------------------------------------
+
+    @property
+    def span_s(self) -> float:
+        """First arrival to last completion — the observation window."""
+        if not self.outcomes:
+            return 0.0
+        first = min(o.request.arrival_s for o in self.outcomes)
+        last = max((o.completion_s for o in self.outcomes if o.completion_s is not None),
+                   default=first)
+        return last - first
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per second of observed span."""
+        span = self.span_s
+        return self.n_completed / span if span > 0 else 0.0
+
+    @property
+    def goodput_rps(self) -> float:
+        """Deadline-respecting completions per second of observed span."""
+        span = self.span_s
+        if span <= 0:
+            return 0.0
+        deadline = self.slo.admission_deadline_s
+        good = sum(1 for t in self.latencies_s if t <= deadline)
+        return good / span
+
+    # -- batching -------------------------------------------------------------
+
+    @property
+    def n_batches(self) -> int:
+        return len(self.executions)
+
+    @property
+    def mean_batch_size(self) -> float:
+        if not self.executions:
+            return 0.0
+        return sum(e.batch.n_requests for e in self.executions) / len(self.executions)
+
+    @property
+    def max_batch_size(self) -> int:
+        return max((e.batch.n_requests for e in self.executions), default=0)
+
+    def summary(self) -> str:
+        lines = [
+            f"requests: {self.n_offered} offered, {self.n_admitted} admitted, "
+            f"{self.n_completed} completed ({self.shed_rate:.1%} shed)",
+            f"latency:  p50 {self.p50_latency_s * 1e3:.3f} ms, "
+            f"p95 {self.p95_latency_s * 1e3:.3f} ms, "
+            f"p99 {self.p99_latency_s * 1e3:.3f} ms "
+            f"(SLO {self.slo.p99_latency_s * 1e3:.3f} ms: "
+            f"{'attained' if self.slo_attained else 'MISSED'})",
+            f"rate:     {self.throughput_rps:.0f} req/s throughput, "
+            f"{self.goodput_rps:.0f} req/s goodput over {self.span_s * 1e3:.1f} ms",
+            f"batching: {self.n_batches} launches, mean batch "
+            f"{self.mean_batch_size:.1f} (max {self.max_batch_size}, "
+            f"knob {self.policy.max_batch} / {self.policy.max_wait_s * 1e6:.0f} us)",
+            f"plans:    {self.cache_hit_rate:.1%} cache hit rate "
+            f"({self.cache_misses} builds)",
+            f"fleet:    {self.n_devices} device(s), utilization "
+            + ", ".join(f"{u:.1%}" for u in self.utilizations),
+        ]
+        return "\n".join(lines)
+
+
+class BeamformingService:
+    """The serving tier over a (simulated) device fleet.
+
+    Parameters
+    ----------
+    devices:
+        Homogeneous-mode fleet (dry-run for capacity studies, functional
+        for end-to-end output checks).
+    policy:
+        Micro-batching knobs; ``max_batch=1`` is the naive baseline.
+    slo:
+        Latency objective; drives both reporting and admission control.
+    admission:
+        Optional pre-configured controller; by default one is built from
+        ``slo`` with no depth cap.
+    cache:
+        Optional pre-warmed :class:`PlanCache` (shared across runs to model
+        a long-lived server; by default each run starts cold).
+    """
+
+    def __init__(
+        self,
+        devices: list[Device],
+        policy: BatchingPolicy | None = None,
+        slo: SLO | None = None,
+        admission: AdmissionController | None = None,
+        cache: PlanCache | None = None,
+    ):
+        self.policy = policy if policy is not None else BatchingPolicy()
+        self.slo = slo if slo is not None else SLO(p99_latency_s=10e-3)
+        self.admission = (
+            admission if admission is not None else AdmissionController(self.slo)
+        )
+        self.fleet = FleetDispatcher(devices, cache=cache)
+        self._batcher = MicroBatcher(self.policy)
+        self._ran = False
+        #: EMA of observed batch service time (admission's service estimate).
+        self._service_est_s = 0.0
+        #: min-heap of (completion_s, n_requests) for in-flight depth.
+        self._in_flight: list[tuple[float, int]] = []
+        self._in_flight_requests = 0
+        #: admitted-but-uncompleted outcomes, keyed by request identity
+        #: (rids may collide across independently generated streams; see
+        #: :func:`repro.serve.arrivals.merge_arrivals` for renumbering).
+        self._pending_outcomes: dict[int, RequestOutcome] = {}
+
+    # -- the event loop ------------------------------------------------------
+
+    def run(self, requests: list[Request]) -> ServiceReport:
+        """Replay one arrival trace through the service; returns the report.
+
+        The trace is processed in arrival order (sorted copy; ties keep
+        offered order). The returned outcomes follow the offered order, so
+        reports line up with the input trace.
+
+        One service instance replays one trace: worker queues, batcher
+        counters, and report state are all trace-scoped. To model a warm
+        long-lived server, construct a fresh service per trace and share a
+        :class:`PlanCache` between them.
+        """
+        if self._ran:
+            raise ShapeError(
+                "BeamformingService.run is single-shot: construct a new "
+                "service per trace (share a PlanCache to model a warm server)"
+            )
+        self._ran = True
+        if len({id(r) for r in requests}) != len(requests):
+            raise ShapeError(
+                "the arrival trace offers the same Request object twice; "
+                "generate distinct requests (merge_arrivals renumbers ids)"
+            )
+        slots = {id(r): i for i, r in enumerate(requests)}
+        outcomes: list[RequestOutcome | None] = [None] * len(requests)
+        for req in sorted(requests, key=lambda r: r.arrival_s):
+            now = req.arrival_s
+            self._flush_due(now)
+            self._drain_completed(now)
+            outcome = RequestOutcome(request=req, admitted=False)
+            outcomes[slots[id(req)]] = outcome
+            if not self.admission.admit(self._estimate_latency(now), self._depth()):
+                continue
+            outcome.admitted = True
+            self._pending_outcomes[id(req)] = outcome
+            full = self._batcher.offer(req, now)
+            if full is not None:
+                self._dispatch(full)
+        for batch in self._batcher.flush_all():
+            self._dispatch(batch)
+        return ServiceReport(
+            outcomes=outcomes,
+            executions=list(self.fleet.executions),
+            slo=self.slo,
+            policy=self.policy,
+            n_devices=len(self.fleet.workers),
+            shed_rate=self.admission.shed_rate,
+            cache_hit_rate=self.fleet.cache.hit_rate,
+            cache_misses=self.fleet.cache.misses,
+            utilizations=self.fleet.utilizations(),
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _flush_due(self, now: float) -> None:
+        for batch in self._batcher.due(now):
+            self._dispatch(batch)
+
+    def _dispatch(self, batch: Batch) -> None:
+        execution = self.fleet.dispatch(batch)
+        heapq.heappush(
+            self._in_flight, (execution.completion_s, batch.n_requests)
+        )
+        self._in_flight_requests += batch.n_requests
+        observed = execution.completion_s - execution.start_s
+        if self._service_est_s == 0.0:
+            self._service_est_s = observed
+        else:
+            self._service_est_s += SERVICE_ESTIMATE_ALPHA * (
+                observed - self._service_est_s
+            )
+        for i, req in enumerate(batch.requests):
+            outcome = self._pending_outcomes.pop(id(req))
+            outcome.batch_id = batch.bid
+            outcome.completion_s = execution.completion_s
+            if execution.outputs is not None:
+                outcome.output = execution.outputs[i]
+
+    def _drain_completed(self, now: float) -> None:
+        while self._in_flight and self._in_flight[0][0] <= now:
+            _, n = heapq.heappop(self._in_flight)
+            self._in_flight_requests -= n
+
+    def _depth(self) -> int:
+        """Admitted requests waiting or in flight (admission's queue view)."""
+        return self._batcher.depth() + self._in_flight_requests
+
+    def _estimate_latency(self, now: float) -> float:
+        """At-arrival latency projection for admission control.
+
+        Worst-case batching wait plus the least-loaded worker's backlog
+        plus the smoothed observed batch service time. Uses only
+        information available at arrival — identical logic would run in a
+        live front door.
+        """
+        backlog = self.fleet.least_loaded(now).backlog_s(now)
+        return self.policy.max_wait_s + backlog + self._service_est_s

@@ -1,0 +1,114 @@
+"""Service-level objectives, latency accounting, and admission control.
+
+A serving tier is judged on its tail, not its mean: the SLO here is a p99
+latency target plus an optional per-request deadline. Under overload an
+unprotected queue grows without bound and *every* request misses; the
+:class:`AdmissionController` sheds load at the front door instead, keeping
+admitted requests inside the deadline at the price of an explicit shed
+rate — the classic goodput-over-throughput trade.
+
+Percentiles are computed with deterministic linear interpolation (no NumPy
+percentile-method ambiguity), so reports are bit-stable run to run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ShapeError
+
+
+@dataclass(frozen=True)
+class SLO:
+    """The service-level objective of a deployment.
+
+    ``p99_latency_s``: the reported tail target (attainment check);
+    ``deadline_s``: the per-request latency bound admission control
+    protects (defaults to the p99 target).
+    """
+
+    p99_latency_s: float
+    deadline_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.p99_latency_s <= 0:
+            raise ShapeError(f"p99 target must be positive, got {self.p99_latency_s}")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ShapeError(f"deadline must be positive, got {self.deadline_s}")
+
+    @property
+    def admission_deadline_s(self) -> float:
+        return self.deadline_s if self.deadline_s is not None else self.p99_latency_s
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Deterministic percentile with linear interpolation.
+
+    ``q`` in [0, 100]; raises on an empty sample (a service report with no
+    completions has no tail to state).
+    """
+    if not values:
+        raise ShapeError("cannot take a percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ShapeError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = q / 100.0 * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+class AdmissionController:
+    """Front-door load shedding against a latency estimate and queue depth.
+
+    A request is admitted unless
+
+    * the projected latency (batching wait + queue backlog + service
+      estimate, scaled by ``headroom``) exceeds the SLO's admission
+      deadline, or
+    * more than ``max_queue_depth`` admitted requests are already waiting
+      (forming batches plus in-flight dispatches).
+
+    ``headroom > 1`` sheds earlier (conservative), ``< 1`` later. The
+    estimate intentionally uses only information available at arrival time
+    — no peeking at future arrivals — so the same controller logic would
+    run unchanged in a live deployment.
+    """
+
+    def __init__(
+        self,
+        slo: SLO,
+        max_queue_depth: int | None = None,
+        headroom: float = 1.0,
+    ):
+        if headroom <= 0:
+            raise ShapeError(f"headroom must be positive, got {headroom}")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ShapeError(f"max_queue_depth must be >= 1, got {max_queue_depth}")
+        self.slo = slo
+        self.max_queue_depth = max_queue_depth
+        self.headroom = headroom
+        self.n_admitted = 0
+        self.n_shed = 0
+
+    def admit(self, estimated_latency_s: float, queue_depth: int) -> bool:
+        """Decide one arrival; updates the shed/admit counters."""
+        over_deadline = (
+            estimated_latency_s * self.headroom > self.slo.admission_deadline_s
+        )
+        over_depth = (
+            self.max_queue_depth is not None and queue_depth >= self.max_queue_depth
+        )
+        if over_deadline or over_depth:
+            self.n_shed += 1
+            return False
+        self.n_admitted += 1
+        return True
+
+    @property
+    def shed_rate(self) -> float:
+        offered = self.n_admitted + self.n_shed
+        return self.n_shed / offered if offered else 0.0

@@ -1,0 +1,145 @@
+"""Service request and workload descriptors.
+
+A serving tier sees neither matrices nor plans — it sees *requests*: "beam
+this block", "reconstruct this frame", each tied to a workload class. A
+:class:`Workload` captures everything the scheduler needs to know to treat
+two requests as batchable into one tensor-core launch: the GEMM shape, the
+precision, the stage-inclusion flags, and the weight-set generation (two
+requests against different calibrations must never share a GEMM). A
+:class:`Request` is one arrival of a workload, optionally carrying a real
+data block for functional fleets.
+
+The domain adapters expose ready-made descriptors through their
+``service_workload()`` entry points
+(:func:`repro.apps.radioastronomy.beamformer.service_workload`,
+:func:`repro.apps.ultrasound.imaging.service_workload`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ccglib.precision import Precision, complex_ops
+from repro.ccglib.tuning import TuneParams
+from repro.errors import ShapeError
+from repro.gpusim.device import Device
+from repro.tcbf import BeamformerPlan
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One batchable class of beamforming requests.
+
+    Parameters mirror :class:`~repro.tcbf.plan.BeamformerPlan`;
+    ``batch_per_request`` is the batch extent one request contributes (e.g.
+    channels x polarizations for a LOFAR beam block, 1 for an ultrasound
+    frame batch). ``weights_version`` is the calibration generation: bump it
+    when the weight set changes and the batcher stops coalescing old and new
+    requests while the plan cache naturally faults in fresh entries.
+
+    ``weights`` optionally carries the shared per-request A operand for
+    functional fleets; it is excluded from equality/compatibility (the
+    version field is the identity of the weight set).
+    """
+
+    name: str
+    n_beams: int
+    n_receivers: int
+    n_samples: int
+    batch_per_request: int = 1
+    precision: Precision = Precision.FLOAT16
+    include_transpose: bool = True
+    include_packing: bool | None = None
+    restore_output_scale: bool = False
+    weights_version: int = 0
+    params: TuneParams | None = None
+    weights: np.ndarray | None = field(default=None, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("n_beams", self.n_beams),
+            ("n_receivers", self.n_receivers),
+            ("n_samples", self.n_samples),
+            ("batch_per_request", self.batch_per_request),
+        ):
+            if value < 1:
+                raise ShapeError(f"{label} must be >= 1, got {value}")
+
+    @property
+    def effective_packing(self) -> bool:
+        """The packing flag as the plan will resolve it.
+
+        ``include_packing=None`` defaults to "pack iff int1", and float
+        precisions force it off — mirroring
+        :class:`~repro.tcbf.plan.BeamformerPlan` so two descriptors that
+        build identical plans also share one batching identity.
+        """
+        packing = (
+            self.include_packing
+            if self.include_packing is not None
+            else self.precision is Precision.INT1
+        )
+        return packing and self.precision is Precision.INT1
+
+    def compat_key(self) -> tuple:
+        """Hashable batching identity.
+
+        Requests whose workloads share this key may be merged into one
+        batched plan execution: same shape, precision, stage accounting
+        (with the packing flag resolved, not as passed), tuning override,
+        and weight-set generation.
+        """
+        return (
+            self.name,
+            self.n_beams,
+            self.n_receivers,
+            self.n_samples,
+            self.batch_per_request,
+            self.precision.value,
+            self.include_transpose,
+            self.effective_packing,
+            self.restore_output_scale,
+            self.weights_version,
+            self.params,
+        )
+
+    def make_plan(self, device: Device, n_requests: int = 1) -> BeamformerPlan:
+        """Build the merged-batch plan for ``n_requests`` coalesced requests."""
+        if n_requests < 1:
+            raise ShapeError(f"n_requests must be >= 1, got {n_requests}")
+        return BeamformerPlan(
+            device,
+            n_beams=self.n_beams,
+            n_receivers=self.n_receivers,
+            n_samples=self.n_samples,
+            batch=n_requests * self.batch_per_request,
+            precision=self.precision,
+            params=self.params,
+            include_transpose=self.include_transpose,
+            include_packing=self.include_packing,
+            restore_output_scale=self.restore_output_scale,
+            name=f"serve_{self.name}",
+        )
+
+    def request_ops(self) -> float:
+        """Application-level GEMM operations one request is worth."""
+        return complex_ops(
+            self.batch_per_request, self.n_beams, self.n_samples, self.n_receivers
+        )
+
+
+@dataclass
+class Request:
+    """One arrival of a workload at the service boundary.
+
+    ``data`` is the caller's B operand ``(batch_per_request, n_receivers,
+    n_samples)`` for functional fleets; ``None`` on dry-run fleets, where
+    only the cost model runs.
+    """
+
+    rid: int
+    workload: Workload
+    arrival_s: float
+    data: np.ndarray | None = field(default=None, compare=False)

@@ -21,7 +21,13 @@ The domain applications (:mod:`repro.apps.radioastronomy`,
 from repro.tcbf.plan import BeamformerPlan
 from repro.tcbf.result import BeamformResult
 from repro.tcbf.scaling import normalize_rms, rms
-from repro.tcbf.sharding import ShardedBeamformer, ShardResult, split_extent
+from repro.tcbf.sharding import (
+    ShardedBeamformer,
+    ShardResult,
+    merge_batch_operands,
+    split_batched_output,
+    split_extent,
+)
 from repro.tcbf.streaming import BlockExecutor, StreamStats, pipelined_makespan
 
 __all__ = [
@@ -32,6 +38,8 @@ __all__ = [
     "ShardedBeamformer",
     "ShardResult",
     "split_extent",
+    "merge_batch_operands",
+    "split_batched_output",
     "pipelined_makespan",
     "rms",
     "normalize_rms",

@@ -124,6 +124,32 @@ class BeamformerPlan:
         return self._gemm.params
 
     @property
+    def cache_key(self) -> tuple:
+        """Hashable identity of this built plan (cache ground truth).
+
+        Two plans with equal keys predict identical costs and accept the
+        same operands: device, shape, precision, resolved tuning
+        parameters, and every stage-inclusion flag participate. Caching
+        layers that key on pre-build descriptors — the serving tier's
+        :class:`~repro.serve.cache.PlanCache` derives its key from
+        :meth:`Workload.compat_key <repro.serve.workload.Workload.compat_key>`
+        before any plan exists — use this property to cross-check that
+        distinct entries really hold distinct plans.
+        """
+        return (
+            self.device.name,
+            self.batch,
+            self.n_beams,
+            self.n_receivers,
+            self.n_samples,
+            self.precision.value,
+            self.params,
+            self.include_transpose,
+            self.include_packing,
+            self.restore_output_scale,
+        )
+
+    @property
     def padded_k(self) -> int:
         return self._gemm.padded_k
 

@@ -54,6 +54,65 @@ def split_extent(total: int, parts: int) -> list[int]:
     return [base + (1 if i < extra else 0) for i in range(parts)]
 
 
+def merge_batch_operands(
+    weights: np.ndarray, data_blocks: Sequence[np.ndarray]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stack compatible per-request operands into one batched GEMM block.
+
+    The inverse direction of sharding: several small requests that share one
+    weight set (same calibration / matched filter) coalesce into a single
+    :class:`~repro.tcbf.plan.BeamformerPlan` execution with
+    ``batch = n_requests * per_request_batch``. ``weights`` is the shared
+    per-request A operand ``(b, M, K)`` (2-D allowed when ``b == 1``) and is
+    repeated once per request; ``data_blocks`` holds each request's B operand
+    ``(b, K, N)``. The merged output splits back per request with
+    :func:`split_batched_output`.
+    """
+    if not data_blocks:
+        raise ShapeError("cannot merge an empty request list")
+    weights, _ = ensure_batched(np.asarray(weights), 3)
+    blocks = []
+    for block in data_blocks:
+        block, _ = ensure_batched(np.asarray(block), 3)
+        if block.shape[0] != weights.shape[0] or block.shape[1] != weights.shape[2]:
+            raise ShapeError(
+                f"request block {block.shape} incompatible with weights "
+                f"{weights.shape}: per-request batch and K must match"
+            )
+        blocks.append(block)
+    if len({b.shape for b in blocks}) > 1:
+        raise ShapeError(
+            f"cannot merge blocks of differing shapes: {[b.shape for b in blocks]}"
+        )
+    merged_weights = np.concatenate([weights] * len(blocks), axis=0)
+    merged_data = np.concatenate(blocks, axis=0)
+    return merged_weights, merged_data
+
+
+def split_batched_output(
+    output: np.ndarray, extents: Sequence[int], axis: int = 0
+) -> list[np.ndarray]:
+    """Scatter a merged batch output back into per-request slices.
+
+    ``extents`` are the batch extents of the coalesced requests in merge
+    order; they must exactly cover ``output`` along ``axis``. Returns one
+    view per request (no copies), so the serving layer can hand each caller
+    its own result without duplicating the block.
+    """
+    if not extents:
+        raise ShapeError("cannot split over an empty extent list")
+    if any(e < 1 for e in extents):
+        raise ShapeError(f"extents must be positive, got {list(extents)}")
+    total = sum(extents)
+    if output.shape[axis] != total:
+        raise ShapeError(
+            f"extents sum to {total} but output has {output.shape[axis]} "
+            f"along axis {axis}"
+        )
+    bounds = np.cumsum(list(extents))[:-1]
+    return np.split(output, bounds, axis=axis)
+
+
 @dataclass
 class ShardResult:
     """Outcome of one multi-device beamformed block.

@@ -1,0 +1,111 @@
+"""Arrival generators: determinism, rates, ordering, validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ShapeError
+from repro.serve import (
+    Workload,
+    bursty_arrivals,
+    diurnal_arrivals,
+    merge_arrivals,
+    poisson_arrivals,
+)
+
+
+def workload(name: str = "wl") -> Workload:
+    return Workload(name=name, n_beams=8, n_receivers=16, n_samples=8)
+
+
+def assert_valid_trace(requests, horizon_s):
+    times = [r.arrival_s for r in requests]
+    assert times == sorted(times)
+    assert all(0.0 <= t < horizon_s for t in times)
+    assert [r.rid for r in requests] == list(range(len(requests)))
+
+
+class TestPoisson:
+    def test_deterministic_for_fixed_seed(self):
+        a = poisson_arrivals(workload(), 1000.0, 1.0, seed=3)
+        b = poisson_arrivals(workload(), 1000.0, 1.0, seed=3)
+        assert [r.arrival_s for r in a] == [r.arrival_s for r in b]
+
+    def test_different_seeds_differ(self):
+        a = poisson_arrivals(workload(), 1000.0, 1.0, seed=3)
+        b = poisson_arrivals(workload(), 1000.0, 1.0, seed=4)
+        assert [r.arrival_s for r in a] != [r.arrival_s for r in b]
+
+    def test_rate_within_statistical_bounds(self):
+        reqs = poisson_arrivals(workload(), 1000.0, 2.0, seed=0)
+        # 2000 expected, sigma ~45: a 5-sigma band is deterministic-safe.
+        assert 1775 <= len(reqs) <= 2225
+        assert_valid_trace(reqs, 2.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ShapeError):
+            poisson_arrivals(workload(), 0.0, 1.0)
+        with pytest.raises(ShapeError):
+            poisson_arrivals(workload(), 10.0, 0.0)
+
+
+class TestBursty:
+    def test_deterministic_and_sorted(self):
+        kwargs = dict(
+            rate_on_hz=2000.0, rate_off_hz=10.0, mean_on_s=0.05,
+            mean_off_s=0.05, horizon_s=1.0, seed=9,
+        )
+        a = bursty_arrivals(workload(), **kwargs)
+        b = bursty_arrivals(workload(), **kwargs)
+        assert [r.arrival_s for r in a] == [r.arrival_s for r in b]
+        assert_valid_trace(a, 1.0)
+
+    def test_silent_off_periods(self):
+        reqs = bursty_arrivals(
+            workload(), rate_on_hz=1000.0, rate_off_hz=0.0, mean_on_s=0.1,
+            mean_off_s=0.1, horizon_s=1.0, seed=1,
+        )
+        # Roughly half the horizon is silent: well under the all-on count.
+        assert 0 < len(reqs) < 900
+
+    def test_burstier_than_poisson(self):
+        # Max gap under on/off must exceed the typical poisson gap at the
+        # same average load: the bursts are the point of the generator.
+        on_off = bursty_arrivals(
+            workload(), rate_on_hz=2000.0, rate_off_hz=0.0, mean_on_s=0.02,
+            mean_off_s=0.08, horizon_s=1.0, seed=5,
+        )
+        gaps = [
+            b.arrival_s - a.arrival_s for a, b in zip(on_off, on_off[1:])
+        ]
+        assert max(gaps) > 0.02
+
+
+class TestDiurnal:
+    def test_deterministic_and_sorted(self):
+        a = diurnal_arrivals(workload(), 500.0, 0.8, 0.5, 1.0, seed=2)
+        b = diurnal_arrivals(workload(), 500.0, 0.8, 0.5, 1.0, seed=2)
+        assert [r.arrival_s for r in a] == [r.arrival_s for r in b]
+        assert_valid_trace(a, 1.0)
+
+    def test_amplitude_bounds_enforced(self):
+        with pytest.raises(ShapeError):
+            diurnal_arrivals(workload(), 500.0, 1.5, 0.5, 1.0)
+        with pytest.raises(ShapeError):
+            diurnal_arrivals(workload(), 500.0, 0.5, 0.0, 1.0)
+
+    def test_zero_amplitude_matches_poisson_mean(self):
+        reqs = diurnal_arrivals(workload(), 1000.0, 0.0, 0.5, 2.0, seed=0)
+        assert 1775 <= len(reqs) <= 2225
+
+
+class TestMerge:
+    def test_interleaves_and_renumbers(self):
+        a = poisson_arrivals(workload("a"), 500.0, 1.0, seed=1)
+        b = poisson_arrivals(workload("b"), 500.0, 1.0, seed=2)
+        merged = merge_arrivals(a, b)
+        assert len(merged) == len(a) + len(b)
+        assert_valid_trace(merged, 1.0)
+        # Both tenants are present after the merge.
+        names = {r.workload.name for r in merged}
+        assert names == {"a", "b"}

@@ -1,0 +1,184 @@
+"""Fleet dispatch: least-loaded routing, engine overlap, functional merge."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceError, ShapeError
+from repro.gpusim.device import Device, ExecutionMode
+from repro.serve import Batch, FleetDispatcher, PlanCache, Request, Workload
+from tests.conftest import random_complex
+
+
+def workload(name="wl", **overrides) -> Workload:
+    kwargs = dict(
+        name=name, n_beams=64, n_receivers=32, n_samples=64,
+        include_transpose=True,
+    )
+    kwargs.update(overrides)
+    return Workload(**kwargs)
+
+
+def make_batch(bid: int, wl: Workload, n: int, formed_s: float, data=None) -> Batch:
+    requests = [
+        Request(rid=bid * 100 + i, workload=wl, arrival_s=formed_s, data=data)
+        for i in range(n)
+    ]
+    return Batch(bid=bid, workload=wl, requests=requests, formed_s=formed_s)
+
+
+def dry_fleet(n: int) -> FleetDispatcher:
+    return FleetDispatcher([Device("A100", ExecutionMode.DRY_RUN) for _ in range(n)])
+
+
+class TestRouting:
+    def test_least_loaded_spreads_batches(self):
+        fleet = dry_fleet(2)
+        wl = workload()
+        e0 = fleet.dispatch(make_batch(0, wl, 2, 0.0))
+        e1 = fleet.dispatch(make_batch(1, wl, 2, 0.0))
+        # Worker 0 is busy after the first batch; the second goes to 1.
+        assert e0.worker_index == 0
+        assert e1.worker_index == 1
+
+    def test_tie_breaks_on_lowest_index(self):
+        fleet = dry_fleet(3)
+        assert fleet.least_loaded(0.0).index == 0
+
+    def test_mixed_mode_fleet_rejected(self):
+        with pytest.raises(DeviceError):
+            FleetDispatcher(
+                [Device("A100"), Device("A100", ExecutionMode.DRY_RUN)]
+            )
+        with pytest.raises(ShapeError):
+            FleetDispatcher([])
+
+    def test_two_devices_halve_the_drain_time(self):
+        # Pre-warm every device's plan so the comparison measures routing,
+        # not the one-time per-device builds.
+        wl = workload()
+        cache = PlanCache()
+        devices = [Device("A100", ExecutionMode.DRY_RUN) for _ in range(2)]
+        for device in devices:
+            cache.get(device, wl, 1)
+        one = FleetDispatcher(devices[:1], cache=cache)
+        two = FleetDispatcher(devices, cache=cache)
+        for i in range(8):
+            one.dispatch(make_batch(i, wl, 1, 0.0))
+            two.dispatch(make_batch(i, wl, 1, 0.0))
+        assert two.makespan_s() < one.makespan_s() * 0.62
+
+
+class TestEngineOverlap:
+    def test_stage_in_overlaps_previous_compute(self):
+        # Consecutive batches on one worker: batch 1's transpose must hide
+        # behind batch 0's GEMM, exactly like the BlockExecutor pipeline.
+        fleet = dry_fleet(1)
+        wl = workload()
+        e0 = fleet.dispatch(make_batch(0, wl, 4, 0.0))
+        e1 = fleet.dispatch(make_batch(1, wl, 4, 0.0))
+        assert e1.start_s == pytest.approx(e0.start_s + e0.build_s + e0.stage_in_s)
+        assert e1.start_s < e0.completion_s  # copy ran under compute
+        assert e1.compute_start_s >= e0.completion_s  # GEMMs serialize
+
+    def test_build_serializes_before_stage_in(self):
+        fleet = dry_fleet(1)
+        e = fleet.dispatch(make_batch(0, workload(), 2, 1.0))
+        assert e.build_s > 0.0  # cold cache
+        assert e.compute_start_s >= e.start_s + e.build_s + e.stage_in_s
+        assert e.completion_s == pytest.approx(e.compute_start_s + e.gemm_s)
+
+    def test_warm_cache_has_no_build_charge(self):
+        fleet = dry_fleet(1)
+        wl = workload()
+        fleet.dispatch(make_batch(0, wl, 2, 0.0))
+        e = fleet.dispatch(make_batch(1, wl, 2, 0.0))
+        assert e.build_s == 0.0
+
+    def test_idle_worker_starts_at_ready_time(self):
+        fleet = dry_fleet(1)
+        e = fleet.dispatch(make_batch(0, workload(), 1, 5.0))
+        assert e.ready_s == 5.0
+        assert e.start_s == 5.0
+        assert e.queue_delay_s == 0.0
+
+    def test_utilization_accounting(self):
+        fleet = dry_fleet(2)
+        wl = workload()
+        fleet.dispatch(make_batch(0, wl, 2, 0.0))
+        utils = fleet.utilizations()
+        assert utils[0] > 0.0
+        assert utils[1] == 0.0
+
+
+class TestFunctionalMerge:
+    def test_outputs_scatter_back_per_request(self, rng):
+        wl = workload(
+            n_beams=8, n_receivers=16, n_samples=8,
+            include_transpose=False, restore_output_scale=True,
+            weights=random_complex(rng, (1, 8, 16)),
+        )
+        fleet = FleetDispatcher([Device("A100")])
+        data = [random_complex(rng, (1, 16, 8)) for _ in range(3)]
+        batch = Batch(
+            bid=0,
+            workload=wl,
+            requests=[
+                Request(rid=i, workload=wl, arrival_s=0.0, data=d)
+                for i, d in enumerate(data)
+            ],
+            formed_s=0.0,
+        )
+        execution = fleet.dispatch(batch)
+        assert execution.outputs is not None and len(execution.outputs) == 3
+        for d, out in zip(data, execution.outputs):
+            assert np.allclose(out, wl.weights @ d, atol=0.05)
+
+    def test_functional_requires_weights_and_data(self, rng):
+        bare = workload(n_beams=8, n_receivers=16, n_samples=8)
+        fleet = FleetDispatcher([Device("A100")])
+        with pytest.raises(ShapeError, match="weight set"):
+            fleet.dispatch(make_batch(0, bare, 1, 0.0, data=random_complex(rng, (1, 16, 8))))
+        armed = workload(
+            name="armed", n_beams=8, n_receivers=16, n_samples=8,
+            weights=random_complex(rng, (1, 8, 16)),
+        )
+        with pytest.raises(ShapeError, match="data block"):
+            fleet.dispatch(make_batch(1, armed, 1, 0.0))
+
+
+class TestSharedCache:
+    def test_each_device_pays_its_own_build(self):
+        # Plans hold device-resident state (prepared weights, timeline), so
+        # even same-model GPUs fault in their own entry; repeats hit.
+        cache = PlanCache()
+        fleet = FleetDispatcher(
+            [Device("A100", ExecutionMode.DRY_RUN) for _ in range(2)], cache=cache
+        )
+        wl = workload()
+        e0 = fleet.dispatch(make_batch(0, wl, 2, 0.0))  # worker 0, miss
+        e1 = fleet.dispatch(make_batch(1, wl, 2, 0.0))  # worker 1, its own miss
+        assert (e0.worker_index, e1.worker_index) == (0, 1)
+        assert e0.build_s > 0.0 and e1.build_s > 0.0
+        assert cache.misses == 2
+        e2 = fleet.dispatch(make_batch(2, wl, 2, 1.0))  # warm now
+        assert e2.build_s == 0.0
+        assert cache.hits == 1
+
+    def test_functional_kernels_land_on_the_executing_device(self, rng):
+        # The regression behind the per-device cache key: worker 1's
+        # batches must be recorded on worker 1's timeline.
+        wl = workload(
+            n_beams=8, n_receivers=16, n_samples=8, include_transpose=False,
+            weights=random_complex(rng, (1, 8, 16)),
+        )
+        devices = [Device("A100") for _ in range(2)]
+        fleet = FleetDispatcher(devices)
+        for i in range(4):
+            fleet.dispatch(
+                make_batch(i, wl, 1, 0.0, data=random_complex(rng, (1, 16, 8)))
+            )
+        assert {e.worker_index for e in fleet.executions} == {0, 1}
+        assert len(devices[0].timeline) > 0
+        assert len(devices[1].timeline) > 0

@@ -4,11 +4,19 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.ccglib.precision import Precision
 from repro.errors import ShapeError
 from repro.gpusim.device import Device, ExecutionMode
-from repro.tcbf import BeamformerPlan, ShardedBeamformer, split_extent
+from repro.tcbf import (
+    BeamformerPlan,
+    ShardedBeamformer,
+    merge_batch_operands,
+    split_batched_output,
+    split_extent,
+)
 from tests.conftest import random_complex, random_pm1_complex
 
 #: the paper's LOFAR benchmark shape at the typical 48-station configuration.
@@ -33,6 +41,73 @@ class TestSplitExtent:
             split_extent(1, 2)
         with pytest.raises(ShapeError):
             split_extent(4, 0)
+
+    @given(
+        total=st.integers(min_value=1, max_value=10_000),
+        parts=st.integers(min_value=1, max_value=64),
+    )
+    def test_remainder_distribution_invariants(self, total, parts):
+        # The scheduler leans on these when it splits merged batches:
+        # exact coverage, near-equality, front-loaded remainder, no empties.
+        if total < parts:
+            with pytest.raises(ShapeError):
+                split_extent(total, parts)
+            return
+        sizes = split_extent(total, parts)
+        assert len(sizes) == parts
+        assert sum(sizes) == total
+        assert all(s >= 1 for s in sizes)
+        assert max(sizes) - min(sizes) <= 1
+        # The first total % parts shards carry the remainder, in order.
+        extra = total % parts
+        assert sizes == sorted(sizes, reverse=True)
+        assert sizes.count(max(sizes)) == (extra if extra else parts)
+
+
+class TestBatchMergeHelpers:
+    def test_merge_then_split_round_trip(self, rng):
+        # merge_batch_operands stacks requests; split_batched_output hands
+        # each request back exactly its slice.
+        w = random_complex(rng, (2, 4, 8))
+        blocks = [random_complex(rng, (2, 8, 6)) for _ in range(3)]
+        mw, md = merge_batch_operands(w, blocks)
+        assert mw.shape == (6, 4, 8)
+        assert md.shape == (6, 8, 6)
+        out = np.einsum("bmk,bkn->bmn", mw, md)
+        parts = split_batched_output(out, [2, 2, 2])
+        for block, part in zip(blocks, parts):
+            assert np.allclose(part, np.einsum("bmk,bkn->bmn", w, block))
+
+    def test_merge_accepts_2d_weights(self, rng):
+        w = random_complex(rng, (4, 8))
+        blocks = [random_complex(rng, (8, 6)) for _ in range(2)]
+        mw, md = merge_batch_operands(w, blocks)
+        assert mw.shape == (2, 4, 8)
+        assert md.shape == (2, 8, 6)
+
+    def test_merge_rejects_incompatible_blocks(self, rng):
+        w = random_complex(rng, (2, 4, 8))
+        with pytest.raises(ShapeError):
+            merge_batch_operands(w, [])
+        with pytest.raises(ShapeError):
+            merge_batch_operands(w, [random_complex(rng, (2, 7, 6))])  # bad K
+        with pytest.raises(ShapeError):
+            merge_batch_operands(
+                w, [random_complex(rng, (2, 8, 6)), random_complex(rng, (2, 8, 5))]
+            )
+
+    def test_split_validates_extents(self, rng):
+        out = random_complex(rng, (6, 4, 5))
+        with pytest.raises(ShapeError):
+            split_batched_output(out, [])
+        with pytest.raises(ShapeError):
+            split_batched_output(out, [4, 0, 2])
+        with pytest.raises(ShapeError):
+            split_batched_output(out, [4, 4])
+        parts = split_batched_output(out, [4, 2])
+        assert [p.shape[0] for p in parts] == [4, 2]
+        # Views, not copies: the serving layer returns slices of the block.
+        assert parts[0].base is not None
 
 
 class TestAggregateThroughput:

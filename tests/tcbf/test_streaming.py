@@ -198,6 +198,66 @@ class TestOverlapModel:
         assert stats.tflops > 0
 
 
+class TestEmptyAndDegenerateStreams:
+    def test_empty_block_sequence(self):
+        # A scheduler tick with nothing queued must be a clean no-op.
+        executor = BlockExecutor(dry_plan(), num_buffers=2)
+        results, stats = executor.run_stream([])
+        assert results == []
+        assert executor.consumed == []
+        assert executor.blocks_in_flight == 0
+        assert stats.num_blocks == 0
+        assert stats.serial_time_s == 0.0
+        assert stats.pipelined_time_s == 0.0
+
+    def test_empty_stream_stats_accessors_are_finite(self):
+        _, stats = BlockExecutor(dry_plan(), num_buffers=2).run_stream([])
+        assert stats.overlap_speedup == 1.0
+        assert stats.blocks_per_second == 0.0
+        assert stats.fps == 0.0
+        assert stats.tflops == 0.0
+
+    def test_executor_usable_after_empty_stream(self):
+        executor = BlockExecutor(dry_plan(), num_buffers=2)
+        executor.run_stream([])
+        _, stats = executor.run_stream([None] * 3)
+        assert stats.num_blocks == 3
+
+    def test_overlap_speedup_zero_pipelined_time(self):
+        # Zero makespan (e.g. a stats window with no blocks) must report a
+        # neutral 1.0 speedup, not divide by zero.
+        from repro.tcbf import StreamStats
+
+        stats = StreamStats(
+            num_blocks=0,
+            num_buffers=2,
+            n_frames_per_block=256,
+            serial_time_s=0.0,
+            pipelined_time_s=0.0,
+            stage_in_time_s=0.0,
+            compute_time_s=0.0,
+            useful_ops=0.0,
+        )
+        assert stats.overlap_speedup == 1.0
+        assert stats.blocks_per_second == 0.0
+        assert stats.tflops == 0.0
+
+    def test_overlap_speedup_negative_pipelined_time_guarded(self):
+        from repro.tcbf import StreamStats
+
+        stats = StreamStats(
+            num_blocks=1,
+            num_buffers=1,
+            n_frames_per_block=1,
+            serial_time_s=1.0,
+            pipelined_time_s=-1.0,
+            stage_in_time_s=0.5,
+            compute_time_s=0.5,
+            useful_ops=1.0,
+        )
+        assert stats.overlap_speedup == 1.0
+
+
 class TestMakespanModel:
     def test_empty_stream(self):
         assert pipelined_makespan([], [], 2) == 0.0
