@@ -116,6 +116,8 @@ def service_workload(
     n_polarizations: int = 1,
     precision: Precision = Precision.FLOAT16,
     weights_version: int = 0,
+    priority: int = 1,
+    tenant: str = "astronomy",
     weights: np.ndarray | None = None,
 ) -> "Workload":
     """The radio-astronomy request class for :mod:`repro.serve`.
@@ -127,6 +129,11 @@ def service_workload(
     ``weights`` optionally carries the ``(channels x pols, beams, stations)``
     weight set for functional fleets; bump ``weights_version`` on
     calibration updates so stale and fresh requests never share a batch.
+
+    Offline reprocessing is throughput work, so the default ``priority`` is
+    1 (the batch class — lower numbers are more urgent); a live transient
+    follow-up would pass ``priority=0``. ``tenant`` names the observing
+    campaign for weighted-fair queueing when several share a fleet.
     """
     from repro.serve.workload import Workload
 
@@ -141,6 +148,8 @@ def service_workload(
         include_packing=False,
         restore_output_scale=True,
         weights_version=weights_version,
+        priority=priority,
+        tenant=tenant,
         weights=weights,
     )
 

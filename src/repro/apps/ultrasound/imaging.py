@@ -195,6 +195,8 @@ def service_workload(
     precision: Precision = Precision.INT1,
     params: TuneParams | None = None,
     weights_version: int = 0,
+    priority: int = 0,
+    tenant: str = "clinic",
     weights: np.ndarray | None = None,
 ) -> "Workload":
     """The ultrasound request class for :mod:`repro.serve`.
@@ -206,6 +208,11 @@ def service_workload(
     is not restored. ``weights`` optionally carries the ``(voxels, K)``
     matched filter for functional fleets; bump ``weights_version`` when
     the probe's model matrix is recomputed.
+
+    A sonographer is watching the screen, so the default ``priority`` is 0
+    — the most urgent class, preempting queued batch work (lower numbers
+    are more urgent). ``tenant`` names the imaging site for weighted-fair
+    queueing when several share a fleet.
     """
     from repro.serve.workload import Workload
 
@@ -220,6 +227,8 @@ def service_workload(
         include_packing=precision is Precision.INT1,
         restore_output_scale=False,
         weights_version=weights_version,
+        priority=priority,
+        tenant=tenant,
         params=params,
         weights=weights,
     )

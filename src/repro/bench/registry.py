@@ -15,6 +15,7 @@ from repro.bench import (
     fig6,
     fig7,
     serve,
+    serve_priority,
     table1,
     table3,
 )
@@ -34,6 +35,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "ablations": ablations.run,
     "claims": claims.run,
     "serve": serve.run,
+    "serve-priority": serve_priority.run,
 }
 
 

@@ -13,13 +13,18 @@ discrete-event simulation:
   size trigger, ``max_wait_s`` latency trigger);
 * :mod:`~repro.serve.cache` — the LRU :class:`PlanCache` skipping planning
   and one-time weight preparation for repeated workloads;
+* :mod:`~repro.serve.scheduler` — :class:`PriorityScheduler`: strict
+  priority classes with deficit-round-robin weighted-fair queueing across
+  tenants, and non-destructive preemption of queued lower-priority work;
 * :mod:`~repro.serve.dispatch` — per-device queues with copy/compute
   overlap and least-loaded fleet routing;
-* :mod:`~repro.serve.slo` — SLO targets, deterministic percentiles, and
-  front-door admission control (load shedding);
+* :mod:`~repro.serve.slo` — SLO targets, deterministic percentiles,
+  front-door admission control (lowest-class-first load shedding), and the
+  per-class / per-tenant :class:`SLOTracker`;
 * :mod:`~repro.serve.service` — :class:`BeamformingService`, the event
   loop tying it together, reporting p50/p95/p99, throughput, goodput, shed
-  rate, batch and cache statistics, and fleet utilization.
+  rate, batch and cache statistics, and fleet utilization — overall and
+  broken out per priority class and per tenant.
 """
 
 from repro.serve.arrivals import (
@@ -31,8 +36,9 @@ from repro.serve.arrivals import (
 from repro.serve.batching import Batch, BatchingPolicy, MicroBatcher
 from repro.serve.cache import CachedPlan, PlanCache
 from repro.serve.dispatch import BatchExecution, DeviceWorker, FleetDispatcher
+from repro.serve.scheduler import PriorityScheduler
 from repro.serve.service import BeamformingService, RequestOutcome, ServiceReport
-from repro.serve.slo import SLO, AdmissionController, percentile
+from repro.serve.slo import SLO, AdmissionController, ClassStats, SLOTracker, percentile
 from repro.serve.workload import Request, Workload
 
 __all__ = [
@@ -50,8 +56,11 @@ __all__ = [
     "DeviceWorker",
     "FleetDispatcher",
     "BatchExecution",
+    "PriorityScheduler",
     "SLO",
     "AdmissionController",
+    "ClassStats",
+    "SLOTracker",
     "percentile",
     "BeamformingService",
     "RequestOutcome",

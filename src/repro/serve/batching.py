@@ -11,9 +11,15 @@ briefly and flushes a group as one merged
 * the oldest request has waited ``max_wait_s`` (latency trigger).
 
 Compatibility is the workload's :meth:`~repro.serve.workload.Workload.compat_key`
-— same shape, precision, stage accounting, and weight-set generation.
-``max_batch = 1`` degenerates to naive per-request execution, which the
-service benchmark uses as its baseline.
+— same shape, precision, stage accounting, weight-set generation, priority
+class, and tenant. ``max_batch = 1`` degenerates to naive per-request
+execution, which the service benchmark uses as its baseline.
+
+Priority classes may override the knobs per class (``class_policies``): an
+interactive class runs a tight ``max_wait_s`` (bound the batching delay, give
+up batching depth), a throughput class runs a deep ``max_batch`` (amortize
+launches, tolerate wait). Because the compat key carries the priority, the
+override applies uniformly to every group of that class.
 """
 
 from __future__ import annotations
@@ -63,6 +69,16 @@ class Batch:
         return self.n_requests * self.workload.batch_per_request
 
     @property
+    def priority(self) -> int:
+        """Scheduling class of every member (lower is more urgent)."""
+        return self.workload.priority
+
+    @property
+    def tenant(self) -> str:
+        """The one caller this launch is accountable to."""
+        return self.workload.tenant
+
+    @property
     def oldest_arrival_s(self) -> float:
         return self.requests[0].arrival_s
 
@@ -90,8 +106,14 @@ class MicroBatcher:
     on (deadline, insertion order).
     """
 
-    def __init__(self, policy: BatchingPolicy):
+    def __init__(
+        self,
+        policy: BatchingPolicy,
+        class_policies: dict[int, BatchingPolicy] | None = None,
+    ):
         self.policy = policy
+        #: per-priority-class knob overrides; classes not listed use ``policy``.
+        self.class_policies = dict(class_policies) if class_policies else {}
         self._groups: dict[tuple, _Group] = {}
         self._next_bid = 0
         self._next_seq = 0
@@ -99,6 +121,10 @@ class MicroBatcher:
         self.n_offered = 0
         self.n_flushed_full = 0
         self.n_flushed_timer = 0
+
+    def policy_for(self, priority: int) -> BatchingPolicy:
+        """The knobs governing one priority class (override or default)."""
+        return self.class_policies.get(priority, self.policy)
 
     def depth(self) -> int:
         """Requests currently waiting in forming batches."""
@@ -118,15 +144,16 @@ class MicroBatcher:
         already passed.
         """
         key = request.workload.compat_key()
+        policy = self.policy_for(request.workload.priority)
         group = self._groups.get(key)
         if group is None:
             group = self._groups[key] = _Group(
-                deadline_s=now + self.policy.max_wait_s, seq=self._next_seq
+                deadline_s=now + policy.max_wait_s, seq=self._next_seq
             )
             self._next_seq += 1
         group.requests.append(request)
         self.n_offered += 1
-        if len(group.requests) >= self.policy.max_batch:
+        if len(group.requests) >= policy.max_batch:
             self.n_flushed_full += 1
             return self._flush(key, now)
         return None

@@ -12,6 +12,18 @@ service inherits the library's copy/compute overlap for free.
 compute-engine drain) with deterministic index-order tie-breaking, the
 sharding counterpart of :class:`~repro.tcbf.sharding.ShardedBeamformer` for
 many small independent problems instead of one large one.
+
+Two dispatch paths coexist:
+
+* :meth:`FleetDispatcher.dispatch` — immediate placement, FIFO in call
+  order (the pre-priority model, still used for direct fleet studies);
+* :meth:`FleetDispatcher.submit` + :meth:`FleetDispatcher.drain` — batches
+  wait in a :class:`~repro.serve.scheduler.PriorityScheduler` and reach a
+  worker only when its pipeline can actually accept one (the previous
+  batch's GEMM has started). Keeping the wait in the scheduler instead of
+  on the worker is what makes priorities real: a high-priority batch jumps
+  everything still queued, while each worker keeps at most one staged batch
+  so copy/compute overlap is preserved exactly.
 """
 
 from __future__ import annotations
@@ -24,6 +36,7 @@ from repro.errors import DeviceError, ShapeError
 from repro.gpusim.device import Device
 from repro.serve.batching import Batch
 from repro.serve.cache import CachedPlan, PlanCache
+from repro.serve.scheduler import PriorityScheduler
 from repro.tcbf import merge_batch_operands, split_batched_output
 
 
@@ -65,6 +78,8 @@ class DeviceWorker:
         self.index = index
         self._copy_free_s = 0.0
         self._compute_free_s = 0.0
+        #: when this worker can accept its next batch (see :meth:`accept_s`).
+        self._accept_s = 0.0
         #: accumulated compute-engine busy time (utilization numerator).
         self.busy_s = 0.0
         self.n_batches = 0
@@ -74,22 +89,37 @@ class DeviceWorker:
         """Seconds of queued compute ahead of a batch arriving now."""
         return max(self._compute_free_s - now, 0.0)
 
+    @property
+    def accept_s(self) -> float:
+        """Earliest time this worker can take another batch.
+
+        Set to the last batch's GEMM start: from that instant the copy
+        engine is idle, so the next batch's stage-in overlaps the running
+        GEMM and at most one GEMM ever waits behind the in-flight one.
+        Everything further back stays in the scheduler, where priorities
+        can still reorder it — the non-destructive preemption boundary.
+        """
+        return self._accept_s
+
     def schedule(
-        self, batch: Batch, entry: CachedPlan, build_s: float
+        self, batch: Batch, entry: CachedPlan, build_s: float, now: float = 0.0
     ) -> BatchExecution:
         """Place one batch on this worker's engines; returns its timeline.
 
-        The one-time plan build serializes ahead of the batch's stage-in on
-        the copy engine (a cold plan cannot stage data); the GEMM starts
-        once its stage-in and the previous GEMM are both done — the same
-        event model as :func:`repro.tcbf.streaming.pipelined_makespan`.
+        ``now`` is the dispatch instant (0 for the immediate FIFO path,
+        where the batch's formation time orders the queue). The one-time
+        plan build serializes ahead of the batch's stage-in on the copy
+        engine (a cold plan cannot stage data); the GEMM starts once its
+        stage-in and the previous GEMM are both done — the same event model
+        as :func:`repro.tcbf.streaming.pipelined_makespan`.
         """
-        start = max(batch.formed_s, self._copy_free_s)
+        start = max(batch.formed_s, self._copy_free_s, now)
         copy_end = start + build_s + entry.stage_in_s
         compute_start = max(copy_end, self._compute_free_s)
         completion = compute_start + entry.gemm_s
         self._copy_free_s = copy_end
         self._compute_free_s = completion
+        self._accept_s = compute_start
         self.busy_s += entry.gemm_s
         self.n_batches += 1
         self.n_requests += batch.n_requests
@@ -114,7 +144,12 @@ class DeviceWorker:
 class FleetDispatcher:
     """Least-loaded routing of batches over a homogeneous-mode fleet."""
 
-    def __init__(self, devices: list[Device], cache: PlanCache | None = None):
+    def __init__(
+        self,
+        devices: list[Device],
+        cache: PlanCache | None = None,
+        scheduler: PriorityScheduler | None = None,
+    ):
         if not devices:
             raise ShapeError("fleet dispatch requires at least one device")
         if len({d.is_functional for d in devices}) > 1:
@@ -124,18 +159,31 @@ class FleetDispatcher:
             )
         self.workers = [DeviceWorker(d, i) for i, d in enumerate(devices)]
         self.cache = cache if cache is not None else PlanCache()
+        self.scheduler = scheduler if scheduler is not None else PriorityScheduler()
         self.executions: list[BatchExecution] = []
 
     @property
     def is_functional(self) -> bool:
         return self.workers[0].device.is_functional
 
+    @staticmethod
+    def _routing_key(worker: DeviceWorker, now: float) -> tuple[float, int]:
+        """Total order for routing decisions: (backlog, worker index).
+
+        The explicit index component makes ties between equal float
+        backlogs index-stable — without it, ``min`` would keep whichever
+        equal-backlog worker happened to come first in a reordered worker
+        list, and replay determinism would hinge on list construction
+        order rather than on the fleet's declared indices.
+        """
+        return (worker.backlog_s(now), worker.index)
+
     def least_loaded(self, now: float) -> DeviceWorker:
         """Worker whose compute engine drains first (ties: lowest index)."""
-        return min(self.workers, key=lambda w: (w.backlog_s(now), w.index))
+        return min(self.workers, key=lambda w: self._routing_key(w, now))
 
     def dispatch(self, batch: Batch) -> BatchExecution:
-        """Route one batch: pick a worker, fault in the plan, schedule.
+        """Immediately route one batch (FIFO in call order).
 
         Functional fleets additionally execute the merged block for real —
         the shared weight set repeats per request, the request data blocks
@@ -143,8 +191,43 @@ class FleetDispatcher:
         slice per request (:func:`repro.tcbf.split_batched_output`).
         """
         worker = self.least_loaded(batch.formed_s)
+        return self._place(worker, batch, now=0.0)
+
+    # -- scheduler-mediated dispatch -----------------------------------------
+
+    def submit(self, batch: Batch) -> None:
+        """Queue one flushed batch for priority-ordered dispatch."""
+        self.scheduler.enqueue(batch)
+
+    def has_queued(self) -> bool:
+        return not self.scheduler.empty()
+
+    def next_accept_s(self) -> float:
+        """Earliest instant any worker can take another queued batch."""
+        return min(w.accept_s for w in self.workers)
+
+    def drain(self, now: float) -> list[BatchExecution]:
+        """Dispatch queued batches to every worker available at ``now``.
+
+        Repeatedly asks the scheduler for the next batch (strict priority,
+        DRR across tenants) and places it on the least-loaded available
+        worker; stops when the queue empties or no worker can accept more
+        work at this instant. Returns the executions placed, in order.
+        """
+        placed: list[BatchExecution] = []
+        while not self.scheduler.empty():
+            available = [w for w in self.workers if w.accept_s <= now]
+            if not available:
+                break
+            worker = min(available, key=lambda w: self._routing_key(w, now))
+            placed.append(self._place(worker, self.scheduler.next(), now=now))
+        return placed
+
+    def _place(
+        self, worker: DeviceWorker, batch: Batch, now: float
+    ) -> BatchExecution:
         entry, build_s = self.cache.get(worker.device, batch.workload, batch.n_requests)
-        execution = worker.schedule(batch, entry, build_s)
+        execution = worker.schedule(batch, entry, build_s, now=now)
         if self.is_functional:
             execution.outputs = self._execute(batch, entry)
         self.executions.append(execution)

@@ -2,19 +2,26 @@
 
 :class:`BeamformingService` wires the pieces into one front door::
 
-    arrivals -> admission control -> micro-batcher -> plan cache -> fleet
+    arrivals -> admission control -> micro-batcher -> priority scheduler -> fleet
+                                                          |
+                                                      plan cache
 
-and replays a request trace event-by-event: at each arrival it first
-flushes any batch whose latency trigger fired earlier, then decides
-admission from an at-arrival latency estimate, then offers the request to
-the batcher (a full batch dispatches immediately). Time is purely
-simulated — batches are stamped with their trigger times, so lazy event
-processing is exact — and every component is seeded/deterministic, making
+and replays a request trace as a discrete-event simulation over three
+event sources: request arrivals, batcher latency-trigger deadlines, and
+worker-availability instants. At each arrival the service decides
+admission from an at-arrival, *class-aware* latency estimate (the work
+queued at the request's own priority and above), then offers the request
+to the batcher; flushed batches wait in the
+:class:`~repro.serve.scheduler.PriorityScheduler` and reach a worker in
+strict-priority, weighted-fair order the moment one can accept them. Time
+is purely simulated and every component is seeded/deterministic, making
 whole service runs bit-reproducible.
 
 The output is a :class:`ServiceReport`: per-request outcomes plus the
 SLO-facing aggregates (p50/p95/p99 latency, throughput, goodput, shed
-rate, batch-size and plan-cache statistics, per-device utilization).
+rate, batch-size and plan-cache statistics, per-device utilization), each
+also broken out per priority class and per tenant via
+:class:`~repro.serve.slo.SLOTracker`.
 """
 
 from __future__ import annotations
@@ -26,10 +33,11 @@ import numpy as np
 
 from repro.errors import ShapeError
 from repro.gpusim.device import Device
-from repro.serve.batching import Batch, BatchingPolicy, MicroBatcher
+from repro.serve.batching import BatchingPolicy, MicroBatcher
 from repro.serve.cache import PlanCache
 from repro.serve.dispatch import BatchExecution, FleetDispatcher
-from repro.serve.slo import SLO, AdmissionController, percentile
+from repro.serve.scheduler import PriorityScheduler
+from repro.serve.slo import SLO, AdmissionController, ClassStats, SLOTracker, percentile
 from repro.serve.workload import Request
 
 #: smoothing of the observed batch service time feeding admission control.
@@ -164,6 +172,39 @@ class ServiceReport:
     def max_batch_size(self) -> int:
         return max((e.batch.n_requests for e in self.executions), default=0)
 
+    # -- per-class / per-tenant breakdowns ------------------------------------
+
+    def slo_tracker(self) -> SLOTracker:
+        """The per-(class, tenant) tracker over the outcomes.
+
+        Built once and cached — outcomes are immutable after the run, and
+        summary/bench paths ask for several breakdowns of the same report.
+        """
+        tracker = getattr(self, "_tracker", None)
+        if tracker is None:
+            tracker = SLOTracker(self.slo)
+            for o in self.outcomes:
+                tracker.record(
+                    priority=o.request.workload.priority,
+                    tenant=o.request.workload.tenant,
+                    admitted=o.admitted,
+                    latency_s=o.latency_s,
+                )
+            self._tracker = tracker
+        return tracker
+
+    def by_priority(self) -> list[ClassStats]:
+        """Latency/goodput/shed statistics per priority class (urgent first)."""
+        return self.slo_tracker().by_priority(self.span_s)
+
+    def by_tenant(self) -> list[ClassStats]:
+        """Latency/goodput/shed statistics per tenant (first-seen order)."""
+        return self.slo_tracker().by_tenant(self.span_s)
+
+    def shed_share(self, priority: int) -> float:
+        """Fraction of all shed requests that came from one priority class."""
+        return self.slo_tracker().shed_share(priority)
+
     def summary(self) -> str:
         lines = [
             f"requests: {self.n_offered} offered, {self.n_admitted} admitted, "
@@ -183,6 +224,17 @@ class ServiceReport:
             f"fleet:    {self.n_devices} device(s), utilization "
             + ", ".join(f"{u:.1%}" for u in self.utilizations),
         ]
+        classes = self.by_priority()
+        tenants = self.by_tenant()
+        if len(classes) > 1 or len(tenants) > 1:
+            for stats in classes + (tenants if len(tenants) > 1 else []):
+                lines.append(
+                    f"  [{stats.label}] {stats.n_offered} offered, "
+                    f"{stats.n_completed} completed, p99 "
+                    f"{stats.p99_latency_s * 1e3:.3f} ms, "
+                    f"{stats.shed_rate:.1%} shed "
+                    f"({stats.shed_share:.1%} of all shedding)"
+                )
         return "\n".join(lines)
 
 
@@ -204,6 +256,16 @@ class BeamformingService:
     cache:
         Optional pre-warmed :class:`PlanCache` (shared across runs to model
         a long-lived server; by default each run starts cold).
+    class_policies:
+        Per-priority-class :class:`BatchingPolicy` overrides — e.g. a tight
+        ``max_wait_s`` for the interactive class 0, a deep ``max_batch``
+        for a throughput class 1. Classes not listed use ``policy``.
+    tenant_weights:
+        Deficit-round-robin weights for tenants sharing the fleet
+        (default 1.0 each); see :class:`~repro.serve.scheduler.PriorityScheduler`.
+    preemptive:
+        ``False`` disables priority/weighted-fair ordering (global FIFO);
+        queued batches then dispatch strictly in flush order.
     """
 
     def __init__(
@@ -213,17 +275,28 @@ class BeamformingService:
         slo: SLO | None = None,
         admission: AdmissionController | None = None,
         cache: PlanCache | None = None,
+        class_policies: dict[int, BatchingPolicy] | None = None,
+        tenant_weights: dict[str, float] | None = None,
+        preemptive: bool = True,
     ):
         self.policy = policy if policy is not None else BatchingPolicy()
         self.slo = slo if slo is not None else SLO(p99_latency_s=10e-3)
         self.admission = (
             admission if admission is not None else AdmissionController(self.slo)
         )
-        self.fleet = FleetDispatcher(devices, cache=cache)
-        self._batcher = MicroBatcher(self.policy)
+        self.fleet = FleetDispatcher(
+            devices,
+            cache=cache,
+            scheduler=PriorityScheduler(
+                tenant_weights=tenant_weights, preemptive=preemptive
+            ),
+        )
+        self._batcher = MicroBatcher(self.policy, class_policies=class_policies)
         self._ran = False
         #: EMA of observed batch service time (admission's service estimate).
         self._service_est_s = 0.0
+        #: per-priority-class EMA (the request's own expected service term).
+        self._class_est_s: dict[int, float] = {}
         #: min-heap of (completion_s, n_requests) for in-flight depth.
         self._in_flight: list[tuple[float, int]] = []
         self._in_flight_requests = 0
@@ -237,9 +310,11 @@ class BeamformingService:
     def run(self, requests: list[Request]) -> ServiceReport:
         """Replay one arrival trace through the service; returns the report.
 
-        The trace is processed in arrival order (sorted copy; ties keep
-        offered order). The returned outcomes follow the offered order, so
-        reports line up with the input trace.
+        The trace is processed as a merged event stream — arrivals, batcher
+        deadlines, and worker-availability instants, in time order with
+        deterministic tie-breaking (deadline flushes before a simultaneous
+        arrival; dispatch follows every event). The returned outcomes
+        follow the offered order, so reports line up with the input trace.
 
         One service instance replays one trace: worker queues, batcher
         counters, and report state are all trace-scoped. To model a warm
@@ -259,21 +334,42 @@ class BeamformingService:
             )
         slots = {id(r): i for i, r in enumerate(requests)}
         outcomes: list[RequestOutcome | None] = [None] * len(requests)
-        for req in sorted(requests, key=lambda r: r.arrival_s):
-            now = req.arrival_s
-            self._flush_due(now)
-            self._drain_completed(now)
-            outcome = RequestOutcome(request=req, admitted=False)
-            outcomes[slots[id(req)]] = outcome
-            if not self.admission.admit(self._estimate_latency(now), self._depth()):
-                continue
-            outcome.admitted = True
-            self._pending_outcomes[id(req)] = outcome
-            full = self._batcher.offer(req, now)
-            if full is not None:
-                self._dispatch(full)
-        for batch in self._batcher.flush_all():
-            self._dispatch(batch)
+        trace = sorted(requests, key=lambda r: r.arrival_s)
+        idx = 0
+        while True:
+            t_arrival = trace[idx].arrival_s if idx < len(trace) else None
+            t_deadline = self._batcher.next_deadline()
+            t_worker = (
+                self.fleet.next_accept_s() if self.fleet.has_queued() else None
+            )
+            times = [t for t in (t_arrival, t_deadline, t_worker) if t is not None]
+            if not times:
+                break
+            now = min(times)
+            if t_deadline is not None and t_deadline <= now:
+                for batch in self._batcher.due(now):
+                    self.fleet.submit(batch)
+            elif t_arrival is not None and t_arrival <= now:
+                req = trace[idx]
+                idx += 1
+                self._drain_completed(now)
+                outcome = RequestOutcome(request=req, admitted=False)
+                outcomes[slots[id(req)]] = outcome
+                priority = req.workload.priority
+                if self.admission.admit(
+                    self._estimate_latency(now, priority),
+                    self._depth(),
+                    priority=priority,
+                ):
+                    outcome.admitted = True
+                    self._pending_outcomes[id(req)] = outcome
+                    full = self._batcher.offer(req, now)
+                    if full is not None:
+                        self.fleet.submit(full)
+            # A worker-availability event needs no handler of its own: the
+            # drain below dispatches everything placeable at this instant.
+            for execution in self.fleet.drain(now):
+                self._settle(execution)
         return ServiceReport(
             outcomes=outcomes,
             executions=list(self.fleet.executions),
@@ -288,12 +384,9 @@ class BeamformingService:
 
     # -- internals -----------------------------------------------------------
 
-    def _flush_due(self, now: float) -> None:
-        for batch in self._batcher.due(now):
-            self._dispatch(batch)
-
-    def _dispatch(self, batch: Batch) -> None:
-        execution = self.fleet.dispatch(batch)
+    def _settle(self, execution: BatchExecution) -> None:
+        """Bookkeeping for one placed batch: estimates, outcomes, in-flight."""
+        batch = execution.batch
         heapq.heappush(
             self._in_flight, (execution.completion_s, batch.n_requests)
         )
@@ -304,6 +397,13 @@ class BeamformingService:
         else:
             self._service_est_s += SERVICE_ESTIMATE_ALPHA * (
                 observed - self._service_est_s
+            )
+        previous = self._class_est_s.get(batch.priority)
+        if previous is None:
+            self._class_est_s[batch.priority] = observed
+        else:
+            self._class_est_s[batch.priority] = previous + SERVICE_ESTIMATE_ALPHA * (
+                observed - previous
             )
         for i, req in enumerate(batch.requests):
             outcome = self._pending_outcomes.pop(id(req))
@@ -319,15 +419,35 @@ class BeamformingService:
 
     def _depth(self) -> int:
         """Admitted requests waiting or in flight (admission's queue view)."""
-        return self._batcher.depth() + self._in_flight_requests
+        return (
+            self._batcher.depth()
+            + self.fleet.scheduler.depth_requests()
+            + self._in_flight_requests
+        )
 
-    def _estimate_latency(self, now: float) -> float:
-        """At-arrival latency projection for admission control.
+    def _estimate_latency(self, now: float, priority: int = 0) -> float:
+        """At-arrival, class-aware latency projection for admission control.
 
-        Worst-case batching wait plus the least-loaded worker's backlog
-        plus the smoothed observed batch service time. Uses only
+        The request's own class batching wait, plus the least-loaded
+        worker's backlog (the in-flight work even a preemptor must wait
+        out), plus the drain time of every batch queued at its class or
+        above (less urgent queued batches are jumped, so they do not
+        count), plus the smoothed service time of its own class. Uses only
         information available at arrival — identical logic would run in a
-        live front door.
+        live front door — and is what makes shedding land on the lowest
+        class first: its projection includes every queue, the most urgent
+        class's includes almost none.
         """
         backlog = self.fleet.least_loaded(now).backlog_s(now)
-        return self.policy.max_wait_s + backlog + self._service_est_s
+        queue_drain = sum(
+            n * self._class_est_s.get(p, self._service_est_s)
+            for p, n in self.fleet.scheduler.queued_by_class().items()
+            if p <= priority
+        ) / len(self.fleet.workers)
+        own_service = self._class_est_s.get(priority, self._service_est_s)
+        return (
+            self._batcher.policy_for(priority).max_wait_s
+            + backlog
+            + queue_drain
+            + own_service
+        )

@@ -9,11 +9,18 @@ rate — the classic goodput-over-throughput trade.
 
 Percentiles are computed with deterministic linear interpolation (no NumPy
 percentile-method ambiguity), so reports are bit-stable run to run.
+
+Multi-tenant serving additionally needs the tail *per priority class and
+per tenant* — an aggregate p99 hides an interactive class being starved by
+batch traffic. :class:`SLOTracker` accumulates per-(class, tenant) outcomes
+and emits :class:`ClassStats` breakdowns; the :class:`AdmissionController`
+keeps per-class shed counters so reports can show where the shedding
+landed (a healthy overloaded service sheds its lowest class, nothing else).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import ShapeError
 
@@ -61,6 +68,118 @@ def percentile(values: list[float], q: float) -> float:
     return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
 
+@dataclass
+class ClassStats:
+    """Aggregate outcome of one slice (a priority class or a tenant)."""
+
+    label: str
+    n_offered: int = 0
+    n_admitted: int = 0
+    n_completed: int = 0
+    p50_latency_s: float = 0.0
+    p95_latency_s: float = 0.0
+    p99_latency_s: float = 0.0
+    goodput_rps: float = 0.0
+    throughput_rps: float = 0.0
+    #: this slice's share of every shed request in the run (not its own
+    #: shed rate) — the "who absorbed the overload" number.
+    shed_share: float = 0.0
+
+    @property
+    def n_shed(self) -> int:
+        return self.n_offered - self.n_admitted
+
+    @property
+    def shed_rate(self) -> float:
+        return self.n_shed / self.n_offered if self.n_offered else 0.0
+
+
+@dataclass
+class _Slice:
+    n_offered: int = 0
+    n_admitted: int = 0
+    latencies_s: list[float] = field(default_factory=list)
+
+
+class SLOTracker:
+    """Accumulates per-request outcomes sliced by priority class and tenant.
+
+    Feed it one :meth:`record` per offered request (shed requests carry
+    ``latency_s=None``); read back :meth:`by_priority` / :meth:`by_tenant`
+    breakdowns. All statistics are deterministic: percentiles use
+    :func:`percentile`, empty slices report 0.0 tails rather than raising,
+    and slices appear in first-seen order.
+    """
+
+    def __init__(self, slo: SLO):
+        self.slo = slo
+        self._by_priority: dict[int, _Slice] = {}
+        self._by_tenant: dict[str, _Slice] = {}
+
+    def record(
+        self,
+        priority: int,
+        tenant: str,
+        admitted: bool,
+        latency_s: float | None,
+    ) -> None:
+        """Account one offered request to its class and tenant slices."""
+        for table, key in ((self._by_priority, priority), (self._by_tenant, tenant)):
+            slice_ = table.get(key)
+            if slice_ is None:
+                slice_ = table[key] = _Slice()
+            slice_.n_offered += 1
+            if admitted:
+                slice_.n_admitted += 1
+            if latency_s is not None:
+                slice_.latencies_s.append(latency_s)
+
+    @property
+    def n_shed(self) -> int:
+        return sum(s.n_offered - s.n_admitted for s in self._by_priority.values())
+
+    def shed_share(self, priority: int) -> float:
+        """Fraction of all shed requests that came from one class."""
+        total = self.n_shed
+        if total == 0:
+            return 0.0
+        slice_ = self._by_priority.get(priority)
+        return (slice_.n_offered - slice_.n_admitted) / total if slice_ else 0.0
+
+    def by_priority(self, span_s: float = 0.0) -> list[ClassStats]:
+        """One :class:`ClassStats` per priority class, most urgent first."""
+        return [
+            self._stats(f"priority={p}", self._by_priority[p], span_s)
+            for p in sorted(self._by_priority)
+        ]
+
+    def by_tenant(self, span_s: float = 0.0) -> list[ClassStats]:
+        """One :class:`ClassStats` per tenant, in first-seen order."""
+        return [
+            self._stats(tenant, slice_, span_s)
+            for tenant, slice_ in self._by_tenant.items()
+        ]
+
+    def _stats(self, label: str, slice_: _Slice, span_s: float) -> ClassStats:
+        lat = slice_.latencies_s
+        deadline = self.slo.admission_deadline_s
+        good = sum(1 for t in lat if t <= deadline)
+        total_shed = self.n_shed
+        shed = slice_.n_offered - slice_.n_admitted
+        return ClassStats(
+            label=label,
+            n_offered=slice_.n_offered,
+            n_admitted=slice_.n_admitted,
+            n_completed=len(lat),
+            p50_latency_s=percentile(lat, 50.0) if lat else 0.0,
+            p95_latency_s=percentile(lat, 95.0) if lat else 0.0,
+            p99_latency_s=percentile(lat, 99.0) if lat else 0.0,
+            goodput_rps=good / span_s if span_s > 0 else 0.0,
+            throughput_rps=len(lat) / span_s if span_s > 0 else 0.0,
+            shed_share=shed / total_shed if total_shed else 0.0,
+        )
+
+
 class AdmissionController:
     """Front-door load shedding against a latency estimate and queue depth.
 
@@ -93,9 +212,21 @@ class AdmissionController:
         self.headroom = headroom
         self.n_admitted = 0
         self.n_shed = 0
+        #: per-priority-class shed counts ("who absorbed the overload").
+        self.shed_by_class: dict[int, int] = {}
 
-    def admit(self, estimated_latency_s: float, queue_depth: int) -> bool:
-        """Decide one arrival; updates the shed/admit counters."""
+    def admit(
+        self, estimated_latency_s: float, queue_depth: int, priority: int = 0
+    ) -> bool:
+        """Decide one arrival; updates the shed/admit counters.
+
+        ``priority`` only labels the decision for the per-class counters.
+        Class-awareness lives in the *estimate* the caller passes: the
+        service projects latency from the work queued at the request's own
+        class and above (more urgent), so under overload the lowest class
+        sees the longest projected queue and sheds first — strictly, once
+        its backlog alone busts the deadline.
+        """
         over_deadline = (
             estimated_latency_s * self.headroom > self.slo.admission_deadline_s
         )
@@ -104,6 +235,7 @@ class AdmissionController:
         )
         if over_deadline or over_depth:
             self.n_shed += 1
+            self.shed_by_class[priority] = self.shed_by_class.get(priority, 0) + 1
             return False
         self.n_admitted += 1
         return True

@@ -39,6 +39,14 @@ class Workload:
     when the weight set changes and the batcher stops coalescing old and new
     requests while the plan cache naturally faults in fresh entries.
 
+    ``priority`` is the scheduling class — **lower is more urgent** (0 is
+    the most interactive class, like a live ultrasound view; higher values
+    are throughput/batch classes, like offline pulsar reprocessing).
+    ``tenant`` names the caller for weighted-fair queueing across parties
+    sharing a fleet. Both are part of the batching identity: requests never
+    coalesce across priority classes or tenants, so every merged launch is
+    attributable to exactly one class and one tenant.
+
     ``weights`` optionally carries the shared per-request A operand for
     functional fleets; it is excluded from equality/compatibility (the
     version field is the identity of the weight set).
@@ -54,6 +62,8 @@ class Workload:
     include_packing: bool | None = None
     restore_output_scale: bool = False
     weights_version: int = 0
+    priority: int = 0
+    tenant: str = "default"
     params: TuneParams | None = None
     weights: np.ndarray | None = field(default=None, compare=False, repr=False)
 
@@ -66,6 +76,10 @@ class Workload:
         ):
             if value < 1:
                 raise ShapeError(f"{label} must be >= 1, got {value}")
+        if self.priority < 0:
+            raise ShapeError(f"priority must be >= 0, got {self.priority}")
+        if not self.tenant:
+            raise ShapeError("tenant must be a non-empty string")
 
     @property
     def effective_packing(self) -> bool:
@@ -89,7 +103,9 @@ class Workload:
         Requests whose workloads share this key may be merged into one
         batched plan execution: same shape, precision, stage accounting
         (with the packing flag resolved, not as passed), tuning override,
-        and weight-set generation.
+        and weight-set generation. The priority class and tenant are part
+        of the key so a batch never straddles scheduling classes or
+        callers — each launch has one priority and one accountable tenant.
         """
         return (
             self.name,
@@ -102,6 +118,8 @@ class Workload:
             self.effective_packing,
             self.restore_output_scale,
             self.weights_version,
+            self.priority,
+            self.tenant,
             self.params,
         )
 

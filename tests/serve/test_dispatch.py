@@ -148,6 +148,58 @@ class TestFunctionalMerge:
             fleet.dispatch(make_batch(1, armed, 1, 0.0))
 
 
+class TestTieBreaking:
+    """least_loaded must be index-stable, not list-order-lucky.
+
+    The regression: picking ``min`` over float backlogs alone leaves the
+    winner among equal backlogs to incidental list order. The routing key
+    is pinned to (backlog, index) so equal-backlog ties always resolve to
+    the lowest worker index — and replay determinism never depends on how
+    the worker list happened to be built.
+    """
+
+    def test_idle_fleet_ties_resolve_to_lowest_index(self):
+        fleet = dry_fleet(4)
+        assert fleet.least_loaded(0.0).index == 0
+
+    def test_equal_nonzero_backlogs_tie_on_index(self):
+        fleet = dry_fleet(3)
+        wl = workload()
+        # Identical batches give workers 0..2 byte-identical float backlogs.
+        for i in range(3):
+            fleet.dispatch(make_batch(i, wl, 2, 0.0))
+        backlogs = [w.backlog_s(0.0) for w in fleet.workers]
+        assert backlogs[0] == backlogs[1] == backlogs[2] > 0.0
+        assert fleet.least_loaded(0.0).index == 0
+
+    def test_routing_key_orders_backlog_before_index(self):
+        fleet = dry_fleet(2)
+        wl = workload()
+        fleet.dispatch(make_batch(0, wl, 4, 0.0))  # load worker 0
+        assert fleet.least_loaded(0.0).index == 1
+
+    def test_reversed_worker_list_same_winner(self):
+        # The pin itself: even if the internal worker list is reordered,
+        # the tie goes to the lowest *index*, not the first list element.
+        fleet = dry_fleet(3)
+        fleet.workers.reverse()
+        assert [w.index for w in fleet.workers] == [2, 1, 0]
+        assert fleet.least_loaded(0.0).index == 0
+
+    def test_drain_path_uses_same_tie_break(self):
+        from repro.serve import PriorityScheduler
+
+        fleet = FleetDispatcher(
+            [Device("A100", ExecutionMode.DRY_RUN) for _ in range(2)],
+            scheduler=PriorityScheduler(),
+        )
+        wl = workload()
+        fleet.submit(make_batch(0, wl, 1, 0.0))
+        fleet.submit(make_batch(1, wl, 1, 0.0))
+        placed = fleet.drain(0.0)
+        assert [e.worker_index for e in placed] == [0, 1]
+
+
 class TestSharedCache:
     def test_each_device_pays_its_own_build(self):
         # Plans hold device-resident state (prepared weights, timeline), so

@@ -1,0 +1,60 @@
+"""Golden-replay determinism of the serving experiments.
+
+The discrete-event simulator's whole value rests on reproducibility, so it
+is pinned two ways:
+
+* **replay** — running the "serve" and "serve-priority" experiments twice
+  with the same seed must produce byte-identical report rows (the CSVs the
+  CLI would write), not merely statistically similar ones;
+* **golden file** — a small fixed overload scenario is rendered to CSV and
+  compared byte-for-byte against a checked-in golden. Any change to the
+  event loop, scheduler, batcher, estimates, or float formatting that
+  moves a single bit shows up as a diff here and must be re-blessed
+  deliberately (regenerate via ``repro.bench.serve_priority.golden_rows``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.bench.registry import run_experiment
+from repro.bench.serve_priority import golden_rows
+from repro.util.formatting import render_csv
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def _csv_tables(name: str) -> dict[str, str]:
+    result = run_experiment(name, quick=True)
+    return {
+        table: render_csv(headers, rows)
+        for table, (headers, rows) in result.tables.items()
+    }
+
+
+class TestExperimentReplay:
+    def test_serve_experiment_rows_replay_byte_identical(self):
+        assert _csv_tables("serve") == _csv_tables("serve")
+
+    def test_serve_priority_experiment_rows_replay_byte_identical(self):
+        assert _csv_tables("serve-priority") == _csv_tables("serve-priority")
+
+
+class TestGoldenFile:
+    def test_small_scenario_matches_checked_in_golden(self):
+        headers, rows = golden_rows()
+        rendered = render_csv(headers, rows)
+        golden = (GOLDEN_DIR / "serve_priority_small.csv").read_text()
+        assert rendered == golden
+
+    def test_golden_covers_every_slice(self):
+        golden = (GOLDEN_DIR / "serve_priority_small.csv").read_text()
+        first_column = [line.split(",")[0] for line in golden.splitlines()[1:]]
+        assert first_column == [
+            "priority=0",
+            "priority=1",
+            "pulsar-a",
+            "pulsar-b",
+            "clinic",
+            "overall",
+        ]

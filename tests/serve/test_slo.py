@@ -1,0 +1,152 @@
+"""serve.slo edge cases: percentiles, tracker slices, admission counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ShapeError
+from repro.serve import SLO, AdmissionController, ClassStats, SLOTracker, percentile
+
+SLO_1MS = SLO(p99_latency_s=1e-3)
+
+
+class TestPercentile:
+    def test_empty_sample_raises(self):
+        with pytest.raises(ShapeError, match="empty"):
+            percentile([], 99.0)
+
+    def test_out_of_range_quantile_raises(self):
+        with pytest.raises(ShapeError, match="percentile"):
+            percentile([1.0], 101.0)
+        with pytest.raises(ShapeError, match="percentile"):
+            percentile([1.0], -1.0)
+
+    def test_single_sample_is_every_percentile(self):
+        assert percentile([0.25], 0.0) == 0.25
+        assert percentile([0.25], 50.0) == 0.25
+        assert percentile([0.25], 99.0) == 0.25
+        assert percentile([0.25], 100.0) == 0.25
+
+    def test_linear_interpolation(self):
+        values = [0.0, 1.0, 2.0, 3.0]
+        assert percentile(values, 50.0) == pytest.approx(1.5)
+        assert percentile(values, 100.0) == 3.0
+        assert percentile(values, 0.0) == 0.0
+
+    def test_order_independent(self):
+        assert percentile([3.0, 1.0, 2.0], 50.0) == percentile([1.0, 2.0, 3.0], 50.0)
+
+
+class TestSLOTrackerEdges:
+    def test_empty_tracker_reports_nothing(self):
+        tracker = SLOTracker(SLO_1MS)
+        assert tracker.by_priority() == []
+        assert tracker.by_tenant() == []
+        assert tracker.n_shed == 0
+        assert tracker.shed_share(0) == 0.0  # no shedding: share is 0, not NaN
+
+    def test_single_sample_slice(self):
+        tracker = SLOTracker(SLO_1MS)
+        tracker.record(priority=0, tenant="t", admitted=True, latency_s=4e-4)
+        (stats,) = tracker.by_priority(span_s=2.0)
+        assert stats.n_offered == stats.n_admitted == stats.n_completed == 1
+        assert stats.p50_latency_s == stats.p99_latency_s == 4e-4
+        assert stats.throughput_rps == pytest.approx(0.5)
+        assert stats.goodput_rps == pytest.approx(0.5)  # inside the deadline
+        assert stats.shed_rate == 0.0
+
+    def test_shed_everything_scenario(self):
+        tracker = SLOTracker(SLO_1MS)
+        for _ in range(5):
+            tracker.record(priority=1, tenant="bulk", admitted=False, latency_s=None)
+        (stats,) = tracker.by_priority()
+        assert stats.n_completed == 0
+        assert stats.shed_rate == 1.0
+        assert stats.shed_share == 1.0
+        # No completions: the tail is reported as 0.0, never an exception.
+        assert stats.p50_latency_s == stats.p95_latency_s == stats.p99_latency_s == 0.0
+        assert tracker.shed_share(1) == 1.0
+        assert tracker.shed_share(0) == 0.0
+
+    def test_zero_span_reports_zero_rates(self):
+        tracker = SLOTracker(SLO_1MS)
+        tracker.record(priority=0, tenant="t", admitted=True, latency_s=1e-4)
+        (stats,) = tracker.by_priority(span_s=0.0)
+        assert stats.throughput_rps == 0.0
+        assert stats.goodput_rps == 0.0
+
+    def test_goodput_excludes_deadline_misses(self):
+        tracker = SLOTracker(SLO_1MS)
+        tracker.record(priority=0, tenant="t", admitted=True, latency_s=5e-4)
+        tracker.record(priority=0, tenant="t", admitted=True, latency_s=5e-3)  # late
+        (stats,) = tracker.by_priority(span_s=1.0)
+        assert stats.throughput_rps == pytest.approx(2.0)
+        assert stats.goodput_rps == pytest.approx(1.0)
+
+
+class TestPerClassAggregation:
+    def test_classes_sorted_most_urgent_first(self):
+        tracker = SLOTracker(SLO_1MS)
+        tracker.record(priority=2, tenant="c", admitted=True, latency_s=1e-4)
+        tracker.record(priority=0, tenant="a", admitted=True, latency_s=1e-4)
+        tracker.record(priority=1, tenant="b", admitted=False, latency_s=None)
+        labels = [s.label for s in tracker.by_priority()]
+        assert labels == ["priority=0", "priority=1", "priority=2"]
+
+    def test_tenants_in_first_seen_order(self):
+        tracker = SLOTracker(SLO_1MS)
+        tracker.record(priority=0, tenant="zeta", admitted=True, latency_s=1e-4)
+        tracker.record(priority=0, tenant="alpha", admitted=True, latency_s=1e-4)
+        assert [s.label for s in tracker.by_tenant()] == ["zeta", "alpha"]
+
+    def test_shed_shares_sum_to_one_across_classes(self):
+        tracker = SLOTracker(SLO_1MS)
+        for priority, admitted in ((0, True), (1, False), (1, False), (2, False)):
+            tracker.record(
+                priority=priority, tenant=f"t{priority}", admitted=admitted,
+                latency_s=1e-4 if admitted else None,
+            )
+        shares = [s.shed_share for s in tracker.by_priority()]
+        assert sum(shares) == pytest.approx(1.0)
+        assert shares[0] == 0.0
+
+    def test_class_and_tenant_views_account_every_request(self):
+        tracker = SLOTracker(SLO_1MS)
+        for i in range(10):
+            tracker.record(
+                priority=i % 2, tenant=f"t{i % 3}", admitted=i % 4 != 0,
+                latency_s=1e-4 if i % 4 != 0 else None,
+            )
+        assert sum(s.n_offered for s in tracker.by_priority()) == 10
+        assert sum(s.n_offered for s in tracker.by_tenant()) == 10
+        assert sum(s.n_shed for s in tracker.by_priority()) == tracker.n_shed
+
+
+class TestClassStats:
+    def test_derived_counts(self):
+        stats = ClassStats(label="x", n_offered=10, n_admitted=7)
+        assert stats.n_shed == 3
+        assert stats.shed_rate == pytest.approx(0.3)
+
+    def test_empty_slice_rates(self):
+        stats = ClassStats(label="x")
+        assert stats.n_shed == 0
+        assert stats.shed_rate == 0.0
+
+
+class TestAdmissionPerClassCounters:
+    def test_shed_by_class_tallies(self):
+        controller = AdmissionController(SLO_1MS)
+        assert controller.admit(1e-4, 0, priority=0)
+        assert not controller.admit(1.0, 0, priority=1)
+        assert not controller.admit(1.0, 0, priority=1)
+        assert not controller.admit(1.0, 0, priority=0)
+        assert controller.shed_by_class == {1: 2, 0: 1}
+        assert controller.n_shed == 3
+        assert controller.n_admitted == 1
+
+    def test_depth_cap_still_applies_per_call(self):
+        controller = AdmissionController(SLO(p99_latency_s=1e9), max_queue_depth=2)
+        assert controller.admit(0.0, 0, priority=3)
+        assert not controller.admit(0.0, 2, priority=3)
+        assert controller.shed_by_class == {3: 1}
