@@ -118,6 +118,7 @@ def service_workload(
     weights_version: int = 0,
     priority: int = 1,
     tenant: str = "astronomy",
+    params: TuneParams | None = None,
     weights: np.ndarray | None = None,
 ) -> "Workload":
     """The radio-astronomy request class for :mod:`repro.serve`.
@@ -129,11 +130,19 @@ def service_workload(
     ``weights`` optionally carries the ``(channels x pols, beams, stations)``
     weight set for functional fleets; bump ``weights_version`` on
     calibration updates so stale and fresh requests never share a batch.
+    ``params`` pins the tuning parameters of the merged plan (part of the
+    batching identity, like everything else here).
 
     Offline reprocessing is throughput work, so the default ``priority`` is
     1 (the batch class — lower numbers are more urgent); a live transient
     follow-up would pass ``priority=0``. ``tenant`` names the observing
     campaign for weighted-fair queueing when several share a fleet.
+
+    On a heterogeneous fleet the placement layer does the rest: float16
+    runs anywhere, the channel batch makes large surveys splittable across
+    devices (``batch_per_request = channels x pols``), and nearby
+    ``n_samples`` dumps can share a launch through the batcher's shape
+    buckets — see :mod:`repro.serve.placement`.
     """
     from repro.serve.workload import Workload
 
@@ -150,6 +159,7 @@ def service_workload(
         weights_version=weights_version,
         priority=priority,
         tenant=tenant,
+        params=params,
         weights=weights,
     )
 

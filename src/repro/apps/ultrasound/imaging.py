@@ -213,6 +213,13 @@ def service_workload(
     — the most urgent class, preempting queued batch work (lower numbers
     are more urgent). ``tenant`` names the imaging site for weighted-fair
     queueing when several share a fleet.
+
+    Capability note for mixed fleets: the default int1 precision exists on
+    NVIDIA tensor cores only (paper §II), so the placement layer
+    (:mod:`repro.serve.placement`) will never route these requests to an
+    AMD device — and will shed them at the front door if the fleet has no
+    NVIDIA device at all. Pass ``precision=Precision.FLOAT16`` to make the
+    workload placeable fleet-wide at the float16 cost model.
     """
     from repro.serve.workload import Workload
 

@@ -5,16 +5,23 @@ Usage::
     python -m repro.bench                 # run everything -> results/
     python -m repro.bench fig5 fig7       # selected experiments
     python -m repro.bench --quick         # coarser sweeps
-    python -m repro.bench --list
+    python -m repro.bench --list          # experiments + one-line summaries
+    python -m repro.bench serve --output report.json
+
+Exits non-zero on unknown experiment names. ``--output`` additionally
+writes one machine-readable JSON report covering every experiment run
+(name, title, findings, raw table series) — the per-experiment ``.txt`` /
+``.csv`` files still land in ``--outdir``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
-from repro.bench.registry import EXPERIMENTS, run_experiment
+from repro.bench.registry import EXPERIMENTS, describe, run_experiment
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -29,12 +36,22 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--outdir", default="results", help="output directory")
     parser.add_argument("--quick", action="store_true", help="coarser sweeps")
-    parser.add_argument("--list", action="store_true", help="list experiments and exit")
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list experiments with one-line descriptions and exit",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="PATH",
+        help="also write one combined JSON report of the run to PATH",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
+        width = max(len(name) for name in EXPERIMENTS)
         for name in EXPERIMENTS:
-            print(name)
+            print(f"{name:<{width}}  {describe(name)}")
         return 0
 
     names = args.experiments or list(EXPERIMENTS)
@@ -42,6 +59,7 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         parser.error(f"unknown experiments: {', '.join(unknown)}")
 
+    json_report: list[dict] = []
     for name in names:
         t0 = time.perf_counter()
         result = run_experiment(name, quick=args.quick)
@@ -50,6 +68,22 @@ def main(argv: list[str] | None = None) -> int:
         written = result.write(args.outdir)
         print(f"[{name}] done in {elapsed:.1f}s; wrote {len(written)} files to {args.outdir}/")
         print()
+        json_report.append(
+            {
+                "name": result.name,
+                "title": result.title,
+                "findings": result.findings,
+                "tables": {
+                    table: {"headers": list(headers), "rows": [list(r) for r in rows]}
+                    for table, (headers, rows) in result.tables.items()
+                },
+                "elapsed_s": round(elapsed, 3),
+            }
+        )
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump({"experiments": json_report}, fh, indent=2, default=str)
+        print(f"wrote JSON report to {args.output}")
     return 0
 
 

@@ -15,6 +15,7 @@ from repro.bench import (
     fig6,
     fig7,
     serve,
+    serve_hetero,
     serve_priority,
     table1,
     table3,
@@ -36,7 +37,21 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "claims": claims.run,
     "serve": serve.run,
     "serve-priority": serve_priority.run,
+    "serve-hetero": serve_hetero.run,
 }
+
+
+def describe(name: str) -> str:
+    """One-line description of an experiment (its module docstring's lead).
+
+    The registry's runners are module-level ``run`` functions, so the first
+    docstring line of each module is the authoritative summary — no second
+    copy to drift.
+    """
+    runner = EXPERIMENTS[name]
+    doc = inspect.getdoc(inspect.getmodule(runner)) or ""
+    first = doc.strip().splitlines()[0] if doc.strip() else ""
+    return first.removeprefix("Experiment:").strip().rstrip(".")
 
 
 def run_experiment(name: str, quick: bool = False) -> ExperimentResult:

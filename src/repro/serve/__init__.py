@@ -11,13 +11,20 @@ discrete-event simulation:
   generators;
 * :mod:`~repro.serve.batching` — the dynamic micro-batcher (``max_batch``
   size trigger, ``max_wait_s`` latency trigger);
-* :mod:`~repro.serve.cache` — the LRU :class:`PlanCache` skipping planning
-  and one-time weight preparation for repeated workloads;
+* :mod:`~repro.serve.cache` — the per-device-segmented LRU
+  :class:`PlanCache` skipping planning and one-time weight preparation for
+  repeated workloads;
+* :mod:`~repro.serve.placement` — the :class:`Placer`: one cost-model-driven
+  decision point turning every request into an explicit
+  :class:`PlacementDecision` (route to the cost-preferred capable worker /
+  pad-and-merge into a shape bucket / split across workers via in-service
+  sharding / shed infeasible work);
 * :mod:`~repro.serve.scheduler` — :class:`PriorityScheduler`: strict
   priority classes with deficit-round-robin weighted-fair queueing across
   tenants, and non-destructive preemption of queued lower-priority work;
 * :mod:`~repro.serve.dispatch` — per-device queues with copy/compute
-  overlap and least-loaded fleet routing;
+  overlap; placer-routed (least-loaded is the homogeneous special case),
+  heterogeneous-fleet-aware, with multi-worker shard dispatch;
 * :mod:`~repro.serve.slo` — SLO targets, deterministic percentiles,
   front-door admission control (lowest-class-first load shedding), and the
   per-class / per-tenant :class:`SLOTracker`;
@@ -36,6 +43,12 @@ from repro.serve.arrivals import (
 from repro.serve.batching import Batch, BatchingPolicy, MicroBatcher
 from repro.serve.cache import CachedPlan, PlanCache
 from repro.serve.dispatch import BatchExecution, DeviceWorker, FleetDispatcher
+from repro.serve.placement import (
+    PlacementCost,
+    PlacementDecision,
+    PlacementKind,
+    Placer,
+)
 from repro.serve.scheduler import PriorityScheduler
 from repro.serve.service import BeamformingService, RequestOutcome, ServiceReport
 from repro.serve.slo import SLO, AdmissionController, ClassStats, SLOTracker, percentile
@@ -56,6 +69,10 @@ __all__ = [
     "DeviceWorker",
     "FleetDispatcher",
     "BatchExecution",
+    "Placer",
+    "PlacementCost",
+    "PlacementDecision",
+    "PlacementKind",
     "PriorityScheduler",
     "SLO",
     "AdmissionController",

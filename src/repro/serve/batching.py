@@ -25,9 +25,13 @@ override applies uniformly to every group of that class.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import ShapeError
 from repro.serve.workload import Request, Workload
+
+if TYPE_CHECKING:
+    from repro.serve.placement import PlacementDecision
 
 
 @dataclass(frozen=True)
@@ -37,27 +41,83 @@ class BatchingPolicy:
     ``max_batch``: requests per merged launch (the size trigger);
     ``max_wait_s``: longest a request may sit in a forming batch before the
     latency trigger flushes it — the explicit latency/throughput trade-off.
+
+    ``sample_buckets``: ascending shape-bucket edges along the sample axis.
+    When set, a request whose ``n_samples`` is at most an edge is padded up
+    to the smallest such edge, so *nearby* shapes share one merged launch
+    instead of each forming its own trickle of small batches. The padded
+    columns are real work the cost model prices (the plan is built at the
+    bucket's shape). ``max_pad_fraction`` bounds the relative padding a
+    bucket may impose — a 64-sample request must not be padded 32x to a
+    2048 edge just because the edge exists; shapes whose nearest edge would
+    exceed the budget (and shapes beyond the largest edge) batch at their
+    exact shape. Empty ``sample_buckets`` (the default) means exact-shape
+    batching.
     """
 
     max_batch: int = 8
     max_wait_s: float = 1e-3
+    sample_buckets: tuple[int, ...] = ()
+    #: largest tolerated (padded - exact) / exact along the sample axis.
+    max_pad_fraction: float = 0.25
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
             raise ShapeError(f"max_batch must be >= 1, got {self.max_batch}")
         if self.max_wait_s < 0:
             raise ShapeError(f"max_wait_s must be >= 0, got {self.max_wait_s}")
+        if list(self.sample_buckets) != sorted(set(self.sample_buckets)):
+            raise ShapeError(
+                f"sample_buckets must be strictly ascending, got {self.sample_buckets}"
+            )
+        if self.sample_buckets and self.sample_buckets[0] < 1:
+            raise ShapeError(
+                f"sample_buckets must be >= 1, got {self.sample_buckets}"
+            )
+        if self.max_pad_fraction < 0:
+            raise ShapeError(
+                f"max_pad_fraction must be >= 0, got {self.max_pad_fraction}"
+            )
+
+    def bucket_samples(self, n_samples: int) -> int:
+        """The padded sample count of one request (identity when unbucketed).
+
+        The smallest covering bucket edge within the padding budget; the
+        exact shape when no edge qualifies.
+        """
+        for edge in self.sample_buckets:
+            if edge >= n_samples:
+                if (edge - n_samples) / n_samples <= self.max_pad_fraction:
+                    return edge
+                break
+        return n_samples
 
 
 @dataclass
 class Batch:
-    """A flushed group of compatible requests, ready for dispatch."""
+    """A flushed group of compatible requests, ready for dispatch.
+
+    ``workload`` is the *executed* descriptor: for a shape-bucketed batch it
+    is the padded bucket workload, while each member request keeps its own
+    exact-shape workload (the padding is trimmed back per request after the
+    launch). ``decision`` carries the placement decision that admitted the
+    batch; ``predicted_service_s`` is the placer's best-device service
+    estimate, stamped at submit time for queue-drain admission estimates.
+    """
 
     bid: int
     workload: Workload
     requests: list[Request]
     #: simulated time the batch left the batcher (its dispatch time).
     formed_s: float
+    #: placement decision that routed this batch (None on direct dispatch).
+    decision: "PlacementDecision | None" = None
+    #: placer's predicted service time on the best eligible device, seconds.
+    predicted_service_s: float = 0.0
+    #: worker indices this batch may run on, stamped once at submit time
+    #: (capability and memory fit are static per batch, so the dispatcher
+    #: never re-derives them per event).
+    candidate_indices: tuple[int, ...] | None = None
 
     @property
     def n_requests(self) -> int:
@@ -67,6 +127,21 @@ class Batch:
     def merged_batch(self) -> int:
         """Batch extent of the merged plan execution."""
         return self.n_requests * self.workload.batch_per_request
+
+    @property
+    def useful_ops(self) -> float:
+        """GEMM operations the member requests actually asked for."""
+        return sum(r.workload.request_ops() for r in self.requests)
+
+    @property
+    def executed_ops(self) -> float:
+        """GEMM operations of the launch as executed (padding included)."""
+        return self.workload.request_ops() * self.n_requests
+
+    @property
+    def padded_ops(self) -> float:
+        """Operations spent on bucket padding (0 for exact-shape batches)."""
+        return self.executed_ops - self.useful_ops
 
     @property
     def priority(self) -> int:
@@ -96,6 +171,10 @@ class _Group:
     deadline_s: float = 0.0
     #: monotone creation sequence — the deterministic flush tie-break.
     seq: int = 0
+    #: the workload the flushed batch executes (padded for shape buckets).
+    workload: Workload | None = None
+    #: the placement decision shared by every member of the group.
+    decision: "PlacementDecision | None" = None
 
 
 class MicroBatcher:
@@ -136,19 +215,34 @@ class MicroBatcher:
             return None
         return min(g.deadline_s for g in self._groups.values())
 
-    def offer(self, request: Request, now: float) -> Batch | None:
+    def offer(
+        self,
+        request: Request,
+        now: float,
+        decision: "PlacementDecision | None" = None,
+    ) -> Batch | None:
         """Add one request; returns a batch iff the size trigger fired.
+
+        ``decision`` optionally carries the placement decision governing the
+        request; its (possibly bucket-padded) workload keys the group, so
+        requests of nearby shapes that share a bucket coalesce into one
+        launch at the padded shape. Without a decision the request's own
+        workload keys the group — exact-shape batching.
 
         The caller is responsible for draining timer-due groups first
         (:meth:`due`) so a request never joins a group whose deadline has
         already passed.
         """
-        key = request.workload.compat_key()
+        merged = decision.workload if decision is not None else request.workload
+        key = merged.compat_key()
         policy = self.policy_for(request.workload.priority)
         group = self._groups.get(key)
         if group is None:
             group = self._groups[key] = _Group(
-                deadline_s=now + policy.max_wait_s, seq=self._next_seq
+                deadline_s=now + policy.max_wait_s,
+                seq=self._next_seq,
+                workload=merged,
+                decision=decision,
             )
             self._next_seq += 1
         group.requests.append(request)
@@ -188,11 +282,34 @@ class MicroBatcher:
 
     def _flush(self, key: tuple, formed_s: float) -> Batch:
         group = self._groups.pop(key)
+        workload = (
+            group.workload if group.workload is not None else group.requests[0].workload
+        )
         batch = Batch(
             bid=self._next_bid,
-            workload=group.requests[0].workload,
+            workload=workload,
             requests=group.requests,
             formed_s=formed_s,
+            decision=group.decision,
+        )
+        self._next_bid += 1
+        return batch
+
+    def singleton(self, request: Request, now: float, decision=None) -> Batch:
+        """Wrap one request as its own batch, bypassing group formation.
+
+        The split-placement path: a request too large for any single device
+        never coalesces with others — it becomes an immediate one-request
+        batch (unique ``bid`` from the same counter) that the scheduler
+        still orders by priority before the fleet shards it.
+        """
+        self.n_offered += 1
+        batch = Batch(
+            bid=self._next_bid,
+            workload=request.workload,
+            requests=[request],
+            formed_s=now,
+            decision=decision,
         )
         self._next_bid += 1
         return batch

@@ -46,12 +46,20 @@ class CachedPlan:
 
 
 class PlanCache:
-    """Bounded LRU cache of built beamformer plans.
+    """Bounded LRU cache of built beamformer plans, segmented per device.
 
     :meth:`get` returns ``(entry, build_latency_s)``: the latency is the
     one-time planning + weight-preparation charge and is non-zero only on a
     miss — the dispatcher adds it to that batch's critical path, which is
     exactly the cold-start penalty a real serving tier shows.
+
+    Capacity is accounted **per device**: each device in the fleet gets its
+    own LRU segment of ``capacity`` entries. Plans hold device-resident
+    state, so an entry is only ever useful to the device that built it —
+    one shared LRU would let a high-churn device (say, a bucket-less MI300X
+    taking every odd shape) evict a quiet GH200's hot plans, coupling the
+    devices' cold-start behavior for no benefit. With per-device segments,
+    one device's churn can never evict another device's entries.
     """
 
     def __init__(
@@ -65,13 +73,14 @@ class PlanCache:
             raise ShapeError(f"build overhead must be >= 0, got {build_overhead_s}")
         self.capacity = capacity
         self.build_overhead_s = build_overhead_s
-        self._entries: OrderedDict[tuple, CachedPlan] = OrderedDict()
+        #: per-device LRU segments: device id -> (entry key -> entry).
+        self._segments: dict[int, OrderedDict[tuple, CachedPlan]] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return sum(len(seg) for seg in self._segments.values())
 
     @property
     def hit_rate(self) -> float:
@@ -85,9 +94,20 @@ class PlanCache:
         device-resident state (prepared weights, recorded kernels land on
         that device's timeline), so two same-model GPUs in one fleet must
         each fault in — and pay for — their own build, exactly as a real
-        deployment JIT-compiles and stages weights per device.
+        deployment JIT-compiles and stages weights per device. The device
+        component also selects the LRU segment the entry lives (and is
+        evicted) in.
         """
         return (id(device), workload.compat_key(), n_requests)
+
+    def contains(self, device: Device, workload: Workload, n_requests: int) -> bool:
+        """Whether a dispatch would hit, without touching LRU order."""
+        segment = self._segments.get(id(device))
+        return segment is not None and self.key(device, workload, n_requests) in segment
+
+    def entries_for(self, device: Device) -> int:
+        """Resident entry count of one device's segment."""
+        return len(self._segments.get(id(device), ()))
 
     def get(
         self, device: Device, workload: Workload, n_requests: int
@@ -97,12 +117,16 @@ class PlanCache:
         On a miss the plan is constructed, its one-time weight preparation
         runs (cost-only — functional execution re-reads the raw weights per
         block, so calibration updates between blocks stay honored), and the
-        per-block stage costs are predicted once and memoized.
+        per-block stage costs are predicted once and memoized. Eviction, if
+        needed, comes from this device's own segment.
         """
+        segment = self._segments.get(id(device))
+        if segment is None:
+            segment = self._segments[id(device)] = OrderedDict()
         key = self.key(device, workload, n_requests)
-        entry = self._entries.get(key)
+        entry = segment.get(key)
         if entry is not None:
-            self._entries.move_to_end(key)
+            segment.move_to_end(key)
             entry.hits += 1
             self.hits += 1
             return entry, 0.0
@@ -116,8 +140,8 @@ class PlanCache:
             gemm_s=plan.predict_gemm_cost().time_s,
             build_s=self.build_overhead_s + prep.time_s,
         )
-        self._entries[key] = entry
-        if len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        segment[key] = entry
+        if len(segment) > self.capacity:
+            segment.popitem(last=False)
             self.evictions += 1
         return entry, entry.build_s

@@ -8,10 +8,15 @@ like consecutive blocks in a :class:`~repro.tcbf.streaming.BlockExecutor` —
 the stage-in of batch *i+1* hides behind the GEMM of batch *i* — so the
 service inherits the library's copy/compute overlap for free.
 
-:class:`FleetDispatcher` is the routing layer: least-loaded (earliest
-compute-engine drain) with deterministic index-order tie-breaking, the
-sharding counterpart of :class:`~repro.tcbf.sharding.ShardedBeamformer` for
-many small independent problems instead of one large one.
+Routing is delegated to the :class:`~repro.serve.placement.Placer`: each
+batch is placed on the *eligible* worker (capability + memory fit) with the
+earliest predicted finish under that device's own cost model. On a
+homogeneous fleet every device predicts identical costs, so the decision
+collapses to the classic least-loaded rule — kept as
+:meth:`FleetDispatcher.least_loaded` both for direct fleet studies and as
+the documented trivial case of cost-aware placement. Split placements
+(requests larger than any single device) shard across several workers at
+once and complete at the slowest shard.
 
 Two dispatch paths coexist:
 
@@ -23,11 +28,14 @@ Two dispatch paths coexist:
   batch's GEMM has started). Keeping the wait in the scheduler instead of
   on the worker is what makes priorities real: a high-priority batch jumps
   everything still queued, while each worker keeps at most one staged batch
-  so copy/compute overlap is preserved exactly.
+  so copy/compute overlap is preserved exactly. A batch whose eligible
+  workers are all busy is *held* (it never blocks batches other workers
+  could serve) and retried first on the next drain.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
@@ -36,13 +44,20 @@ from repro.errors import DeviceError, ShapeError
 from repro.gpusim.device import Device
 from repro.serve.batching import Batch
 from repro.serve.cache import CachedPlan, PlanCache
+from repro.serve.placement import PlacementKind, Placer
 from repro.serve.scheduler import PriorityScheduler
 from repro.tcbf import merge_batch_operands, split_batched_output
+from repro.tcbf.scaling import rms
 
 
 @dataclass
 class BatchExecution:
-    """One dispatched batch on the fleet timeline."""
+    """One dispatched batch on the fleet timeline.
+
+    A split placement produces one top-level record (`completion_s` is the
+    slowest shard's) with the per-shard records in :attr:`shards`;
+    single-worker placements leave ``shards`` as ``None``.
+    """
 
     batch: Batch
     device_name: str
@@ -59,6 +74,8 @@ class BatchExecution:
     build_s: float
     #: per-request output blocks (functional fleets; ``None`` on dry-run).
     outputs: list[np.ndarray] | None = None
+    #: per-shard executions of a split placement (``None`` otherwise).
+    shards: list["BatchExecution"] | None = None
 
     @property
     def queue_delay_s(self) -> float:
@@ -68,6 +85,10 @@ class BatchExecution:
     @property
     def service_s(self) -> float:
         return self.completion_s - self.start_s
+
+    @property
+    def is_split(self) -> bool:
+        return self.shards is not None
 
 
 class DeviceWorker:
@@ -102,7 +123,12 @@ class DeviceWorker:
         return self._accept_s
 
     def schedule(
-        self, batch: Batch, entry: CachedPlan, build_s: float, now: float = 0.0
+        self,
+        batch: Batch,
+        entry: CachedPlan,
+        build_s: float,
+        now: float = 0.0,
+        n_requests: int | None = None,
     ) -> BatchExecution:
         """Place one batch on this worker's engines; returns its timeline.
 
@@ -112,6 +138,8 @@ class DeviceWorker:
         engine (a cold plan cannot stage data); the GEMM starts once its
         stage-in and the previous GEMM are both done — the same event model
         as :func:`repro.tcbf.streaming.pipelined_makespan`.
+        ``n_requests`` overrides the request count attributed to this
+        worker (a split batch touches several workers at once).
         """
         start = max(batch.formed_s, self._copy_free_s, now)
         copy_end = start + build_s + entry.stage_in_s
@@ -122,7 +150,7 @@ class DeviceWorker:
         self._accept_s = compute_start
         self.busy_s += entry.gemm_s
         self.n_batches += 1
-        self.n_requests += batch.n_requests
+        self.n_requests += batch.n_requests if n_requests is None else n_requests
         return BatchExecution(
             batch=batch,
             device_name=self.device.name,
@@ -142,13 +170,21 @@ class DeviceWorker:
 
 
 class FleetDispatcher:
-    """Least-loaded routing of batches over a homogeneous-mode fleet."""
+    """Placer-routed dispatch of batches over a (possibly mixed) fleet.
+
+    Devices may differ in model and capability (a GH200 next to an MI300X);
+    only the execution mode (functional vs dry-run) must be uniform. The
+    bound :class:`~repro.serve.placement.Placer` makes every routing
+    decision; :meth:`least_loaded` survives as the homogeneous special
+    case.
+    """
 
     def __init__(
         self,
         devices: list[Device],
         cache: PlanCache | None = None,
         scheduler: PriorityScheduler | None = None,
+        placer: Placer | None = None,
     ):
         if not devices:
             raise ShapeError("fleet dispatch requires at least one device")
@@ -160,7 +196,12 @@ class FleetDispatcher:
         self.workers = [DeviceWorker(d, i) for i, d in enumerate(devices)]
         self.cache = cache if cache is not None else PlanCache()
         self.scheduler = scheduler if scheduler is not None else PriorityScheduler()
+        self.placer = placer if placer is not None else Placer()
+        self.placer.attach(self.workers, self.cache)
         self.executions: list[BatchExecution] = []
+        #: batches popped from the scheduler whose eligible workers were all
+        #: busy; retried (in pop order) at the start of every drain.
+        self._held: list[Batch] = []
 
     @property
     def is_functional(self) -> bool:
@@ -179,8 +220,38 @@ class FleetDispatcher:
         return (worker.backlog_s(now), worker.index)
 
     def least_loaded(self, now: float) -> DeviceWorker:
-        """Worker whose compute engine drains first (ties: lowest index)."""
+        """Worker whose compute engine drains first (ties: lowest index).
+
+        The cost-model-blind routing rule — what the placer's predicted
+        finish reduces to when every device prices the workload equally.
+        """
         return min(self.workers, key=lambda w: self._routing_key(w, now))
+
+    def worker_by_index(self, index: int) -> DeviceWorker:
+        """The worker with a declared index (robust to list reordering)."""
+        worker = self.workers[index] if index < len(self.workers) else None
+        if worker is not None and worker.index == index:
+            return worker
+        return next(w for w in self.workers if w.index == index)
+
+    def _candidates(self, batch: Batch) -> list[DeviceWorker]:
+        """Workers this batch may run on (capability, then memory fit).
+
+        Eligibility is static per batch (device capability and memory fit
+        do not change over a run), so :meth:`submit` stamps the indices
+        once and every later event reads them back instead of re-running
+        the capability/footprint checks per worker.
+        """
+        if batch.candidate_indices is not None:
+            return [self.worker_by_index(i) for i in batch.candidate_indices]
+        if batch.decision is not None and batch.decision.kind is PlacementKind.SPLIT:
+            wanted = set(batch.decision.shard_worker_indices)
+            return [w for w in self.workers if w.index in wanted]
+        capable = self.placer.capable_workers(batch.workload)
+        fits = [
+            w for w in capable if self.placer.fits(w, batch.workload, batch.n_requests)
+        ]
+        return fits or capable
 
     def dispatch(self, batch: Batch) -> BatchExecution:
         """Immediately route one batch (FIFO in call order).
@@ -190,38 +261,130 @@ class FleetDispatcher:
         concatenate along the batch axis, and the output scatters back one
         slice per request (:func:`repro.tcbf.split_batched_output`).
         """
-        worker = self.least_loaded(batch.formed_s)
+        if batch.decision is not None and batch.decision.kind is PlacementKind.SPLIT:
+            return self._place_split(batch, now=0.0)
+        candidates = self._candidates(batch)
+        if not candidates:
+            raise DeviceError(
+                f"no device in the fleet supports workload "
+                f"{batch.workload.name!r} ({batch.workload.precision.value})"
+            )
+        worker = self.placer.select_worker(batch, candidates, batch.formed_s)
         return self._place(worker, batch, now=0.0)
 
     # -- scheduler-mediated dispatch -----------------------------------------
 
     def submit(self, batch: Batch) -> None:
-        """Queue one flushed batch for priority-ordered dispatch."""
+        """Queue one flushed batch for priority-ordered dispatch.
+
+        Stamps the placer's predicted service time and the eligible worker
+        indices on the batch (the admission controller's per-device drain
+        estimate, and the dispatcher's per-event candidate set) and
+        validates that at least one worker can ever serve it — infeasible
+        batches must be shed at admission, never parked in the queue
+        forever.
+        """
+        candidates = self._candidates(batch)
+        if not candidates:
+            raise DeviceError(
+                f"no device in the fleet supports workload "
+                f"{batch.workload.name!r} ({batch.workload.precision.value}); "
+                "the placer should have shed it at admission"
+            )
+        batch.candidate_indices = tuple(w.index for w in candidates)
+        if batch.decision is not None and batch.decision.kind is PlacementKind.SPLIT:
+            batch.predicted_service_s = self.placer.predicted_split_service_s(
+                batch.decision
+            )
+        else:
+            batch.predicted_service_s = self.placer.predicted_service_s(
+                batch.workload, batch.n_requests
+            )
         self.scheduler.enqueue(batch)
 
     def has_queued(self) -> bool:
-        return not self.scheduler.empty()
+        return bool(self._held) or not self.scheduler.empty()
+
+    @property
+    def held_requests(self) -> int:
+        """Requests in batches held back by busy eligible workers."""
+        return sum(b.n_requests for b in self._held)
+
+    def held_service_s(self, priority: int) -> float:
+        """Predicted service queued dispatcher-side at ``priority`` or above.
+
+        Held batches left the scheduler, so admission's
+        :meth:`PriorityScheduler.queued_service_s` no longer sees them;
+        this is the matching term so the latency projection covers *all*
+        undispatched work an arrival must wait out.
+        """
+        return sum(
+            b.predicted_service_s for b in self._held if b.priority <= priority
+        )
 
     def next_accept_s(self) -> float:
-        """Earliest instant any worker can take another queued batch."""
-        return min(w.accept_s for w in self.workers)
+        """Earliest instant a worker can take one of the queued batches.
+
+        Restricted to workers eligible for at least one queued/held batch:
+        an AMD worker going idle is not an event for a queue of int1 work.
+        """
+        indices: set[int] = set()
+        for batch in self._held:
+            indices.update(batch.candidate_indices or ())
+        for batch in self.scheduler.queued_batches():
+            indices.update(batch.candidate_indices or ())
+        return min(w.accept_s for w in self.workers if w.index in indices)
 
     def drain(self, now: float) -> list[BatchExecution]:
         """Dispatch queued batches to every worker available at ``now``.
 
-        Repeatedly asks the scheduler for the next batch (strict priority,
-        DRR across tenants) and places it on the least-loaded available
-        worker; stops when the queue empties or no worker can accept more
-        work at this instant. Returns the executions placed, in order.
+        Held batches (eligible workers busy at an earlier drain) and the
+        scheduler's queue are merged by urgency: at each step the more
+        urgent of (most urgent held batch, the scheduler's head class)
+        dispatches next, with held winning ties (it was popped earlier), so
+        holding never lets a stale low-priority batch jump a later, more
+        urgent arrival. A batch whose eligible workers cannot accept is
+        (re)held without blocking work other devices could take. Returns
+        the executions placed, in order.
         """
         placed: list[BatchExecution] = []
-        while not self.scheduler.empty():
-            available = [w for w in self.workers if w.accept_s <= now]
-            if not available:
+        remaining: list[Batch] = []
+        if self.scheduler.preemptive:
+            # Stable by class: FIFO within a class is preserved.
+            self._held.sort(key=lambda b: b.priority)
+        held = deque(self._held)
+        self._held = []
+        while True:
+            head_p = self.scheduler.head_priority()
+            use_held = bool(held) and (
+                not self.scheduler.preemptive
+                or head_p is None
+                or held[0].priority <= head_p
+            )
+            if use_held:
+                batch = held.popleft()
+            elif head_p is None or all(w.accept_s > now for w in self.workers):
                 break
-            worker = min(available, key=lambda w: self._routing_key(w, now))
-            placed.append(self._place(worker, self.scheduler.next(), now=now))
+            else:
+                batch = self.scheduler.next()
+            execution = self._try_place(batch, now)
+            if execution is None:
+                remaining.append(batch)
+            else:
+                placed.append(execution)
+        self._held = remaining + list(held)
         return placed
+
+    def _try_place(self, batch: Batch, now: float) -> BatchExecution | None:
+        """Place one batch if an eligible worker can accept it at ``now``."""
+        candidates = self._candidates(batch)
+        available = [w for w in candidates if w.accept_s <= now]
+        if not available:
+            return None
+        if batch.decision is not None and batch.decision.kind is PlacementKind.SPLIT:
+            return self._place_split(batch, now=now)
+        worker = self.placer.select_worker(batch, available, now)
+        return self._place(worker, batch, now=now)
 
     def _place(
         self, worker: DeviceWorker, batch: Batch, now: float
@@ -233,6 +396,91 @@ class FleetDispatcher:
         self.executions.append(execution)
         return execution
 
+    # -- split placement -----------------------------------------------------
+
+    def _place_split(self, batch: Batch, now: float) -> BatchExecution:
+        """Shard one oversized batch across its decision's workers.
+
+        Every shard is scheduled on its own worker's engines (plans come
+        from the same per-device cache, so repeat splits hit); the request
+        completes when the slowest shard does. Shards queue behind whatever
+        their workers are running — a split claims the whole eligible
+        fleet, which is the point: the request did not fit anything
+        smaller.
+        """
+        decision = batch.decision
+        shard_execs: list[BatchExecution] = []
+        shard_entries: list[CachedPlan] = []
+        for i, (index, extent) in enumerate(
+            zip(decision.shard_worker_indices, decision.shard_extents)
+        ):
+            worker = self.worker_by_index(index)
+            shard_workload = batch.workload.shard(extent)
+            entry, build_s = self.cache.get(worker.device, shard_workload, 1)
+            shard_entries.append(entry)
+            shard_execs.append(
+                worker.schedule(
+                    batch,
+                    entry,
+                    build_s,
+                    now=now,
+                    n_requests=batch.n_requests if i == 0 else 0,
+                )
+            )
+        execution = BatchExecution(
+            batch=batch,
+            device_name="+".join(e.device_name for e in shard_execs),
+            worker_index=shard_execs[0].worker_index,
+            ready_s=batch.formed_s,
+            start_s=min(e.start_s for e in shard_execs),
+            compute_start_s=min(e.compute_start_s for e in shard_execs),
+            completion_s=max(e.completion_s for e in shard_execs),
+            stage_in_s=max(e.stage_in_s for e in shard_execs),
+            gemm_s=max(e.gemm_s for e in shard_execs),
+            build_s=max(e.build_s for e in shard_execs),
+            shards=shard_execs,
+        )
+        if self.is_functional:
+            execution.outputs = self._execute_split(batch, shard_entries)
+        self.executions.append(execution)
+        return execution
+
+    def _execute_split(
+        self, batch: Batch, shard_entries: list[CachedPlan]
+    ) -> list[np.ndarray]:
+        """Functionally beamform one split request and merge the shards.
+
+        ``shard_entries`` are the cache entries the placement step already
+        fetched (one per shard, in decision order) — re-fetching here would
+        double-count cache hits. Mirrors :meth:`ShardedBeamformer.execute
+        <repro.tcbf.sharding.ShardedBeamformer.execute>` batch-dimension
+        slicing: disjoint batch ranges with one global RMS scale, outputs
+        concatenated back along the batch axis.
+        """
+        workload = batch.workload
+        request = batch.requests[0]
+        if workload.weights is None or request.data is None:
+            raise ShapeError(
+                f"functional split dispatch of {workload.name!r} requires "
+                "the workload's weights and the request's data block"
+            )
+        decision = batch.decision
+        scale = None
+        plans = [entry.plan for entry in shard_entries]
+        if plans[0].needs_scale:
+            scale = rms(np.asarray(request.data))
+        pieces = []
+        offset = 0
+        for plan, extent in zip(plans, decision.shard_extents):
+            w_shard = np.asarray(workload.weights)[offset : offset + extent]
+            d_shard = np.asarray(request.data)[offset : offset + extent]
+            result = plan.execute(w_shard, d_shard, scale=scale)
+            pieces.append(result.output)
+            offset += extent
+        return [np.concatenate(pieces, axis=0)]
+
+    # -- merged (and bucket-padded) execution --------------------------------
+
     def _execute(self, batch: Batch, entry: CachedPlan) -> list[np.ndarray]:
         workload = batch.workload
         if workload.weights is None:
@@ -240,17 +488,39 @@ class FleetDispatcher:
                 f"functional dispatch of {workload.name!r} requires the "
                 "workload to carry its weight set"
             )
-        blocks = [req.data for req in batch.requests]
-        if any(b is None for b in blocks):
-            raise ShapeError(
-                f"functional dispatch of {workload.name!r} requires every "
-                "request to carry a data block"
-            )
+        blocks = []
+        for req in batch.requests:
+            if req.data is None:
+                raise ShapeError(
+                    f"functional dispatch of {workload.name!r} requires every "
+                    "request to carry a data block"
+                )
+            blocks.append(self._padded_block(req.data, workload.n_samples))
         weights, data = merge_batch_operands(workload.weights, blocks)
         result = entry.plan.execute(weights, data)
-        return split_batched_output(
+        outputs = split_batched_output(
             result.output, [workload.batch_per_request] * batch.n_requests
         )
+        # Trim bucket padding back to each request's own sample count: the
+        # padded columns are all-zero work the caller never asked for.
+        return [
+            out[..., : req.workload.n_samples]
+            for out, req in zip(outputs, batch.requests)
+        ]
+
+    @staticmethod
+    def _padded_block(data: np.ndarray, n_samples: int) -> np.ndarray:
+        """Zero-pad one request's B operand to the bucket's sample count."""
+        data = np.asarray(data)
+        if data.shape[-1] == n_samples:
+            return data
+        if data.shape[-1] > n_samples:
+            raise ShapeError(
+                f"request data has {data.shape[-1]} samples but the merged "
+                f"workload executes {n_samples}"
+            )
+        pad = [(0, 0)] * (data.ndim - 1) + [(0, n_samples - data.shape[-1])]
+        return np.pad(data, pad)
 
     # -- aggregate statistics ------------------------------------------------
 

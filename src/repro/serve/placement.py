@@ -1,0 +1,322 @@
+"""Cost-model-driven placement: one decision point for route / merge / split.
+
+The paper's core argument is that beamforming throughput is won by matching
+the workload to the hardware: tensor-core peaks are precision-dependent
+(1-bit exists on NVIDIA only), transpose/pack overheads differ per device,
+and sustained clocks vary part to part (paper Tables I/III). A serving tier
+that routes purely by backlog ignores all of that. The :class:`Placer`
+instead consults the per-device cost model (every candidate device's
+:class:`~repro.tcbf.plan.BeamformerPlan` predictions) and produces an
+explicit :class:`PlacementDecision` for each request:
+
+* **route** — the request fits one device; dispatch will pick the eligible
+  worker whose predicted finish (backlog + stage-in + GEMM at *that*
+  device's costs) is earliest. On a homogeneous fleet every device predicts
+  the same costs and this collapses to the old least-loaded rule — which is
+  therefore the trivial special case of cost-aware placement, not a
+  separate code path.
+* **merge** — the request's sample count falls inside a shape bucket
+  (:attr:`BatchingPolicy.sample_buckets`); it is padded to the bucket edge
+  so *nearby* shapes share one merged launch. The padded columns are priced
+  by the cost model (the plan is built at the padded shape), trading padded
+  FLOPs for fewer, fuller launches.
+* **split** — the request exceeds every single device's memory; it is
+  sharded across the capable workers along the batch axis (the same
+  shard-plan construction as :class:`~repro.tcbf.sharding.ShardedBeamformer`,
+  via :func:`~repro.tcbf.sharding.split_extent`), executed concurrently,
+  and completed at the slowest shard.
+* **shed** — no capable device exists (e.g. int1 on an AMD-only fleet) or
+  the request cannot be made to fit even sharded; admission turns this into
+  an explicit front-door rejection instead of a doomed queue entry.
+
+Design decisions worth knowing:
+
+* *Cold builds are not a routing penalty.* The predicted finish excludes
+  the one-time plan-build charge: builds amortize, and penalizing them
+  would permanently pin traffic to whichever device happened to warm first
+  — exactly wrong for fleet growth. The build is still charged to the
+  batch that faults it in (the plan cache's job), just not double-counted
+  as a routing deterrent.
+* *Estimates are memoized, never recorded.* Pricing a candidate device
+  builds a plan and asks its pure ``predict_*``/``stage_in_cost`` methods;
+  nothing lands on any device timeline, so what-if costing cannot perturb
+  the simulation (see :meth:`BeamformerPlan.predict_weight_prep_cost
+  <repro.tcbf.plan.BeamformerPlan.predict_weight_prep_cost>`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.errors import DeviceError, ShapeError
+from repro.serve.workload import Workload
+from repro.tcbf import split_extent_weighted
+
+if TYPE_CHECKING:
+    from repro.serve.batching import Batch, BatchingPolicy
+    from repro.serve.cache import PlanCache
+    from repro.serve.dispatch import DeviceWorker
+
+#: fraction of a device's memory the placer lets one merged problem claim
+#: (operands + output; leaves headroom for staging buffers and the runtime).
+DEFAULT_MEMORY_FRACTION = 0.9
+
+
+class PlacementKind(enum.Enum):
+    """What the placer decided to do with a request."""
+
+    ROUTE = "route"
+    MERGE = "merge"
+    SPLIT = "split"
+    SHED = "shed"
+
+
+@dataclass(frozen=True)
+class PlacementCost:
+    """Memoized per-device cost-model prediction for one merged workload."""
+
+    #: per-block streaming stage time (transpose + packing), seconds.
+    stage_in_s: float
+    #: per-block GEMM time, seconds.
+    gemm_s: float
+    #: one-time plan build + weight preparation, charged only when cold.
+    build_s: float
+
+    @property
+    def service_s(self) -> float:
+        """Steady-state service time of one launch (build excluded)."""
+        return self.stage_in_s + self.gemm_s
+
+
+@dataclass(frozen=True)
+class PlacementDecision:
+    """The explicit outcome of placing one request.
+
+    ``workload`` is what will actually execute: the request's own workload
+    for route/split/shed, the bucket-padded one for merge. For a split,
+    ``shard_extents[i]`` is the batch extent placed on the worker with
+    index ``shard_worker_indices[i]``.
+    """
+
+    kind: PlacementKind
+    workload: Workload
+    #: why a shed decision was made ("capability" or "capacity").
+    reason: str = ""
+    shard_extents: tuple[int, ...] = ()
+    shard_worker_indices: tuple[int, ...] = ()
+
+    @property
+    def is_shed(self) -> bool:
+        return self.kind is PlacementKind.SHED
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shard_extents)
+
+
+class Placer:
+    """The fleet's single placement decision point.
+
+    Bound to a fleet's workers and plan cache by
+    :meth:`~repro.serve.dispatch.FleetDispatcher` at construction
+    (:meth:`attach`); stateless apart from the memoized cost table and the
+    lifetime decision counters, so one placer serves a whole trace
+    deterministically.
+    """
+
+    def __init__(self, memory_fraction: float = DEFAULT_MEMORY_FRACTION):
+        if not 0.0 < memory_fraction <= 1.0:
+            raise ShapeError(
+                f"memory_fraction must be in (0, 1], got {memory_fraction}"
+            )
+        self.memory_fraction = memory_fraction
+        self._workers: list[DeviceWorker] = []
+        self._cache: PlanCache | None = None
+        self._costs: dict[tuple, PlacementCost] = {}
+        #: lifetime decision counters by kind value (the report's view).
+        self.decisions: dict[str, int] = {}
+
+    def attach(self, workers: Sequence[DeviceWorker], cache: PlanCache) -> None:
+        """Bind to a fleet (called once by the dispatcher)."""
+        self._workers = list(workers)
+        self._cache = cache
+
+    # -- eligibility ---------------------------------------------------------
+
+    def capable_workers(self, workload: Workload) -> list[DeviceWorker]:
+        """Workers whose architecture supports the workload's precision."""
+        return [
+            w for w in self._workers if workload.supported_by(w.device.spec)
+        ]
+
+    def fits(
+        self, worker: DeviceWorker, workload: Workload, n_requests: int = 1
+    ) -> bool:
+        """Whether the merged problem's operands fit one device's memory."""
+        limit = self.memory_fraction * worker.device.spec.mem_bytes
+        return workload.footprint_bytes(n_requests) <= limit
+
+    def eligible_workers(
+        self, workload: Workload, n_requests: int = 1
+    ) -> list[DeviceWorker]:
+        """Capable workers that can also hold the merged problem."""
+        return [
+            w
+            for w in self.capable_workers(workload)
+            if self.fits(w, workload, n_requests)
+        ]
+
+    # -- the cost model ------------------------------------------------------
+
+    def estimate(
+        self, worker: DeviceWorker, workload: Workload, n_requests: int
+    ) -> PlacementCost:
+        """Per-device cost prediction for the merged workload (memoized).
+
+        Builds the candidate plan once per (device, workload compatibility,
+        merged extent) and caches its pure predictions; the device timeline
+        is never touched.
+        """
+        key = (id(worker.device), workload.compat_key(), n_requests)
+        cost = self._costs.get(key)
+        if cost is None:
+            plan = workload.make_plan(worker.device, n_requests)
+            stage_in = plan.stage_in_cost()
+            overhead = self._cache.build_overhead_s if self._cache is not None else 0.0
+            cost = self._costs[key] = PlacementCost(
+                stage_in_s=stage_in.time_s if stage_in is not None else 0.0,
+                gemm_s=plan.predict_gemm_cost().time_s,
+                build_s=overhead + plan.predict_weight_prep_cost().time_s,
+            )
+        return cost
+
+    def predicted_service_s(self, workload: Workload, n_requests: int) -> float:
+        """Best-device steady-state service time of one merged launch.
+
+        The admission controller's per-device replacement for the old
+        global service-time EMA: the minimum predicted stage-in + GEMM over
+        the workers this workload may actually land on.
+        """
+        candidates = self.eligible_workers(workload, n_requests) or (
+            self.capable_workers(workload)
+        )
+        if not candidates:
+            return float("inf")
+        return min(
+            self.estimate(w, workload, n_requests).service_s for w in candidates
+        )
+
+    def _worker_at(self, index: int) -> "DeviceWorker":
+        """The attached worker with a declared index (list-order robust)."""
+        worker = self._workers[index] if index < len(self._workers) else None
+        if worker is not None and worker.index == index:
+            return worker
+        return next(w for w in self._workers if w.index == index)
+
+    def predicted_split_service_s(self, decision: PlacementDecision) -> float:
+        """Service time of a split placement: the slowest shard's launch."""
+        return max(
+            self.estimate(
+                self._worker_at(idx), decision.workload.shard(extent), 1
+            ).service_s
+            for idx, extent in zip(
+                decision.shard_worker_indices, decision.shard_extents
+            )
+        )
+
+    # -- ingress decisions ---------------------------------------------------
+
+    def place(self, workload: Workload, policy: "BatchingPolicy") -> PlacementDecision:
+        """Decide one arriving request: route, merge, split, or shed."""
+        decision = self._place(workload, policy)
+        kind = decision.kind.value
+        self.decisions[kind] = self.decisions.get(kind, 0) + 1
+        return decision
+
+    def _place(
+        self, workload: Workload, policy: "BatchingPolicy"
+    ) -> PlacementDecision:
+        capable = self.capable_workers(workload)
+        if not capable:
+            return PlacementDecision(
+                kind=PlacementKind.SHED, workload=workload, reason="capability"
+            )
+        if any(self.fits(w, workload) for w in capable):
+            padded = workload.padded_to(policy.bucket_samples(workload.n_samples))
+            if padded is not workload and any(
+                self.fits(w, padded) for w in capable
+            ):
+                return PlacementDecision(kind=PlacementKind.MERGE, workload=padded)
+            return PlacementDecision(kind=PlacementKind.ROUTE, workload=workload)
+        split = self._plan_split(workload, capable)
+        if split is None:
+            return PlacementDecision(
+                kind=PlacementKind.SHED, workload=workload, reason="capacity"
+            )
+        extents, indices = split
+        return PlacementDecision(
+            kind=PlacementKind.SPLIT,
+            workload=workload,
+            shard_extents=extents,
+            shard_worker_indices=indices,
+        )
+
+    def _plan_split(
+        self, workload: Workload, capable: list["DeviceWorker"]
+    ) -> tuple[tuple[int, ...], tuple[int, ...]] | None:
+        """Shard extents + target workers for an oversized request.
+
+        Prefers the widest split (all capable workers) with extents
+        proportional to each device's memory
+        (:func:`~repro.tcbf.sharding.split_extent_weighted` — an equal
+        split would overflow the smaller device of a GH200 + MI300X pair
+        long before the pair's combined memory is exhausted); falls back to
+        narrower splits when the batch axis offers fewer units than
+        workers. Returns ``None`` when no arrangement fits — the
+        capacity-shed case.
+        """
+        if not workload.splittable or len(capable) < 2:
+            return None
+        # Larger-memory devices take the larger shard extents; ties break on
+        # worker index so the assignment is replay-stable.
+        ranked = sorted(
+            capable, key=lambda w: (-w.device.spec.mem_bytes, w.index)
+        )
+        for parts in range(len(ranked), 1, -1):
+            if workload.batch_per_request < parts:
+                continue
+            workers = ranked[:parts]
+            extents = split_extent_weighted(
+                workload.batch_per_request,
+                [w.device.spec.mem_bytes for w in workers],
+            )
+            if all(
+                self.fits(w, workload.shard(e))
+                for w, e in zip(workers, extents)
+            ):
+                return tuple(extents), tuple(w.index for w in workers)
+        return None
+
+    # -- dispatch-time worker selection --------------------------------------
+
+    def select_worker(
+        self, batch: "Batch", candidates: Sequence["DeviceWorker"], now: float
+    ) -> "DeviceWorker":
+        """The candidate with the earliest predicted finish for this batch.
+
+        Predicted finish is the worker's compute backlog plus *its own
+        device's* predicted stage-in + GEMM for the merged workload — the
+        cost-model-aware generalization of least-loaded. Ties break on
+        worker index (replay determinism); cold builds are deliberately
+        excluded (see the module docstring).
+        """
+        if not candidates:
+            raise DeviceError("select_worker needs at least one candidate")
+
+        def finish_key(worker: "DeviceWorker") -> tuple[float, int]:
+            cost = self.estimate(worker, batch.workload, batch.n_requests)
+            return (worker.backlog_s(now) + cost.service_s, worker.index)
+
+        return min(candidates, key=finish_key)

@@ -66,6 +66,16 @@ class _ClassQueue:
     def n_requests(self) -> int:
         return sum(b.n_requests for q in self._queues.values() for b in q)
 
+    @property
+    def service_s(self) -> float:
+        """Total placer-predicted service time queued in this class."""
+        return sum(b.predicted_service_s for q in self._queues.values() for b in q)
+
+    def batches(self):
+        """Iterate queued batches (tenant ring order within the class)."""
+        for queue in self._queues.values():
+            yield from queue
+
     def enqueue(self, batch: Batch) -> None:
         tenant = batch.tenant
         queue = self._queues.get(tenant)
@@ -166,6 +176,43 @@ class PriorityScheduler:
         if not self.preemptive:
             return len(self._fifo)
         return sum(len(c) for p, c in self._classes.items() if p <= priority)
+
+    def head_priority(self) -> int | None:
+        """Priority of the batch :meth:`next` would pop (None when empty).
+
+        FIFO mode answers with the literal head batch's class — ordering
+        there is arrival order, so the head's class is the only honest
+        answer.
+        """
+        if self.empty():
+            return None
+        if not self.preemptive:
+            return self._fifo[0].priority
+        return min(p for p, c in self._classes.items() if len(c) > 0)
+
+    def queued_service_s(self, priority: int) -> float:
+        """Predicted drain time of work queued at ``priority`` and above.
+
+        The sum of placer-predicted service times of every batch an
+        arriving request of this class must let run first (same or more
+        urgent classes). This replaces the old global service-time EMA in
+        admission control: each queued batch is priced at its own best
+        device's predicted cost, so a mixed fleet's estimate no longer
+        assumes all batches cost the same.
+        """
+        if not self.preemptive:
+            return sum(b.predicted_service_s for b in self._fifo)
+        return sum(
+            c.service_s for p, c in self._classes.items() if p <= priority
+        )
+
+    def queued_batches(self):
+        """Iterate every queued batch (class order, then tenant rings)."""
+        if not self.preemptive:
+            yield from self._fifo
+            return
+        for priority in sorted(self._classes):
+            yield from self._classes[priority].batches()
 
     def queued_by_class(self) -> dict[int, int]:
         """Queued batch count per priority class (most urgent first)."""

@@ -2,24 +2,27 @@
 
 :class:`BeamformingService` wires the pieces into one front door::
 
-    arrivals -> admission control -> micro-batcher -> priority scheduler -> fleet
-                                                          |
-                                                      plan cache
+    arrivals -> placement -> admission -> micro-batcher -> priority scheduler -> fleet
+                 (Placer)    control       (shape buckets)        |
+                    |                                         plan cache
+                    +-- route / merge / split / shed     (per-device segments)
 
 and replays a request trace as a discrete-event simulation over three
 event sources: request arrivals, batcher latency-trigger deadlines, and
-worker-availability instants. At each arrival the service decides
-admission from an at-arrival, *class-aware* latency estimate (the work
-queued at the request's own priority and above), then offers the request
-to the batcher; flushed batches wait in the
-:class:`~repro.serve.scheduler.PriorityScheduler` and reach a worker in
-strict-priority, weighted-fair order the moment one can accept them. Time
-is purely simulated and every component is seeded/deterministic, making
-whole service runs bit-reproducible.
+worker-availability instants. Every arrival first receives an explicit
+:class:`~repro.serve.placement.PlacementDecision`: requests no capable
+device can run are shed at the door; oversized requests become in-service
+splits across several workers; nearby shapes merge into shape buckets;
+everything else routes to the cost-model-preferred worker. Admission then
+projects the arrival's latency from *per-device predicted service times*
+(the placer's cost model — not an observed global EMA), the work queued at
+its class and above, and the best eligible worker's backlog. Time is
+purely simulated and every component is seeded/deterministic, making whole
+service runs bit-reproducible.
 
 The output is a :class:`ServiceReport`: per-request outcomes plus the
 SLO-facing aggregates (p50/p95/p99 latency, throughput, goodput, shed
-rate, batch-size and plan-cache statistics, per-device utilization), each
+rate, batch/plan-cache/placement statistics, per-device utilization), each
 also broken out per priority class and per tenant via
 :class:`~repro.serve.slo.SLOTracker`.
 """
@@ -36,12 +39,10 @@ from repro.gpusim.device import Device
 from repro.serve.batching import BatchingPolicy, MicroBatcher
 from repro.serve.cache import PlanCache
 from repro.serve.dispatch import BatchExecution, FleetDispatcher
+from repro.serve.placement import PlacementDecision, PlacementKind, Placer
 from repro.serve.scheduler import PriorityScheduler
 from repro.serve.slo import SLO, AdmissionController, ClassStats, SLOTracker, percentile
 from repro.serve.workload import Request
-
-#: smoothing of the observed batch service time feeding admission control.
-SERVICE_ESTIMATE_ALPHA = 0.3
 
 
 @dataclass
@@ -74,6 +75,10 @@ class ServiceReport:
     cache_hit_rate: float
     cache_misses: int
     utilizations: list[float] = field(default_factory=list)
+    #: catalog names of the fleet's devices, worker-index order.
+    device_names: list[str] = field(default_factory=list)
+    #: ingress placement decision counts by kind ("route"/"merge"/...).
+    placements: dict[str, int] = field(default_factory=dict)
 
     # -- request-level metrics ----------------------------------------------
 
@@ -172,6 +177,43 @@ class ServiceReport:
     def max_batch_size(self) -> int:
         return max((e.batch.n_requests for e in self.executions), default=0)
 
+    # -- placement ------------------------------------------------------------
+
+    @property
+    def n_split_batches(self) -> int:
+        """Launches served by in-service sharding across several workers."""
+        return sum(1 for e in self.executions if e.is_split)
+
+    @property
+    def padded_ops_fraction(self) -> float:
+        """Shape-bucket padding overhead: padded GEMM ops / useful ops.
+
+        0.0 for exact-shape batching; the explicit price paid for merging
+        nearby shapes into fewer, fuller launches.
+        """
+        useful = sum(e.batch.useful_ops for e in self.executions)
+        if useful <= 0:
+            return 0.0
+        return sum(e.batch.padded_ops for e in self.executions) / useful
+
+    def by_worker(self) -> list[dict]:
+        """Per-worker placement totals: device, batches, requests, busy share.
+
+        Split placements count one launch on every shard worker; their
+        requests are attributed to the first (largest-extent) shard worker.
+        """
+        stats = [
+            {"device": name, "batches": 0, "requests": 0, "utilization": util}
+            for name, util in zip(self.device_names, self.utilizations)
+        ]
+        for e in self.executions:
+            parts = e.shards if e.is_split else [e]
+            for part in parts:
+                stats[part.worker_index]["batches"] += 1
+            owner = parts[0].worker_index
+            stats[owner]["requests"] += e.batch.n_requests
+        return stats
+
     # -- per-class / per-tenant breakdowns ------------------------------------
 
     def slo_tracker(self) -> SLOTracker:
@@ -221,9 +263,19 @@ class ServiceReport:
             f"knob {self.policy.max_batch} / {self.policy.max_wait_s * 1e6:.0f} us)",
             f"plans:    {self.cache_hit_rate:.1%} cache hit rate "
             f"({self.cache_misses} builds)",
-            f"fleet:    {self.n_devices} device(s), utilization "
+            f"fleet:    {self.n_devices} device(s) "
+            f"[{', '.join(self.device_names)}], utilization "
             + ", ".join(f"{u:.1%}" for u in self.utilizations),
         ]
+        if self.placements:
+            parts = [f"{kind} {n}" for kind, n in sorted(self.placements.items())]
+            extras = []
+            if self.n_split_batches:
+                extras.append(f"{self.n_split_batches} sharded launches")
+            if self.padded_ops_fraction > 0:
+                extras.append(f"{self.padded_ops_fraction:.1%} padded ops")
+            suffix = f" ({'; '.join(extras)})" if extras else ""
+            lines.append("placing:  " + ", ".join(parts) + suffix)
         classes = self.by_priority()
         tenants = self.by_tenant()
         if len(classes) > 1 or len(tenants) > 1:
@@ -244,10 +296,12 @@ class BeamformingService:
     Parameters
     ----------
     devices:
-        Homogeneous-mode fleet (dry-run for capacity studies, functional
-        for end-to-end output checks).
+        The fleet — device models may be mixed (heterogeneous fleets are
+        the placement layer's point); only the execution mode (dry-run vs
+        functional) must be uniform.
     policy:
-        Micro-batching knobs; ``max_batch=1`` is the naive baseline.
+        Micro-batching knobs; ``max_batch=1`` is the naive baseline, and
+        ``sample_buckets`` enables shape-bucket pad-and-merge.
     slo:
         Latency objective; drives both reporting and admission control.
     admission:
@@ -266,6 +320,10 @@ class BeamformingService:
     preemptive:
         ``False`` disables priority/weighted-fair ordering (global FIFO);
         queued batches then dispatch strictly in flush order.
+    placer:
+        Optional pre-configured :class:`~repro.serve.placement.Placer`
+        (e.g. a custom memory fraction); by default one is built with
+        defaults and bound to the fleet.
     """
 
     def __init__(
@@ -278,6 +336,7 @@ class BeamformingService:
         class_policies: dict[int, BatchingPolicy] | None = None,
         tenant_weights: dict[str, float] | None = None,
         preemptive: bool = True,
+        placer: Placer | None = None,
     ):
         self.policy = policy if policy is not None else BatchingPolicy()
         self.slo = slo if slo is not None else SLO(p99_latency_s=10e-3)
@@ -290,13 +349,10 @@ class BeamformingService:
             scheduler=PriorityScheduler(
                 tenant_weights=tenant_weights, preemptive=preemptive
             ),
+            placer=placer,
         )
         self._batcher = MicroBatcher(self.policy, class_policies=class_policies)
         self._ran = False
-        #: EMA of observed batch service time (admission's service estimate).
-        self._service_est_s = 0.0
-        #: per-priority-class EMA (the request's own expected service term).
-        self._class_est_s: dict[int, float] = {}
         #: min-heap of (completion_s, n_requests) for in-flight depth.
         self._in_flight: list[tuple[float, int]] = []
         self._in_flight_requests = 0
@@ -356,16 +412,26 @@ class BeamformingService:
                 outcome = RequestOutcome(request=req, admitted=False)
                 outcomes[slots[id(req)]] = outcome
                 priority = req.workload.priority
+                decision = self.fleet.placer.place(
+                    req.workload, self._batcher.policy_for(priority)
+                )
                 if self.admission.admit(
-                    self._estimate_latency(now, priority),
+                    self._estimate_latency(now, decision),
                     self._depth(),
                     priority=priority,
                 ):
                     outcome.admitted = True
                     self._pending_outcomes[id(req)] = outcome
-                    full = self._batcher.offer(req, now)
-                    if full is not None:
-                        self.fleet.submit(full)
+                    if decision.kind is PlacementKind.SPLIT:
+                        # Oversized requests never coalesce: straight to the
+                        # scheduler as their own batch, sharded at dispatch.
+                        self.fleet.submit(
+                            self._batcher.singleton(req, now, decision=decision)
+                        )
+                    else:
+                        full = self._batcher.offer(req, now, decision=decision)
+                        if full is not None:
+                            self.fleet.submit(full)
             # A worker-availability event needs no handler of its own: the
             # drain below dispatches everything placeable at this instant.
             for execution in self.fleet.drain(now):
@@ -380,31 +446,19 @@ class BeamformingService:
             cache_hit_rate=self.fleet.cache.hit_rate,
             cache_misses=self.fleet.cache.misses,
             utilizations=self.fleet.utilizations(),
+            device_names=[w.device.name for w in self.fleet.workers],
+            placements=dict(self.fleet.placer.decisions),
         )
 
     # -- internals -----------------------------------------------------------
 
     def _settle(self, execution: BatchExecution) -> None:
-        """Bookkeeping for one placed batch: estimates, outcomes, in-flight."""
+        """Bookkeeping for one placed batch: outcomes and in-flight depth."""
         batch = execution.batch
         heapq.heappush(
             self._in_flight, (execution.completion_s, batch.n_requests)
         )
         self._in_flight_requests += batch.n_requests
-        observed = execution.completion_s - execution.start_s
-        if self._service_est_s == 0.0:
-            self._service_est_s = observed
-        else:
-            self._service_est_s += SERVICE_ESTIMATE_ALPHA * (
-                observed - self._service_est_s
-            )
-        previous = self._class_est_s.get(batch.priority)
-        if previous is None:
-            self._class_est_s[batch.priority] = observed
-        else:
-            self._class_est_s[batch.priority] = previous + SERVICE_ESTIMATE_ALPHA * (
-                observed - previous
-            )
         for i, req in enumerate(batch.requests):
             outcome = self._pending_outcomes.pop(id(req))
             outcome.batch_id = batch.bid
@@ -422,32 +476,54 @@ class BeamformingService:
         return (
             self._batcher.depth()
             + self.fleet.scheduler.depth_requests()
+            + self.fleet.held_requests
             + self._in_flight_requests
         )
 
-    def _estimate_latency(self, now: float, priority: int = 0) -> float:
+    def _estimate_latency(self, now: float, decision: PlacementDecision) -> float:
         """At-arrival, class-aware latency projection for admission control.
 
-        The request's own class batching wait, plus the least-loaded
-        worker's backlog (the in-flight work even a preemptor must wait
-        out), plus the drain time of every batch queued at its class or
-        above (less urgent queued batches are jumped, so they do not
-        count), plus the smoothed service time of its own class. Uses only
-        information available at arrival — identical logic would run in a
-        live front door — and is what makes shedding land on the lowest
-        class first: its projection includes every queue, the most urgent
-        class's includes almost none.
+        Built entirely from the placer's per-device cost model — no
+        observed EMA: the request's own class batching wait, plus the best
+        eligible worker's backlog (the in-flight work even a preemptor must
+        wait out), plus the predicted drain of every batch queued at its
+        class or above (each priced at its own best device, spread over the
+        workers this request may use), plus the predicted service time of
+        its own launch on the best device. Uses only information available
+        at arrival — identical logic would run in a live front door — and
+        still sheds the lowest class first: its projection includes every
+        queue, the most urgent class's includes almost none. Shed-kind
+        decisions (no capable device / cannot fit even sharded) project an
+        infinite latency, so the admission controller rejects them at the
+        door with the shed accounted to the request's class.
         """
-        backlog = self.fleet.least_loaded(now).backlog_s(now)
-        queue_drain = sum(
-            n * self._class_est_s.get(p, self._service_est_s)
-            for p, n in self.fleet.scheduler.queued_by_class().items()
-            if p <= priority
-        ) / len(self.fleet.workers)
-        own_service = self._class_est_s.get(priority, self._service_est_s)
-        return (
-            self._batcher.policy_for(priority).max_wait_s
-            + backlog
-            + queue_drain
-            + own_service
-        )
+        if decision.is_shed:
+            return float("inf")
+        placer = self.fleet.placer
+        priority = decision.workload.priority
+        if decision.kind is PlacementKind.SPLIT:
+            # A split waits for *all* its shard workers.
+            backlog = max(
+                self.fleet.worker_by_index(i).backlog_s(now)
+                for i in decision.shard_worker_indices
+            )
+            own_service = placer.predicted_split_service_s(decision)
+            batching_wait = 0.0
+            n_usable = len(decision.shard_worker_indices)
+        else:
+            candidates = placer.eligible_workers(
+                decision.workload
+            ) or placer.capable_workers(decision.workload)
+            backlog = min(w.backlog_s(now) for w in candidates)
+            own_service = placer.predicted_service_s(decision.workload, 1)
+            batching_wait = self._batcher.policy_for(priority).max_wait_s
+            n_usable = len(candidates)
+        # Undispatched work lives in two places: the scheduler's queues and
+        # the dispatcher's held list — both count, or held capability-bound
+        # work would be invisible to admission exactly when its one device
+        # is saturated.
+        queue_drain = (
+            self.fleet.scheduler.queued_service_s(priority)
+            + self.fleet.held_service_s(priority)
+        ) / n_usable
+        return batching_wait + backlog + queue_drain + own_service

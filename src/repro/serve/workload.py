@@ -17,14 +17,15 @@ The domain adapters expose ready-made descriptors through their
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from repro.ccglib.precision import Precision, complex_ops
+from repro.ccglib.precision import Precision, complex_ops, traits
 from repro.ccglib.tuning import TuneParams
 from repro.errors import ShapeError
 from repro.gpusim.device import Device
+from repro.gpusim.specs import GPUSpec
 from repro.tcbf import BeamformerPlan
 
 
@@ -146,6 +147,71 @@ class Workload:
         return complex_ops(
             self.batch_per_request, self.n_beams, self.n_samples, self.n_receivers
         )
+
+    # -- placement-facing views ----------------------------------------------
+
+    def supported_by(self, spec: GPUSpec) -> bool:
+        """Whether a device model can run this workload at all.
+
+        The capability requirement of the placement layer: 1-bit matrix
+        values exist on NVIDIA tensor cores only (paper §II), so an int1
+        request must never land on a device whose
+        :class:`~repro.gpusim.arch.ArchCapabilities` lack the precision.
+        """
+        return spec.caps.supports_precision(self.precision.value)
+
+    def footprint_bytes(self, n_requests: int = 1) -> float:
+        """Device-memory estimate of the merged-batch operands.
+
+        A (weights) and B (data) at the precision's storage size plus the
+        float32 accumulator output, complex throughout. This is what the
+        placer compares against a device's memory to decide whether a
+        request fits one device, must shard across several, or cannot be
+        served at all.
+        """
+        batch = n_requests * self.batch_per_request
+        tr = traits(self.precision)
+        operand_values = batch * (
+            self.n_beams * self.n_receivers + self.n_receivers * self.n_samples
+        )
+        output_values = batch * self.n_beams * self.n_samples
+        return 2.0 * (operand_values * tr.input_bytes + output_values * tr.output_bytes)
+
+    @property
+    def splittable(self) -> bool:
+        """Whether the batch axis offers more than one unit to shard over."""
+        return self.batch_per_request > 1
+
+    def padded_to(self, n_samples: int) -> "Workload":
+        """The shape-bucket view: this workload padded to ``n_samples``.
+
+        Zero sample columns change no real output column (the GEMM is
+        column-independent), so requests of nearby sample counts may share
+        one launch at the bucket's shape; the padding's cost is priced by
+        the plan built at the padded shape, never hidden.
+        """
+        if n_samples < self.n_samples:
+            raise ShapeError(
+                f"cannot pad {self.n_samples} samples down to {n_samples}"
+            )
+        if n_samples == self.n_samples:
+            return self
+        return replace(self, n_samples=n_samples)
+
+    def shard(self, batch_per_request: int) -> "Workload":
+        """A per-shard view with a smaller batch extent (split placement).
+
+        ``weights`` is dropped: a shard sees only its own batch rows, which
+        the split executor slices from the parent workload's weight set.
+        """
+        if not 1 <= batch_per_request <= self.batch_per_request:
+            raise ShapeError(
+                f"shard extent must be in [1, {self.batch_per_request}], "
+                f"got {batch_per_request}"
+            )
+        if batch_per_request == self.batch_per_request:
+            return self
+        return replace(self, batch_per_request=batch_per_request, weights=None)
 
 
 @dataclass

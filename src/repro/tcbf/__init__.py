@@ -24,9 +24,11 @@ from repro.tcbf.scaling import normalize_rms, rms
 from repro.tcbf.sharding import (
     ShardedBeamformer,
     ShardResult,
+    build_shard_plans,
     merge_batch_operands,
     split_batched_output,
     split_extent,
+    split_extent_weighted,
 )
 from repro.tcbf.streaming import BlockExecutor, StreamStats, pipelined_makespan
 
@@ -38,6 +40,8 @@ __all__ = [
     "ShardedBeamformer",
     "ShardResult",
     "split_extent",
+    "split_extent_weighted",
+    "build_shard_plans",
     "merge_batch_operands",
     "split_batched_output",
     "pipelined_makespan",

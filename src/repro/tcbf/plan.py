@@ -223,6 +223,26 @@ class BeamformerPlan:
 
     # -- one-time weight preparation ----------------------------------------
 
+    @property
+    def _weight_values(self) -> int:
+        """Real values in the A operand (weights / matched filter)."""
+        return 2 * self.batch * self.n_beams * self.n_receivers
+
+    def predict_weight_prep_cost(self, name: str = "weight_prep") -> KernelCost:
+        """Pure prediction of :meth:`prepare_weights` — nothing recorded.
+
+        Placement layers price the cold-start (plan build + one-time weight
+        preparation) of candidate devices they may never dispatch to; this
+        keeps those what-if estimates off the device timeline.
+        """
+        tr = traits(self.precision)
+        costs = [transpose_cost(self.device, self._weight_values, tr.input_bytes)]
+        if self.precision is Precision.INT1:
+            costs.append(
+                packing_cost(self.device, self._weight_values, _HOST_BYTES_PER_VALUE)
+            )
+        return combine_costs(name, costs)
+
     def prepare_weights(
         self, values_planar: np.ndarray | None = None, name: str = "weight_prep"
     ) -> KernelCost:
@@ -233,7 +253,7 @@ class BeamformerPlan:
         budget: "this typically happens once before the experiment and does
         not need to be repeated" (paper §V-A).
         """
-        n_values = 2 * self.batch * self.n_beams * self.n_receivers
+        n_values = self._weight_values
         tr = traits(self.precision)
         costs: list[KernelCost] = []
         _, t_cost = run_transpose_kernel(self.device, None, n_values, tr.input_bytes)

@@ -54,6 +54,96 @@ def split_extent(total: int, parts: int) -> list[int]:
     return [base + (1 if i < extra else 0) for i in range(parts)]
 
 
+def split_extent_weighted(total: int, weights: Sequence[float]) -> list[int]:
+    """Capacity-proportional split of ``total`` units over weighted shards.
+
+    Largest-remainder rounding, deterministic (remainder ties go to the
+    lowest index), every shard non-empty. The heterogeneous-fleet
+    counterpart of :func:`split_extent`: a device with twice the memory (or
+    throughput) weight takes twice the extent, which is what lets a
+    GH200 + MI300X pair host a problem an equal split would overflow on
+    the smaller device.
+    """
+    if not weights:
+        raise ShapeError("need at least one shard weight")
+    if any(w <= 0 for w in weights):
+        raise ShapeError(f"shard weights must be positive, got {list(weights)}")
+    parts = len(weights)
+    if total < parts:
+        raise ShapeError(f"cannot split {total} units over {parts} devices")
+    wsum = float(sum(weights))
+    raw = [total * w / wsum for w in weights]
+    extents = [int(r) for r in raw]
+    order = sorted(range(parts), key=lambda i: (-(raw[i] - extents[i]), i))
+    for i in order[: total - sum(extents)]:
+        extents[i] += 1
+    # A vanishing weight share can round to zero; steal a unit from the
+    # largest shard (ties: lowest index) so every device gets real work.
+    for i in range(parts):
+        while extents[i] < 1:
+            donor = max(range(parts), key=lambda k: (extents[k], -k))
+            extents[donor] -= 1
+            extents[i] += 1
+    return extents
+
+
+def build_shard_plans(
+    devices: Sequence[Device],
+    shard_sizes: Sequence[int],
+    *,
+    n_beams: int,
+    n_receivers: int,
+    n_samples: int,
+    batch: int = 1,
+    precision: Precision = Precision.FLOAT16,
+    shard_dim: str = "batch",
+    params: TuneParams | None = None,
+    bit_op: BitOp | None = None,
+    fragment: FragmentShape | None = None,
+    experimental_ok: bool = False,
+    include_transpose: bool = True,
+    include_packing: bool | None = None,
+    restore_output_scale: bool = False,
+    name: str = "beamform_block",
+) -> list[BeamformerPlan]:
+    """One :class:`BeamformerPlan` per device for a sharded problem.
+
+    ``shard_sizes`` gives each device's extent along ``shard_dim`` (usually
+    from :func:`split_extent`); every other problem parameter is shared.
+    This is the single source of shard-plan construction: the offline
+    :class:`ShardedBeamformer` and the serving tier's in-service split path
+    (:mod:`repro.serve.placement`) both build their per-device plans here,
+    so the two tiers can never drift on how a shard is shaped.
+    """
+    if shard_dim not in SHARD_DIMS:
+        raise ShapeError(f"shard_dim must be one of {SHARD_DIMS}, got {shard_dim!r}")
+    if len(devices) != len(shard_sizes):
+        raise ShapeError(
+            f"{len(shard_sizes)} shard sizes for {len(devices)} devices"
+        )
+    plans = []
+    for device, size in zip(devices, shard_sizes):
+        plans.append(
+            BeamformerPlan(
+                device,
+                n_beams=size if shard_dim == "beams" else n_beams,
+                n_receivers=n_receivers,
+                n_samples=n_samples,
+                batch=size if shard_dim == "batch" else batch,
+                precision=precision,
+                params=params,
+                bit_op=bit_op,
+                fragment=fragment,
+                experimental_ok=experimental_ok,
+                include_transpose=include_transpose,
+                include_packing=include_packing,
+                restore_output_scale=restore_output_scale,
+                name=name,
+            )
+        )
+    return plans
+
+
 def merge_batch_operands(
     weights: np.ndarray, data_blocks: Sequence[np.ndarray]
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -211,28 +301,24 @@ class ShardedBeamformer:
         self.precision = precision
         total = batch if shard_dim == "batch" else n_beams
         self.shard_sizes = split_extent(total, len(self.devices))
-        self.plans: list[BeamformerPlan] = []
-        for device, size in zip(self.devices, self.shard_sizes):
-            shard_batch = size if shard_dim == "batch" else batch
-            shard_beams = size if shard_dim == "beams" else n_beams
-            self.plans.append(
-                BeamformerPlan(
-                    device,
-                    n_beams=shard_beams,
-                    n_receivers=n_receivers,
-                    n_samples=n_samples,
-                    batch=shard_batch,
-                    precision=precision,
-                    params=params,
-                    bit_op=bit_op,
-                    fragment=fragment,
-                    experimental_ok=experimental_ok,
-                    include_transpose=include_transpose,
-                    include_packing=include_packing,
-                    restore_output_scale=restore_output_scale,
-                    name=name,
-                )
-            )
+        self.plans = build_shard_plans(
+            self.devices,
+            self.shard_sizes,
+            n_beams=n_beams,
+            n_receivers=n_receivers,
+            n_samples=n_samples,
+            batch=batch,
+            precision=precision,
+            shard_dim=shard_dim,
+            params=params,
+            bit_op=bit_op,
+            fragment=fragment,
+            experimental_ok=experimental_ok,
+            include_transpose=include_transpose,
+            include_packing=include_packing,
+            restore_output_scale=restore_output_scale,
+            name=name,
+        )
 
     # -- prediction ----------------------------------------------------------
 

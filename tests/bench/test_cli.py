@@ -21,3 +21,40 @@ class TestCli:
         assert main(["table1", "--outdir", str(tmp_path)]) == 0
         assert (tmp_path / "table1.txt").exists()
         assert "Table I" in capsys.readouterr().out
+
+
+class TestCliPolish:
+    def test_list_includes_one_line_descriptions(self, capsys):
+        from repro.bench.registry import EXPERIMENTS, describe
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line.strip()]
+        assert len(lines) == len(EXPERIMENTS)
+        # Every line pairs the name with its module's one-line summary.
+        assert any("serve-hetero" in line and "heterogeneous" in line.lower()
+                   for line in lines)
+        for name in EXPERIMENTS:
+            assert describe(name)  # no experiment is undocumented
+
+    def test_unknown_experiment_exits_nonzero(self):
+        import pytest
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["no-such-experiment"])
+        assert excinfo.value.code != 0
+
+    def test_output_writes_json_report(self, tmp_path, capsys):
+        import json
+
+        out_json = tmp_path / "report.json"
+        assert main(["table1", "--outdir", str(tmp_path), "--output", str(out_json)]) == 0
+        payload = json.loads(out_json.read_text())
+        [experiment] = payload["experiments"]
+        assert experiment["name"] == "table1"
+        assert experiment["findings"]
+        assert "microbench" in experiment["tables"]
+        table = experiment["tables"]["microbench"]
+        assert table["headers"] and table["rows"]
+        # The human-readable files still land in --outdir alongside.
+        assert (tmp_path / "table1.txt").exists()

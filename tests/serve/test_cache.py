@@ -110,3 +110,69 @@ class TestEviction:
             PlanCache(build_overhead_s=-1.0)
         with pytest.raises(ShapeError):
             workload().make_plan(dry(), 0)
+
+
+class TestPerDeviceSegments:
+    """Mixed-fleet capacity semantics: capacity bounds each device's segment.
+
+    The regression this pins: with one shared LRU, a high-churn device
+    (odd shapes, no buckets) evicted a quiet device's hot plans, coupling
+    the fleet's cold-start behavior. Entries are now keyed *and accounted*
+    per device.
+    """
+
+    def test_one_devices_churn_cannot_evict_anothers_hot_plans(self):
+        cache = PlanCache(capacity=2)
+        quiet, churny = dry(), dry()
+        hot_a, hot_b = workload("hot_a"), workload("hot_b")
+        cache.get(quiet, hot_a, 1)
+        cache.get(quiet, hot_b, 1)
+        # Churn far past capacity on the other device.
+        for i in range(8):
+            cache.get(churny, workload(f"churn{i}"), 1)
+        # The quiet device's plans are untouched: both still hit.
+        misses_before = cache.misses
+        cache.get(quiet, hot_a, 1)
+        cache.get(quiet, hot_b, 1)
+        assert cache.misses == misses_before
+        assert cache.entries_for(quiet) == 2
+        assert cache.entries_for(churny) == 2  # its own segment stayed bounded
+
+    def test_eviction_order_is_lru_within_a_segment(self):
+        cache = PlanCache(capacity=2)
+        device, other = dry(), dry()
+        a, b, c = workload("a"), workload("b"), workload("c")
+        cache.get(device, a, 1)
+        cache.get(device, b, 1)
+        # Traffic on another device must not refresh this segment's order.
+        cache.get(other, workload("elsewhere"), 1)
+        cache.get(device, a, 1)  # refresh a: b is now this segment's LRU
+        cache.get(device, c, 1)  # evicts b, not a
+        assert cache.evictions == 1
+        misses_before = cache.misses
+        cache.get(device, a, 1)  # hit
+        assert cache.misses == misses_before
+        cache.get(device, b, 1)  # b was the one evicted
+        assert cache.misses == misses_before + 1
+
+    def test_contains_does_not_refresh_lru_order(self):
+        cache = PlanCache(capacity=2)
+        device = dry()
+        a, b, c = workload("a"), workload("b"), workload("c")
+        cache.get(device, a, 1)
+        cache.get(device, b, 1)
+        assert cache.contains(device, a, 1)  # a peek, not a touch
+        cache.get(device, c, 1)  # evicts a (still LRU despite contains)
+        assert not cache.contains(device, a, 1)
+        assert cache.contains(device, b, 1)
+        assert cache.contains(device, c, 1)
+
+    def test_total_len_spans_segments(self):
+        cache = PlanCache(capacity=4)
+        d1, d2 = dry(), dry()
+        cache.get(d1, workload("x"), 1)
+        cache.get(d2, workload("x"), 1)
+        cache.get(d2, workload("y"), 1)
+        assert len(cache) == 3
+        assert cache.entries_for(d1) == 1
+        assert cache.entries_for(d2) == 2

@@ -317,3 +317,128 @@ class TestValidation:
             ShardedBeamformer(
                 dry_devices(3), n_beams=16, n_receivers=8, n_samples=16, batch=2
             )
+
+
+class TestDegenerateCases:
+    """Satellite coverage: the edges the serving tier's split path leans on."""
+
+    def test_split_more_parts_than_total(self):
+        with pytest.raises(ShapeError, match="cannot split"):
+            split_extent(3, 4)
+
+    def test_split_single_unit_single_part(self):
+        assert split_extent(1, 1) == [1]
+
+    def test_merge_single_element_batch(self, rng):
+        # One request is a legal merge: weights repeat once, data pass through.
+        weights = random_complex(rng, (1, 4, 8))
+        block = random_complex(rng, (1, 8, 6))
+        merged_w, merged_d = merge_batch_operands(weights, [block])
+        assert merged_w.shape == (1, 4, 8)
+        assert np.array_equal(merged_d, block)
+        [back] = split_batched_output(merged_d, [1])
+        assert np.array_equal(back, block)
+
+    def test_merge_empty_request_list_rejected(self, rng):
+        with pytest.raises(ShapeError, match="empty request list"):
+            merge_batch_operands(random_complex(rng, (1, 4, 8)), [])
+
+    def test_split_output_empty_extents_rejected(self, rng):
+        with pytest.raises(ShapeError, match="empty extent list"):
+            split_batched_output(random_complex(rng, (2, 4, 6)), [])
+
+    def test_load_balance_on_unequal_shards(self):
+        # 3 batch units over 2 devices -> [2, 1]: the 2-unit shard takes
+        # longer, so balance = mean/max sits strictly inside (0.5, 1).
+        sharded = ShardedBeamformer(
+            dry_devices(2),
+            n_beams=2048,
+            n_receivers=64,
+            n_samples=2048,
+            batch=3,
+            include_transpose=False,
+        )
+        result = sharded.execute()
+        assert sharded.shard_sizes == [2, 1]
+        times = [s.total.time_s for s in result.shards]
+        assert times[0] > times[1]
+        expected = (sum(times) / 2.0) / max(times)
+        assert result.load_balance == pytest.approx(expected)
+        assert 0.5 < result.load_balance < 1.0
+
+    def test_load_balance_even_split_is_unity(self):
+        sharded = ShardedBeamformer(
+            dry_devices(2),
+            n_beams=256,
+            n_receivers=48,
+            n_samples=512,
+            batch=4,
+            include_transpose=False,
+        )
+        assert sharded.execute().load_balance == pytest.approx(1.0)
+
+
+class TestWeightedSplit:
+    def test_proportional_to_weights(self):
+        from repro.tcbf import split_extent_weighted
+
+        assert split_extent_weighted(300, [1.0, 2.0]) == [100, 200]
+        assert split_extent_weighted(10, [1.0, 1.0]) == [5, 5]
+
+    def test_largest_remainder_is_deterministic(self):
+        from repro.tcbf import split_extent_weighted
+
+        # 10 over 1:1:1 -> remainder goes to the lowest indices.
+        assert split_extent_weighted(10, [1.0, 1.0, 1.0]) == [4, 3, 3]
+
+    def test_covers_total_and_no_empty_shards(self):
+        from repro.tcbf import split_extent_weighted
+
+        extents = split_extent_weighted(7, [1000.0, 1.0, 1.0])
+        assert sum(extents) == 7
+        assert all(e >= 1 for e in extents)
+        assert extents[0] == max(extents)
+
+    def test_errors(self):
+        from repro.tcbf import split_extent_weighted
+
+        with pytest.raises(ShapeError):
+            split_extent_weighted(5, [])
+        with pytest.raises(ShapeError):
+            split_extent_weighted(5, [1.0, -1.0])
+        with pytest.raises(ShapeError):
+            split_extent_weighted(1, [1.0, 1.0])
+
+
+class TestBuildShardPlans:
+    def test_matches_sharded_beamformer_construction(self):
+        from repro.tcbf import build_shard_plans
+
+        devices = dry_devices(2)
+        sharded = ShardedBeamformer(
+            devices, n_beams=512, n_receivers=48, n_samples=256, batch=6,
+            include_transpose=False,
+        )
+        rebuilt = build_shard_plans(
+            devices,
+            sharded.shard_sizes,
+            n_beams=512,
+            n_receivers=48,
+            n_samples=256,
+            batch=6,
+            include_transpose=False,
+        )
+        assert [p.cache_key for p in rebuilt] == [p.cache_key for p in sharded.plans]
+
+    def test_validates_inputs(self):
+        from repro.tcbf import build_shard_plans
+
+        with pytest.raises(ShapeError, match="shard_dim"):
+            build_shard_plans(
+                dry_devices(1), [4], n_beams=8, n_receivers=8, n_samples=8,
+                shard_dim="voxels",
+            )
+        with pytest.raises(ShapeError, match="shard sizes"):
+            build_shard_plans(
+                dry_devices(2), [4], n_beams=8, n_receivers=8, n_samples=8,
+            )
