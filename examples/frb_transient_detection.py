@@ -65,8 +65,7 @@ coh_power = np.abs(coherent.beams) ** 2  # (C, B, T)
 
 def burst_snr(dynspec: np.ndarray) -> float:
     """Dedisperse at the burst DM, collapse frequency, peak significance."""
-    fixed = dedisperse(dynspec, burst.dm_pc_cm3, obs.channel_frequencies(),
-                       obs.sample_time_s)
+    fixed = dedisperse(dynspec, burst.dm_pc_cm3, obs.channel_frequencies(), obs.sample_time_s)
     series = fixed.sum(axis=0)
     baseline = np.median(series)
     mad = np.median(np.abs(series - baseline)) * 1.4826 + 1e-12
@@ -111,8 +110,7 @@ print(f"undedispersed incoherent S/N = {(series_raw.max() - baseline) / mad:.1f}
 dry = Device("A100", ExecutionMode.DRY_RUN)
 coh_cost = LOFARBeamformer(dry, 1024, layout.n_stations, obs.n_samples,
                            obs.n_channels).predict_cost()
-_, inc_cost = incoherent_beam(dry, None, obs.n_channels, layout.n_stations,
-                              obs.n_samples)
+_, inc_cost = incoherent_beam(dry, None, obs.n_channels, layout.n_stations, obs.n_samples)
 print(f"\nmodelled cost: coherent (1024 beams) {coh_cost.time_s * 1e6:.0f} us "
       f"vs incoherent {inc_cost.time_s * 1e6:.1f} us "
       f"({coh_cost.time_s / inc_cost.time_s:.0f}x — 'computationally less "

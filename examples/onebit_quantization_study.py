@@ -29,7 +29,7 @@ def beamform_snr(k: int, precision: Precision, n_trials: int = 3) -> float:
     snrs = []
     for trial in range(n_trials):
         trial_rng = np.random.default_rng(rng.integers(2**31) + trial)
-        signal = (trial_rng.normal(size=N_SAMPLES) + 1j * trial_rng.normal(size=N_SAMPLES))
+        signal = trial_rng.normal(size=N_SAMPLES) + 1j * trial_rng.normal(size=N_SAMPLES)
         signal *= INPUT_SNR / np.sqrt(2)
         phases = np.exp(2j * np.pi * trial_rng.random(k))  # arrival phases
         noise = (trial_rng.normal(size=(k, N_SAMPLES)) +

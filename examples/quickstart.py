@@ -38,10 +38,17 @@ print(f"  modelled kernel time: {format_seconds(result.cost.time_s)}, "
       f"bound: {result.cost.bound.value}")
 
 # --- 2. 1-bit complex GEMM ---------------------------------------------------
-a1 = (rng.choice([-1.0, 1.0], (1, 24, 200)) + 1j * rng.choice([-1.0, 1.0], (1, 24, 200))).astype(np.complex64)
-b1 = (rng.choice([-1.0, 1.0], (1, 200, 16)) + 1j * rng.choice([-1.0, 1.0], (1, 200, 16))).astype(np.complex64)
+a1 = (
+    rng.choice([-1.0, 1.0], (1, 24, 200)) + 1j * rng.choice([-1.0, 1.0], (1, 24, 200))
+).astype(np.complex64)
+b1 = (
+    rng.choice([-1.0, 1.0], (1, 200, 16)) + 1j * rng.choice([-1.0, 1.0], (1, 200, 16))
+).astype(np.complex64)
 r1 = gemm_once(device, Precision.INT1, a1, b1)
-exact = np.array_equal(r1.output, (a1.astype(np.complex128) @ b1.astype(np.complex128)).astype(np.complex64))
+exact = np.array_equal(
+    r1.output,
+    (a1.astype(np.complex128) @ b1.astype(np.complex128)).astype(np.complex64),
+)
 print(f"\nint1 GEMM on {device.name} (XOR + popcount, Eq. 5 of the paper)")
 print(f"  exact integer result: {exact}")
 

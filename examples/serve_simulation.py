@@ -114,9 +114,7 @@ report = service.run(requests)
 worst = 0.0
 for outcome in report.outcomes:
     reference = weights @ outcome.request.data
-    worst = max(
-        worst, float(np.abs(outcome.output - reference).max() / np.abs(reference).max())
-    )
+    worst = max(worst, float(np.abs(outcome.output - reference).max() / np.abs(reference).max()))
 print("--- functional fleet ---")
 print(
     f"{report.n_completed} requests beamformed in {report.n_batches} merged "

@@ -88,5 +88,4 @@ for gpu in INT1_GPUS:
     frac = max_realtime_voxels(spec) / FULL_VOLUME_VOXELS
     print(f"  {gpu:8s} three planes: {planes.fps:8.0f} fps | "
           f"full 128^3: {full.fps:6.0f} fps | real-time volume fraction: {frac:4.0%}")
-print("\n(paper: all GPUs sustain three planes; none the full volume; "
-      "GH200 reaches ~85% of it)")
+print("\n(paper: all GPUs sustain three planes; none the full volume; " "GH200 reaches ~85% of it)")

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""CI gate: validate the combined JSON report of a full bench run.
+
+The bench-smoke CI job runs every registered experiment in its quick
+configuration (``python -m repro.bench --quick --output report.json``)
+and then runs this checker over the report. The job fails when
+
+* the CLI itself exited non-zero (pytest-level breakage),
+* an experiment registered in :mod:`repro.bench.registry` is missing
+  from the report (a module that silently stopped running),
+* an experiment's entry lacks its required keys or has an empty title,
+  findings list, or tables dict (a module that runs but reports nothing).
+
+This is deliberately a *smoke* gate: it checks that every experiment
+still runs end to end and reports in the expected shape, not that the
+paper-scale findings pass — those bars live in the experiments
+themselves and in the pytest suite.
+
+Usage::
+
+    python scripts/bench_smoke.py report.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REQUIRED_KEYS = ("name", "title", "findings", "tables", "elapsed_s")
+#: keys that must also be non-empty for the experiment to count as alive.
+NON_EMPTY_KEYS = ("title", "findings", "tables")
+
+
+def check(report_path: str) -> list[str]:
+    """Return the list of problems found in one combined JSON report."""
+    # Imported here so `--help`-style failures don't need the package.
+    from repro.bench.registry import EXPERIMENTS
+
+    problems: list[str] = []
+    try:
+        payload = json.loads(Path(report_path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"cannot read report {report_path!r}: {exc}"]
+    entries = {}
+    for entry in payload.get("experiments", []):
+        name = entry.get("name") if isinstance(entry, dict) else None
+        if not isinstance(name, str):
+            problems.append(f"malformed experiment entry without a name: {entry!r:.80}")
+            continue
+        entries[name] = entry
+    for name in EXPERIMENTS:
+        entry = entries.get(name)
+        if entry is None:
+            problems.append(f"{name}: missing from the report")
+            continue
+        for key in REQUIRED_KEYS:
+            if key not in entry:
+                problems.append(f"{name}: missing report key {key!r}")
+        for key in NON_EMPTY_KEYS:
+            if key in entry and not entry[key]:
+                problems.append(f"{name}: report key {key!r} is empty")
+        for table, series in entry.get("tables", {}).items():
+            if not series.get("headers") or not series.get("rows"):
+                problems.append(f"{name}: table {table!r} has no headers or rows")
+    unknown = sorted(set(entries) - set(EXPERIMENTS))
+    if unknown:
+        problems.append(f"report names unknown experiments: {', '.join(unknown)}")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 1:
+        print("usage: bench_smoke.py REPORT_JSON", file=sys.stderr)
+        return 2
+    problems = check(argv[0])
+    if problems:
+        for problem in problems:
+            print(f"bench-smoke: {problem}", file=sys.stderr)
+        return 1
+    from repro.bench.registry import EXPERIMENTS
+
+    print(f"bench-smoke: all {len(EXPERIMENTS)} experiments reported cleanly")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

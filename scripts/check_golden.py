@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""CI gate: the checked-in golden CSVs must match their generators.
+
+Every golden file under ``tests/serve/golden/`` is the rendered output of
+a documented ``golden_rows`` function. This script regenerates each one
+and fails on any byte difference — catching un-blessed replay drift at
+review time (the event loop, scheduler, estimates, or float formatting
+changed and nobody re-blessed the golden) instead of in a later PR.
+
+Usage::
+
+    python scripts/check_golden.py            # verify (CI mode)
+    python scripts/check_golden.py --bless    # regenerate in place
+
+Blessing is deliberate: run with ``--bless``, eyeball the diff, and
+commit the result alongside the change that moved the numbers.
+"""
+
+from __future__ import annotations
+
+import difflib
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+GOLDEN_DIR = REPO_ROOT / "tests" / "serve" / "golden"
+
+
+def _renderers():
+    """Golden file name -> zero-argument callable rendering its CSV."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.bench import serve_autoscale, serve_priority
+    from repro.util.formatting import render_csv
+
+    def render(rows_fn, *args):
+        headers, rows = rows_fn(*args)
+        return render_csv(headers, rows)
+
+    return {
+        "serve_priority_small.csv": lambda: render(serve_priority.golden_rows),
+        # One diurnal day — serve_autoscale.GOLDEN_HORIZON_S, the same
+        # constant the golden test reads (golden_rows' default).
+        "serve_autoscale_small.csv": lambda: render(serve_autoscale.golden_rows),
+    }
+
+
+def main(argv: list[str]) -> int:
+    bless = "--bless" in argv
+    renderers = _renderers()
+    problems: list[str] = []
+
+    unregistered = sorted(
+        p.name for p in GOLDEN_DIR.glob("*.csv") if p.name not in renderers
+    )
+    if unregistered:
+        problems.append(
+            "golden files with no registered generator (add them to "
+            f"scripts/check_golden.py): {', '.join(unregistered)}"
+        )
+
+    for name, render in renderers.items():
+        path = GOLDEN_DIR / name
+        fresh = render()
+        if bless:
+            path.write_text(fresh)
+            print(f"blessed {path.relative_to(REPO_ROOT)}")
+            continue
+        if not path.exists():
+            problems.append(f"{name}: golden file missing (run with --bless)")
+            continue
+        checked_in = path.read_text()
+        if checked_in != fresh:
+            diff = "".join(
+                difflib.unified_diff(
+                    checked_in.splitlines(keepends=True),
+                    fresh.splitlines(keepends=True),
+                    fromfile=f"checked-in/{name}",
+                    tofile=f"regenerated/{name}",
+                )
+            )
+            problems.append(f"{name}: drift from the generator\n{diff}")
+
+    if problems and not bless:
+        for problem in problems:
+            print(f"golden-drift: {problem}", file=sys.stderr)
+        print(
+            "golden-drift: if the change is intentional, re-bless via "
+            "`python scripts/check_golden.py --bless` and commit the diff",
+            file=sys.stderr,
+        )
+        return 1
+    if not bless:
+        print(f"golden-drift: all {len(renderers)} golden files match")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

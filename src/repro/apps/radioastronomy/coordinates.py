@@ -63,9 +63,7 @@ def lofar_like_layout(
     if n_remote > 0:
         remote_r = np.geomspace(core_radius_m * 1.5, max_radius_m, n_remote)
         remote_phi = rng.uniform(0, 2 * np.pi, n_remote)
-        remote = np.column_stack(
-            [remote_r * np.cos(remote_phi), remote_r * np.sin(remote_phi)]
-        )
+        remote = np.column_stack([remote_r * np.cos(remote_phi), remote_r * np.sin(remote_phi)])
         positions = np.vstack([core, remote])
     else:
         positions = core
@@ -97,6 +95,4 @@ def geometric_delay(positions: np.ndarray, l: float, m: float) -> np.ndarray:
 def phase_rotation(f_hz: np.ndarray, delay_s: np.ndarray) -> np.ndarray:
     """exp(-2*pi*i*f*tau) for every (frequency, element) pair -> (F, n)."""
     f_hz = np.atleast_1d(np.asarray(f_hz, dtype=np.float64))
-    return np.exp(-2j * np.pi * f_hz[:, None] * np.asarray(delay_s)[None, :]).astype(
-        np.complex64
-    )
+    return np.exp(-2j * np.pi * f_hz[:, None] * np.asarray(delay_s)[None, :]).astype(np.complex64)

@@ -55,9 +55,7 @@ def run_observation(
 ) -> ObservationResult:
     """Simulate and beamform one observation on a functional device."""
     layout = lofar_like_layout(n_stations, seed=seed)
-    obs = Observation(
-        layout=layout, n_channels=n_channels, n_samples=n_samples, seed=seed
-    )
+    obs = Observation(layout=layout, n_channels=n_channels, n_samples=n_samples, seed=seed)
     data = generate_station_data(obs, sources)  # (C, S, T)
     dirs = beam_grid(n_beams, fov_radius=fov_radius)
     weights = steering_weights(layout, obs.channel_frequencies(), dirs)  # (C, B, S)

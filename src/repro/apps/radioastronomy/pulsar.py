@@ -38,9 +38,7 @@ def dedisperse(
     if freqs.shape[0] != dynamic_spectrum.shape[0]:
         raise ShapeError("one frequency per channel required")
     f_ref = f_ref_hz if f_ref_hz is not None else float(freqs.max())
-    delays = (
-        DISPERSION_MS * 1e-3 * dm_pc_cm3 * ((freqs / 1e9) ** -2 - (f_ref / 1e9) ** -2)
-    )
+    delays = DISPERSION_MS * 1e-3 * dm_pc_cm3 * ((freqs / 1e9) ** -2 - (f_ref / 1e9) ** -2)
     out = np.empty_like(dynamic_spectrum)
     for ch, delay in enumerate(delays):
         shift = int(np.rint(delay / sample_time_s))
@@ -48,9 +46,7 @@ def dedisperse(
     return out
 
 
-def fold(
-    series: np.ndarray, period_s: float, sample_time_s: float, n_bins: int = 32
-) -> np.ndarray:
+def fold(series: np.ndarray, period_s: float, sample_time_s: float, n_bins: int = 32) -> np.ndarray:
     """Fold a time series at a period into a pulse profile of ``n_bins``."""
     if series.ndim != 1:
         raise ShapeError(f"expected a 1D series, got {series.shape}")
@@ -106,12 +102,8 @@ def search_beams(
         raise ShapeError(f"expected (B, C, T) beam powers, got {beam_powers.shape}")
     detections = []
     for b in range(beam_powers.shape[0]):
-        dedispersed = dedisperse(
-            beam_powers[b], dm_pc_cm3, channel_frequencies_hz, sample_time_s
-        )
+        dedispersed = dedisperse(beam_powers[b], dm_pc_cm3, channel_frequencies_hz, sample_time_s)
         series = dedispersed.sum(axis=0)
         profile = fold(series, period_s, sample_time_s, n_bins)
-        detections.append(
-            PulsarDetection(beam_index=b, snr=profile_snr(profile), profile=profile)
-        )
+        detections.append(PulsarDetection(beam_index=b, snr=profile_snr(profile), profile=profile))
     return detections

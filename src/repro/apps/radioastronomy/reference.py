@@ -41,9 +41,7 @@ class ReferenceBeamformer:
         self.n_stations = n_stations
         self.n_samples = n_samples
         self.batch = n_channels * n_polarizations
-        self.problem = GemmProblem(
-            batch=self.batch, m=n_beams, n=n_samples, k=n_stations
-        )
+        self.problem = GemmProblem(batch=self.batch, m=n_beams, n=n_samples, k=n_stations)
 
     def predict_cost(self) -> KernelCost:
         """Analytic cost of one block on the float32 cores."""

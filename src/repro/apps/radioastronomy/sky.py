@@ -85,9 +85,7 @@ class Observation:
         return self.f_centre_hz + offsets
 
 
-def generate_station_data(
-    obs: Observation, sources: list[PointSource]
-) -> np.ndarray:
+def generate_station_data(obs: Observation, sources: list[PointSource]) -> np.ndarray:
     """Channelized station signals X of shape (n_channels, n_stations, n_samples).
 
     For each source s, channel ch, station st::

@@ -44,9 +44,7 @@ def steering_weights(
     return weights.astype(np.complex64)
 
 
-def beam_grid(
-    n_beams: int, fov_radius: float = 0.02, seed_angle: float = 0.0
-) -> np.ndarray:
+def beam_grid(n_beams: int, fov_radius: float = 0.02, seed_angle: float = 0.0) -> np.ndarray:
     """A compact grid of beam directions tiling the field of view.
 
     Fills a square grid of side ceil(sqrt(n_beams)) inside the radius and

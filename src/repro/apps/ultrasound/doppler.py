@@ -55,9 +55,7 @@ def svd_filter(y: np.ndarray, n_components: int = 2) -> np.ndarray:
     return y - clutter
 
 
-def apply_clutter_filter(
-    y: np.ndarray, method: ClutterFilter, n_components: int = 2
-) -> np.ndarray:
+def apply_clutter_filter(y: np.ndarray, method: ClutterFilter, n_components: int = 2) -> np.ndarray:
     """Dispatch on the configured filter method."""
     if method is ClutterFilter.NONE:
         return y.copy()

@@ -118,9 +118,7 @@ class UltrasoundBeamformer:
         self.n_frames = n_frames
         self.precision = precision
         self.fused_transpose = fused_transpose
-        self.params = params or ultrasound_gemm_params(
-            device, precision, n_voxels, n_frames, k
-        )
+        self.params = params or ultrasound_gemm_params(device, precision, n_voxels, n_frames, k)
         self._plan = BeamformerPlan(
             device,
             n_beams=n_voxels,

@@ -64,9 +64,7 @@ def simulate_frames(
     white receiver noise on every channel.
     """
     if phantom.grid.n_voxels != model.n_voxels:
-        raise ShapeError(
-            f"phantom has {phantom.grid.n_voxels} voxels, model {model.n_voxels}"
-        )
+        raise ShapeError(f"phantom has {phantom.grid.n_voxels} voxels, model {model.n_voxels}")
     rng = make_rng(derive_seed(ensemble.seed, "frames"))
     centre = model.config.spectrum.centre_hz
     omega = doppler_rate(phantom.flow_speed, centre, ensemble.frame_rate_hz)

@@ -94,9 +94,7 @@ def build_model_matrix(config: ImagingConfig) -> ModelMatrix:
     """
     elements = config.array.positions()
     voxels = config.grid.positions()
-    mask = CodedAperture(
-        n_elements=config.array.n_elements, delay_rms_s=config.mask_delay_rms_s
-    )
+    mask = CodedAperture(n_elements=config.array.n_elements, delay_rms_s=config.mask_delay_rms_s)
     delays = mask.delays(elements, voxels)
     codes = TransmissionScheme(
         n_transmissions=config.n_transmissions, n_elements=config.array.n_elements

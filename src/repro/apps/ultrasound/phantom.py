@@ -153,9 +153,7 @@ def make_phantom(
             flow=flow,
         )
     tissue_level = 10.0 ** (tissue_to_blood_db / 20.0)
-    tissue = tissue_level * (
-        0.7 + 0.3 * rng.random(size=(nz, ny, nx_)).astype(np.float32)
-    )
+    tissue = tissue_level * (0.7 + 0.3 * rng.random(size=(nz, ny, nx_)).astype(np.float32))
     return VascularPhantom(
         grid=grid,
         blood_amplitude=blood.ravel(),

@@ -96,15 +96,10 @@ def sweep_voxels(
 
 def default_voxel_sweep(n_points: int = 12) -> list[int]:
     """Log-spaced voxel counts from three planes to the full volume."""
-    return [
-        int(v)
-        for v in np.geomspace(THREE_PLANES_VOXELS, FULL_VOLUME_VOXELS, n_points).round()
-    ]
+    return [int(v) for v in np.geomspace(THREE_PLANES_VOXELS, FULL_VOLUME_VOXELS, n_points).round()]
 
 
-def max_realtime_voxels(
-    spec: GPUSpec, k: int = PAPER_REALTIME_K, batch_frames: int = 1024
-) -> int:
+def max_realtime_voxels(spec: GPUSpec, k: int = PAPER_REALTIME_K, batch_frames: int = 1024) -> int:
     """Largest voxel count sustaining 1000 fps (bisection on the model).
 
     The paper reads this off Fig 5: e.g. "the GH200 is capable of

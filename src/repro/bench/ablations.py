@@ -34,7 +34,10 @@ def _combine_pass_seconds(spec, problem: GemmProblem) -> float:
     write 2 outputs (float32 planes)."""
     n = problem.batch * problem.m * problem.n
     nbytes = n * 4 * 4.0 + n * 2 * 4.0
-    return nbytes / (spec.mem_bandwidth_bytes() * spec.mem_efficiency) + spec.kernel_launch_overhead_s
+    return (
+        nbytes / (spec.mem_bandwidth_bytes() * spec.mem_efficiency)
+        + spec.kernel_launch_overhead_s
+    )
 
 
 def run() -> ExperimentResult:

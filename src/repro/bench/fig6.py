@@ -128,7 +128,11 @@ def run() -> ExperimentResult:
     timing_rows = [
         ["TCBF on GH200 (int1, incl. pack+transpose)", round(tcbf_s, 2), PAPER_TCBF_SECONDS],
         ["Octave float32/OpenCL on A100", round(octave_s, 0), PAPER_OCTAVE_SECONDS],
-        ["speedup", round(octave_s / tcbf_s, 0), round(PAPER_OCTAVE_SECONDS / PAPER_TCBF_SECONDS, 0)],
+        [
+            "speedup",
+            round(octave_s / tcbf_s, 0),
+            round(PAPER_OCTAVE_SECONDS / PAPER_TCBF_SECONDS, 0),
+        ],
     ]
     timing_headers = ["quantity", "measured", "paper"]
     sections.append(

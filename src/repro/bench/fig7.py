@@ -60,7 +60,12 @@ def run(quick: bool = False) -> ExperimentResult:
         for k in ks:
             cost = tcbf_cost(gpu, k)
             rows.append(
-                [k, round(cost.ops_per_second / tera, 1), round(cost.ops_per_joule / tera, 3), cost.bound.value]
+                [
+                    k,
+                    round(cost.ops_per_second / tera, 1),
+                    round(cost.ops_per_joule / tera, 3),
+                    cost.bound.value,
+                ]
             )
             xs.append(float(k))
             ys.append(cost.ops_per_second / tera)
@@ -74,7 +79,12 @@ def run(quick: bool = False) -> ExperimentResult:
         for k in ks:
             cost = ref_cost(gpu, k)
             rows.append(
-                [k, round(cost.ops_per_second / tera, 2), round(cost.ops_per_joule / tera, 4), cost.bound.value]
+                [
+                    k,
+                    round(cost.ops_per_second / tera, 2),
+                    round(cost.ops_per_joule / tera, 4),
+                    cost.bound.value,
+                ]
             )
             xs.append(float(k))
             ys.append(cost.ops_per_second / tera)

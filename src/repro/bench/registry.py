@@ -15,6 +15,7 @@ from repro.bench import (
     fig6,
     fig7,
     serve,
+    serve_autoscale,
     serve_hetero,
     serve_priority,
     table1,
@@ -38,6 +39,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "serve": serve.run,
     "serve-priority": serve_priority.run,
     "serve-hetero": serve_hetero.run,
+    "serve-autoscale": serve_autoscale.run,
 }
 
 

@@ -49,9 +49,7 @@ OVERLOAD_FACTOR = 5.0
 REQUIRED_SPEEDUP = 3.0
 
 
-def _simulate(
-    requests: list[Request], max_batch: int, n_devices: int
-) -> ServiceReport:
+def _simulate(requests: list[Request], max_batch: int, n_devices: int) -> ServiceReport:
     devices = [Device(GPU, ExecutionMode.DRY_RUN) for _ in range(n_devices)]
     service = BeamformingService(
         devices,

@@ -111,9 +111,7 @@ def amd_only_scenario(horizon_s: float, seed: int = SEED) -> ServiceReport:
     return service.run(trace)
 
 
-def bucket_scenario(
-    horizon_s: float, bucketed: bool, seed: int = SEED
-) -> ServiceReport:
+def bucket_scenario(horizon_s: float, bucketed: bool, seed: int = SEED) -> ServiceReport:
     """Five nearby LOFAR shapes, exact-shape vs one-bucket batching."""
     edges = BUCKET_EDGES if bucketed else ()
     policy = BatchingPolicy(
@@ -131,9 +129,7 @@ def bucket_scenario(
         )
         for i, n in enumerate(NEARBY_SAMPLES)
     ]
-    service = BeamformingService(
-        _fleet(), policy=policy, slo=SLO(p99_latency_s=SLO_P99_S)
-    )
+    service = BeamformingService(_fleet(), policy=policy, slo=SLO(p99_latency_s=SLO_P99_S))
     return service.run(merge_arrivals(*streams))
 
 
@@ -151,9 +147,7 @@ def split_scenario(horizon_s: float, seed: int = SEED) -> ServiceReport:
         poisson_arrivals(background, rate, horizon_s, seed=seed),
         [Request(rid=0, workload=survey, arrival_s=horizon_s / 2.0)],
     )
-    service = BeamformingService(
-        _fleet(), policy=BATCH_POLICY, slo=SLO(p99_latency_s=120.0)
-    )
+    service = BeamformingService(_fleet(), policy=BATCH_POLICY, slo=SLO(p99_latency_s=120.0))
     return service.run(trace)
 
 
@@ -203,14 +197,10 @@ def run(quick: bool = False) -> ExperimentResult:
     # --- capability routing on the mixed fleet ------------------------------
     mixed = mixed_scenario(horizon_s)
     by_dev = _precision_by_device(mixed)
-    int1_on_amd = sum(
-        n for (dev, prec), n in by_dev.items() if prec == "int1" and dev != "GH200"
-    )
+    int1_on_amd = sum(n for (dev, prec), n in by_dev.items() if prec == "int1" and dev != "GH200")
     int1_on_gh200 = by_dev.get(("GH200", "int1"), 0)
     float16_on_amd = by_dev.get(("MI300X", "float16"), 0)
-    placement_rows = [
-        [dev, prec, n] for (dev, prec), n in sorted(by_dev.items())
-    ]
+    placement_rows = [[dev, prec, n] for (dev, prec), n in sorted(by_dev.items())]
     tables["placement"] = (["device", "precision", "launches"], placement_rows)
     text_parts.append(
         render_table(
@@ -275,9 +265,7 @@ def run(quick: bool = False) -> ExperimentResult:
             ),
         )
     )
-    goodput_gain = (
-        bucketed.goodput_rps / exact.goodput_rps if exact.goodput_rps > 0 else 0.0
-    )
+    goodput_gain = bucketed.goodput_rps / exact.goodput_rps if exact.goodput_rps > 0 else 0.0
     findings.append(
         f"shape buckets raise goodput {goodput_gain:.2f}x at the same offered "
         f"load, paying {bucketed.padded_ops_fraction:.1%} padded FLOPs over "
@@ -295,9 +283,7 @@ def run(quick: bool = False) -> ExperimentResult:
     )
     shard_rows: list[list[object]] = []
     for execution in split_execs:
-        for shard, extent in zip(
-            execution.shards, execution.batch.decision.shard_extents
-        ):
+        for shard, extent in zip(execution.shards, execution.batch.decision.shard_extents):
             shard_rows.append(
                 [
                     shard.device_name,
@@ -321,9 +307,7 @@ def run(quick: bool = False) -> ExperimentResult:
         )
     )
     served = survey_outcome.completion_s is not None
-    shard_devices = (
-        {s.device_name for s in split_execs[0].shards} if split_execs else set()
-    )
+    shard_devices = {s.device_name for s in split_execs[0].shards} if split_execs else set()
     findings.append(
         f"oversized survey request ({SURVEY_CHANNELS:,} channels, ~229 GB of "
         f"operands) served via in-service sharding across "

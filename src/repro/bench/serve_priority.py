@@ -99,9 +99,7 @@ def overload_scenario(horizon_s: float, seed: int = SEED) -> ServiceReport:
     return _service().run(trace)
 
 
-def fairness_scenario(
-    horizon_s: float, seed: int = SEED
-) -> tuple[dict[str, int], float]:
+def fairness_scenario(horizon_s: float, seed: int = SEED) -> tuple[dict[str, int], float]:
     """Two 3:1-weighted tenants saturating the batch class, no shedding.
 
     Returns the per-tenant requests dispatched while both were backlogged
@@ -152,9 +150,7 @@ _STATS_HEADERS = [
 ]
 
 
-def golden_rows(
-    horizon_s: float = 0.004, seed: int = SEED
-) -> tuple[list[str], list[list[object]]]:
+def golden_rows(horizon_s: float = 0.004, seed: int = SEED) -> tuple[list[str], list[list[object]]]:
     """The small fixed scenario pinned by the checked-in golden CSV.
 
     Per-class and per-tenant report rows of a short overload run; every
@@ -204,9 +200,7 @@ def run(quick: bool = False) -> ExperimentResult:
             ),
         )
     )
-    text_parts.append(
-        render_table(_STATS_HEADERS, tenant_rows, title="The same run, by tenant")
-    )
+    text_parts.append(render_table(_STATS_HEADERS, tenant_rows, title="The same run, by tenant"))
 
     interactive = classes[0]
     assert interactive.label == "priority=0"
@@ -225,9 +219,7 @@ def run(quick: bool = False) -> ExperimentResult:
 
     # --- weighted-fair dispatch inside the batch class ----------------------
     served, ratio = fairness_scenario(horizon_s)
-    fairness_rows = [
-        [tenant, TENANT_WEIGHTS[tenant], served[tenant]] for tenant in served
-    ]
+    fairness_rows = [[tenant, TENANT_WEIGHTS[tenant], served[tenant]] for tenant in served]
     tables["fairness"] = (["tenant", "weight", "requests served"], fairness_rows)
     text_parts.append(
         render_table(
@@ -236,9 +228,7 @@ def run(quick: bool = False) -> ExperimentResult:
             title="Deficit-round-robin service while both tenants are backlogged",
         )
     )
-    fair = (
-        abs(ratio - FAIRNESS_TARGET) <= FAIRNESS_TARGET * FAIRNESS_TOLERANCE
-    )
+    fair = abs(ratio - FAIRNESS_TARGET) <= FAIRNESS_TARGET * FAIRNESS_TOLERANCE
     findings.append(
         f"3:1-weighted tenants served at {ratio:.2f}:1 "
         f"({'PASS' if fair else 'FAIL'}: within "

@@ -38,7 +38,12 @@ from repro.ccglib.layouts import ComplexLayout, to_planar, to_interleaved, REAL,
 from repro.ccglib.complex_mma import complex_mma_f16, reference_complex_gemm
 from repro.ccglib.bit_gemm import complex_bit_gemm, bit_gemm_reference, real_bit_dot
 from repro.ccglib.packing import pack_sign_planar, unpack_sign_planar, run_pack_kernel
-from repro.ccglib.transpose import tile_planar, untile_planar, planar_to_kmajor, run_transpose_kernel
+from repro.ccglib.transpose import (
+    tile_planar,
+    untile_planar,
+    planar_to_kmajor,
+    run_transpose_kernel,
+)
 
 __all__ = [
     "Precision",

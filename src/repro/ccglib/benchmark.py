@@ -74,10 +74,7 @@ def sweep_cubic(
     params: TuneParams | None = None,
 ) -> list[BenchmarkPoint]:
     """Sweep M = N = K over ``sizes`` (paper Fig 4a: "Matrix size (all axes)")."""
-    return [
-        measure(spec, precision, GemmProblem(batch=1, m=s, n=s, k=s), params)
-        for s in sizes
-    ]
+    return [measure(spec, precision, GemmProblem(batch=1, m=s, n=s, k=s), params) for s in sizes]
 
 
 def sweep_mn(
@@ -88,10 +85,7 @@ def sweep_mn(
     params: TuneParams | None = None,
 ) -> list[BenchmarkPoint]:
     """Sweep M = N with fixed K (paper Fig 4b left: "Matrix size (M, N)")."""
-    return [
-        measure(spec, precision, GemmProblem(batch=1, m=s, n=s, k=k), params)
-        for s in sizes
-    ]
+    return [measure(spec, precision, GemmProblem(batch=1, m=s, n=s, k=k), params) for s in sizes]
 
 
 def sweep_k(
@@ -103,10 +97,7 @@ def sweep_k(
     params: TuneParams | None = None,
 ) -> list[BenchmarkPoint]:
     """Sweep K with fixed M, N (paper Fig 4b right: "Matrix size (K)")."""
-    return [
-        measure(spec, precision, GemmProblem(batch=1, m=m, n=n, k=k), params)
-        for k in ks
-    ]
+    return [measure(spec, precision, GemmProblem(batch=1, m=m, n=n, k=k), params) for k in ks]
 
 
 def size_grid(lo: int, hi: int, step: int, include_offsets: Iterable[int] = (0,)) -> list[int]:

@@ -151,9 +151,7 @@ def real_bit_dot_and(a_words: np.ndarray, b_words: np.ndarray, k: int) -> int:
     return 2 * same - k
 
 
-def bit_gemm_reference(
-    a_bits: np.ndarray, b_bits: np.ndarray
-) -> np.ndarray:
+def bit_gemm_reference(a_bits: np.ndarray, b_bits: np.ndarray) -> np.ndarray:
     """Unpacked ±1 complex reference GEMM for validation.
 
     ``a_bits``: (2, M, K) and ``b_bits``: (2, N, K) arrays of {0, 1}.

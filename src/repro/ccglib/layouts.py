@@ -71,7 +71,10 @@ def to_interleaved(planar: np.ndarray) -> np.ndarray:
             f"got shape {planar.shape}"
         )
     out_dtype = np.complex128 if planar.dtype == np.float64 else np.complex64
-    return (planar[..., REAL, :, :] + 1j * planar[..., IMAG, :, :].astype(np.float64 if out_dtype == np.complex128 else np.float32)).astype(out_dtype)
+    imag_dtype = np.float64 if out_dtype == np.complex128 else np.float32
+    return (
+        planar[..., REAL, :, :] + 1j * planar[..., IMAG, :, :].astype(imag_dtype)
+    ).astype(out_dtype)
 
 
 def ensure_batched(array: np.ndarray, expected_ndim: int) -> tuple[np.ndarray, bool]:

@@ -61,7 +61,7 @@ def pack_sign_planar(values_planar: np.ndarray, k_pad_to: int | None = None) -> 
 def unpack_sign_planar(words: np.ndarray, k_valid: int) -> np.ndarray:
     """Unpack packed sign words back to ±1 int8 values (inverse transport)."""
     bits = unpack_bits(words, axis=-1, count=k_valid)
-    return (bits.astype(np.int8) * 2 - 1)
+    return bits.astype(np.int8) * 2 - 1
 
 
 def packing_cost(

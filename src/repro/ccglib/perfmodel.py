@@ -82,9 +82,7 @@ def accumulator_registers(params: TuneParams, warp_size: int) -> int:
     return (params.warp_m * params.warp_n * 2) // warp_size
 
 
-def fragment_registers(
-    params: TuneParams, tr: PrecisionTraits, warp_size: int
-) -> int:
+def fragment_registers(params: TuneParams, tr: PrecisionTraits, warp_size: int) -> int:
     """Registers holding the A/B fragments of one K-chunk, per thread."""
     bytes_per_thread = (
         (params.warp_m + params.warp_n) * tr.stage_k * 2 * tr.input_bytes / warp_size
@@ -115,9 +113,7 @@ def validate_config(
     if params.block_m % params.warp_m or params.block_n % params.warp_n:
         raise KernelConfigError(f"{params}: block tile not divisible by warp tile")
     if params.warp_m % frag.m or params.warp_n % frag.n:
-        raise KernelConfigError(
-            f"{params}: warp tile not a multiple of fragment {frag}"
-        )
+        raise KernelConfigError(f"{params}: warp tile not a multiple of fragment {frag}")
     if not caps.async_copies and params.num_buffers != 1:
         raise KernelConfigError(
             f"{spec.name}: num_buffers must be 1 (no asynchronous copies on AMD)"

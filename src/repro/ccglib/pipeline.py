@@ -90,9 +90,7 @@ class MultiStageBuffer:
     def producer_acquire(self, chunk_id: int) -> int:
         """Claim the next stage for an async copy of ``chunk_id``."""
         if self._in_flight >= self.num_buffers:
-            raise KernelConfigError(
-                f"pipeline overrun: {self._in_flight} stages already in flight"
-            )
+            raise KernelConfigError(f"pipeline overrun: {self._in_flight} stages already in flight")
         idx = self._head
         stage = self._stages[idx]
         stage.chunk_id = chunk_id
@@ -111,9 +109,7 @@ class MultiStageBuffer:
         if self._in_flight == 0:
             raise KernelConfigError("consumer_wait with empty pipeline")
         if not stage.committed:
-            raise KernelConfigError(
-                f"stage {self._tail} read before its copy was committed"
-            )
+            raise KernelConfigError(f"stage {self._tail} read before its copy was committed")
         assert stage.chunk_id is not None
         return stage.chunk_id
 

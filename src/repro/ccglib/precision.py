@@ -112,9 +112,7 @@ def tensor_peak_ops(spec: GPUSpec, precision: Precision) -> float:
     if precision is Precision.TF32:
         if spec.arch.vendor.value == "nvidia" or spec.arch is Architecture.CDNA3:
             return spec.theoretical_peak_ops("float16") / 2.0
-        raise UnsupportedPrecisionError(
-            f"{spec.name}: tensorfloat32 requires NVIDIA or AMD CDNA3+"
-        )
+        raise UnsupportedPrecisionError(f"{spec.name}: tensorfloat32 requires NVIDIA or AMD CDNA3+")
     raise UnsupportedPrecisionError(str(precision))
 
 

@@ -63,12 +63,12 @@ def tile_planar(
     _, r, c = planar.shape
     rp, cp = round_up(r, tile_r), round_up(c, tile_c)
     if (rp, cp) != (r, c):
-        planar = np.pad(
-            planar, ((0, 0), (0, rp - r), (0, cp - c)), constant_values=pad_value
-        )
+        planar = np.pad(planar, ((0, 0), (0, rp - r), (0, cp - c)), constant_values=pad_value)
     tiles = planar.reshape(2, rp // tile_r, tile_r, cp // tile_c, tile_c)
     tiles = tiles.transpose(0, 1, 3, 2, 4)
-    return TiledMatrix(tiles=np.ascontiguousarray(tiles), rows=r, cols=c, tile_r=tile_r, tile_c=tile_c)
+    return TiledMatrix(
+        tiles=np.ascontiguousarray(tiles), rows=r, cols=c, tile_r=tile_r, tile_c=tile_c
+    )
 
 
 def untile_planar(tiled: TiledMatrix) -> np.ndarray:

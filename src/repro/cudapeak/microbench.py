@@ -69,12 +69,7 @@ def run_microbenchmark(
     caps = spec.caps
     rate = caps.rate_factor(precision, fragment, bit_op)
     theoretical = spec.theoretical_peak_ops(precision)
-    measured = (
-        theoretical
-        * spec.sustained_clock_fraction
-        * caps.wmma_interface_factor
-        * rate
-    )
+    measured = theoretical * spec.sustained_clock_fraction * caps.wmma_interface_factor * rate
     return MicrobenchResult(
         gpu=spec.name,
         precision=precision,

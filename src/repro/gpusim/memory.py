@@ -86,7 +86,11 @@ class MemoryPool:
             )
         data = None
         if materialize:
-            data = np.zeros(shape, dtype=dtype) if fill is None else np.full(shape, fill, dtype=dtype)
+            data = (
+                np.zeros(shape, dtype=dtype)
+                if fill is None
+                else np.full(shape, fill, dtype=dtype)
+            )
         buf = DeviceBuffer(shape=tuple(shape), dtype=dtype, nbytes=nbytes, data=data, label=label)
         self._allocated += nbytes
         self._peak = max(self._peak, self._allocated)
@@ -96,7 +100,9 @@ class MemoryPool:
     def upload(self, host_array: np.ndarray, *, materialize: bool, label: str = "") -> DeviceBuffer:
         """Copy a host array to the device (functional) or register its
         shape/dtype (dry-run)."""
-        buf = self.allocate(host_array.shape, host_array.dtype, materialize=materialize, label=label)
+        buf = self.allocate(
+            host_array.shape, host_array.dtype, materialize=materialize, label=label
+        )
         if materialize:
             np.copyto(buf.data, host_array)
         return buf

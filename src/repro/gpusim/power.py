@@ -50,9 +50,7 @@ class PowerModel:
         try:
             return self._spec.power.tensor_w[precision]
         except KeyError as exc:
-            raise PowerError(
-                f"{self._spec.name} has no power coefficient for {precision}"
-            ) from exc
+            raise PowerError(f"{self._spec.name} has no power coefficient for {precision}") from exc
 
     def kernel_power(
         self,

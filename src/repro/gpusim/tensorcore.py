@@ -119,6 +119,4 @@ def validate_fragment_tile(
     """
     caps.require_fragment(precision, frag)
     if m % frag.m or n % frag.n or k % frag.k:
-        raise ShapeError(
-            f"tile {m}x{n}x{k} is not a multiple of fragment {frag} — pad first"
-        )
+        raise ShapeError(f"tile {m}x{n}x{k} is not a multiple of fragment {frag} — pad first")

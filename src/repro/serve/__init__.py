@@ -19,6 +19,11 @@ discrete-event simulation:
   :class:`PlacementDecision` (route to the cost-preferred capable worker /
   pad-and-merge into a shape bucket / split across workers via in-service
   sharding / shed infeasible work);
+* :mod:`~repro.serve.autoscale` — elastic fleets: the :class:`Autoscaler`
+  event source growing/shrinking the fleet through the placement layer,
+  with :class:`ReactiveAutoscaler` (queue-pressure) and
+  :class:`PredictiveAutoscaler` (diurnal rate-forecast) policies,
+  honest cold-start charging, and non-destructive scale-down draining;
 * :mod:`~repro.serve.scheduler` — :class:`PriorityScheduler`: strict
   priority classes with deficit-round-robin weighted-fair queueing across
   tenants, and non-destructive preemption of queued lower-priority work;
@@ -35,10 +40,21 @@ discrete-event simulation:
 """
 
 from repro.serve.arrivals import (
+    RateForecast,
     bursty_arrivals,
     diurnal_arrivals,
     merge_arrivals,
     poisson_arrivals,
+)
+from repro.serve.autoscale import (
+    Autoscaler,
+    AutoscalePolicy,
+    FleetSignals,
+    PredictiveAutoscaler,
+    ReactiveAutoscaler,
+    ScaleAction,
+    ScaleEvent,
+    ScaleKind,
 )
 from repro.serve.batching import Batch, BatchingPolicy, MicroBatcher
 from repro.serve.cache import CachedPlan, PlanCache
@@ -49,9 +65,16 @@ from repro.serve.placement import (
     PlacementKind,
     Placer,
 )
-from repro.serve.scheduler import PriorityScheduler
+from repro.serve.scheduler import PriorityScheduler, QueuePressure
 from repro.serve.service import BeamformingService, RequestOutcome, ServiceReport
-from repro.serve.slo import SLO, AdmissionController, ClassStats, SLOTracker, percentile
+from repro.serve.slo import (
+    SLO,
+    AdmissionController,
+    ClassStats,
+    FleetTimeline,
+    SLOTracker,
+    percentile,
+)
 from repro.serve.workload import Request, Workload
 
 __all__ = [
@@ -61,6 +84,7 @@ __all__ = [
     "bursty_arrivals",
     "diurnal_arrivals",
     "merge_arrivals",
+    "RateForecast",
     "BatchingPolicy",
     "MicroBatcher",
     "Batch",
@@ -74,9 +98,19 @@ __all__ = [
     "PlacementDecision",
     "PlacementKind",
     "PriorityScheduler",
+    "QueuePressure",
+    "Autoscaler",
+    "AutoscalePolicy",
+    "FleetSignals",
+    "ReactiveAutoscaler",
+    "PredictiveAutoscaler",
+    "ScaleAction",
+    "ScaleEvent",
+    "ScaleKind",
     "SLO",
     "AdmissionController",
     "ClassStats",
+    "FleetTimeline",
     "SLOTracker",
     "percentile",
     "BeamformingService",

@@ -7,7 +7,9 @@ Three traffic shapes cover the service scenarios the roadmap asks for:
 * :func:`bursty_arrivals` — a two-state Markov-modulated Poisson process
   (on/off), the shape of transient-triggered radio-astronomy follow-up;
 * :func:`diurnal_arrivals` — an inhomogeneous Poisson process with a
-  sinusoidal rate profile, the shape of clinic-hours ultrasound traffic.
+  sinusoidal rate profile, the shape of clinic-hours ultrasound traffic;
+  its profile is exposed as :class:`RateForecast`, the rate forecast a
+  predictive autoscaling policy sizes the fleet against.
 
 Every generator is bit-deterministic for a fixed seed: child streams derive
 through :func:`repro.util.rng.derive_seed`, so adding one generator never
@@ -17,10 +19,67 @@ perturbs another's arrivals.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 
 from repro.errors import ShapeError
 from repro.serve.workload import Request, Workload
 from repro.util.rng import derive_seed, make_rng
+
+
+@dataclass(frozen=True)
+class RateForecast:
+    """The known rate profile of a diurnal arrival process.
+
+    A predictive autoscaling policy does not guess traffic — clinic-hours
+    load is *scheduled*, and the profile that drives
+    :func:`diurnal_arrivals` is exactly the forecast an operator would
+    configure. This is that profile as a first-class object: the same
+    ``base * (1 + amplitude * sin(2 pi t / period))`` formula the
+    generator thins against, so forecast and traffic cannot drift apart.
+    """
+
+    base_rate_hz: float
+    amplitude: float
+    period_s: float
+    #: time offset into the cycle: ``0.75 * period_s`` starts at the
+    #: trough (the day begins at night), the 0.0 default at the mean.
+    phase_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base_rate_hz <= 0:
+            raise ShapeError(f"base rate must be positive, got {self.base_rate_hz}")
+        if not 0.0 <= self.amplitude <= 1.0:
+            raise ShapeError(f"amplitude must be in [0, 1], got {self.amplitude}")
+        if self.period_s <= 0:
+            raise ShapeError(f"period_s must be positive, got {self.period_s}")
+
+    def rate_hz(self, t_s: float) -> float:
+        """Instantaneous arrival rate at ``t_s``."""
+        return self.base_rate_hz * (
+            1.0
+            + self.amplitude
+            * math.sin(2.0 * math.pi * (t_s + self.phase_s) / self.period_s)
+        )
+
+    def max_rate_hz(self, t0_s: float, t1_s: float) -> float:
+        """Exact maximum of the rate profile over ``[t0_s, t1_s]``.
+
+        What a predictive autoscaler sizes against: the worst rate inside
+        its provisioning window. The sinusoid's maximum on an interval is
+        either an interior crest (phase ``period/4 + k*period``) or an
+        endpoint — no sampling, so the answer is exact and deterministic.
+        """
+        if t1_s < t0_s:
+            raise ShapeError(f"empty window: [{t0_s}, {t1_s}]")
+        k = math.ceil((t0_s + self.phase_s) / self.period_s - 0.25)
+        t_crest = (0.25 + k) * self.period_s - self.phase_s
+        if t0_s <= t_crest <= t1_s:
+            return self.peak_rate_hz
+        return max(self.rate_hz(t0_s), self.rate_hz(t1_s))
+
+    @property
+    def peak_rate_hz(self) -> float:
+        return self.base_rate_hz * (1.0 + self.amplitude)
 
 
 def poisson_arrivals(
@@ -95,28 +154,28 @@ def diurnal_arrivals(
     horizon_s: float,
     seed: int = 0,
     start_id: int = 0,
+    phase_s: float = 0.0,
 ) -> list[Request]:
     """Inhomogeneous Poisson arrivals with a sinusoidal daily profile.
 
-    The instantaneous rate is ``base * (1 + amplitude * sin(2 pi t /
-    period))``, sampled by Lewis-Shedler thinning against the peak rate —
-    exact for any ``0 <= amplitude <= 1`` and still fully deterministic.
+    The instantaneous rate is ``base * (1 + amplitude * sin(2 pi (t +
+    phase) / period))``, sampled by Lewis-Shedler thinning against the
+    peak rate — exact for any ``0 <= amplitude <= 1`` and still fully
+    deterministic (``phase_s`` shifts where in the cycle the trace
+    starts; the 0.0 default keeps historical streams byte-identical).
+    The profile itself is available as :class:`RateForecast` — the input
+    a predictive autoscaling policy sizes the fleet against.
     """
     _check_rate(base_rate_hz, horizon_s)
-    if not 0.0 <= amplitude <= 1.0:
-        raise ShapeError(f"amplitude must be in [0, 1], got {amplitude}")
-    if period_s <= 0:
-        raise ShapeError(f"period_s must be positive, got {period_s}")
+    forecast = RateForecast(base_rate_hz, amplitude, period_s, phase_s)
     rng = make_rng(derive_seed(seed, "diurnal", workload.name, base_rate_hz, amplitude))
-    peak = base_rate_hz * (1.0 + amplitude)
+    peak = forecast.peak_rate_hz
     requests: list[Request] = []
     t = rng.exponential(1.0 / peak)
     while t < horizon_s:
-        rate_t = base_rate_hz * (1.0 + amplitude * math.sin(2.0 * math.pi * t / period_s))
+        rate_t = forecast.rate_hz(t)
         if rng.uniform() < rate_t / peak:
-            requests.append(
-                Request(rid=start_id + len(requests), workload=workload, arrival_s=t)
-            )
+            requests.append(Request(rid=start_id + len(requests), workload=workload, arrival_s=t))
         t += rng.exponential(1.0 / peak)
     return requests
 
@@ -128,9 +187,7 @@ def merge_arrivals(*streams: list[Request]) -> list[Request]:
     (keeping per-stream determinism) and merge here; request ids are
     reassigned in arrival order so they are unique across the trace.
     """
-    merged = sorted(
-        (req for stream in streams for req in stream), key=lambda r: r.arrival_s
-    )
+    merged = sorted((req for stream in streams for req in stream), key=lambda r: r.arrival_s)
     return [
         Request(rid=i, workload=r.workload, arrival_s=r.arrival_s, data=r.data)
         for i, r in enumerate(merged)

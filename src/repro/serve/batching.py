@@ -71,13 +71,9 @@ class BatchingPolicy:
                 f"sample_buckets must be strictly ascending, got {self.sample_buckets}"
             )
         if self.sample_buckets and self.sample_buckets[0] < 1:
-            raise ShapeError(
-                f"sample_buckets must be >= 1, got {self.sample_buckets}"
-            )
+            raise ShapeError(f"sample_buckets must be >= 1, got {self.sample_buckets}")
         if self.max_pad_fraction < 0:
-            raise ShapeError(
-                f"max_pad_fraction must be >= 0, got {self.max_pad_fraction}"
-            )
+            raise ShapeError(f"max_pad_fraction must be >= 0, got {self.max_pad_fraction}")
 
     def bucket_samples(self, n_samples: int) -> int:
         """The padded sample count of one request (identity when unbucketed).
@@ -209,6 +205,17 @@ class MicroBatcher:
         """Requests currently waiting in forming batches."""
         return sum(len(g.requests) for g in self._groups.values())
 
+    def forming_workloads(self):
+        """Iterate the workload of every forming batch (flush order).
+
+        The dispatcher's retirement guard consumes this: work already
+        admitted into a forming batch must keep at least one capable
+        worker alive until it flushes (see
+        :meth:`FleetDispatcher.reap <repro.serve.dispatch.FleetDispatcher.reap>`).
+        """
+        for group in self._groups.values():
+            yield (group.workload if group.workload is not None else group.requests[0].workload)
+
     def next_deadline(self) -> float | None:
         """Earliest latency-trigger deadline among forming batches."""
         if not self._groups:
@@ -282,9 +289,7 @@ class MicroBatcher:
 
     def _flush(self, key: tuple, formed_s: float) -> Batch:
         group = self._groups.pop(key)
-        workload = (
-            group.workload if group.workload is not None else group.requests[0].workload
-        )
+        workload = group.workload if group.workload is not None else group.requests[0].workload
         batch = Batch(
             bid=self._next_bid,
             workload=workload,

@@ -78,6 +78,8 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: entries dropped by whole-segment release (scale-down), not LRU.
+        self.released = 0
 
     def __len__(self) -> int:
         return sum(len(seg) for seg in self._segments.values())
@@ -109,9 +111,21 @@ class PlanCache:
         """Resident entry count of one device's segment."""
         return len(self._segments.get(id(device), ()))
 
-    def get(
-        self, device: Device, workload: Workload, n_requests: int
-    ) -> tuple[CachedPlan, float]:
+    def release(self, device: Device) -> int:
+        """Drop one device's whole segment; returns the entry count freed.
+
+        The scale-down path: a retired worker's plans hold device-resident
+        state (prepared weights, recorded kernels) that leaves with the
+        device, so the segment is released rather than left to age out.
+        Released entries are counted separately from LRU evictions — a
+        shrinking fleet is not cache churn.
+        """
+        segment = self._segments.pop(id(device), None)
+        freed = len(segment) if segment is not None else 0
+        self.released += freed
+        return freed
+
+    def get(self, device: Device, workload: Workload, n_requests: int) -> tuple[CachedPlan, float]:
         """Look up (or build) the merged-batch plan for a dispatch.
 
         On a miss the plan is constructed, its one-time weight preparation

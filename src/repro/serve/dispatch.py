@@ -36,6 +36,7 @@ Two dispatch paths coexist:
 from __future__ import annotations
 
 from collections import deque
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass
 
 import numpy as np
@@ -45,7 +46,8 @@ from repro.gpusim.device import Device
 from repro.serve.batching import Batch
 from repro.serve.cache import CachedPlan, PlanCache
 from repro.serve.placement import PlacementKind, Placer
-from repro.serve.scheduler import PriorityScheduler
+from repro.serve.scheduler import PriorityScheduler, QueuePressure
+from repro.serve.workload import Workload
 from repro.tcbf import merge_batch_operands, split_batched_output
 from repro.tcbf.scaling import rms
 
@@ -92,19 +94,41 @@ class BatchExecution:
 
 
 class DeviceWorker:
-    """One device's in-order queue with copy/compute engine overlap."""
+    """One device's in-order queue with copy/compute engine overlap.
 
-    def __init__(self, device: Device, index: int):
+    ``joined_s``/``ready_s`` support elastic fleets: a worker scaled up at
+    ``joined_s`` is provisioned from that instant but cannot start work
+    before ``ready_s`` (the modelled startup latency) — its engines simply
+    begin free at ``ready_s``, so routing sees the pending startup as
+    backlog and no extra event machinery is needed. ``draining`` marks a
+    worker the autoscaler is removing: it takes no new placements, finishes
+    what it has, and is retired (``retired_s`` set) once idle.
+    """
+
+    def __init__(self, device: Device, index: int, joined_s: float = 0.0, ready_s: float = 0.0):
         self.device = device
         self.index = index
-        self._copy_free_s = 0.0
-        self._compute_free_s = 0.0
+        self._copy_free_s = ready_s
+        self._compute_free_s = ready_s
         #: when this worker can accept its next batch (see :meth:`accept_s`).
-        self._accept_s = 0.0
+        self._accept_s = ready_s
         #: accumulated compute-engine busy time (utilization numerator).
         self.busy_s = 0.0
         self.n_batches = 0
         self.n_requests = 0
+        #: when this worker was provisioned (0.0 for the seed fleet).
+        self.joined_s = joined_s
+        #: marked for scale-down: no new placements, drains what it has.
+        self.draining = False
+        #: when the drain began (retirement never predates this instant).
+        self._drain_s = 0.0
+        #: when the drained worker left the fleet (``None`` while serving).
+        self.retired_s: float | None = None
+
+    @property
+    def accepting(self) -> bool:
+        """Whether placement may still route new batches to this worker."""
+        return not self.draining and self.retired_s is None
 
     def backlog_s(self, now: float) -> float:
         """Seconds of queued compute ahead of a batch arriving now."""
@@ -202,6 +226,17 @@ class FleetDispatcher:
         #: batches popped from the scheduler whose eligible workers were all
         #: busy; retried (in pop order) at the start of every drain.
         self._held: list[Batch] = []
+        #: next worker index for scale-ups — indices are never reused, so
+        #: every placement decision and report row stays unambiguous even
+        #: after workers retire.
+        self._next_index = len(devices)
+        #: drained workers removed from the fleet, kept for reporting.
+        self._retired: list[DeviceWorker] = []
+        #: optional callable yielding the workloads still *forming* in the
+        #: micro-batcher (the service wires it up): admitted work that has
+        #: not reached the scheduler yet, which retirement must not
+        #: strand. ``None`` means no batcher-side work exists.
+        self.forming_workloads: Callable[[], Iterable[Workload]] | None = None
 
     @property
     def is_functional(self) -> bool:
@@ -234,6 +269,186 @@ class FleetDispatcher:
             return worker
         return next(w for w in self.workers if w.index == index)
 
+    # -- elastic fleets ------------------------------------------------------
+
+    @property
+    def all_workers(self) -> list[DeviceWorker]:
+        """Every worker that ever served, index order (reports' view)."""
+        return sorted(self.workers + self._retired, key=lambda w: w.index)
+
+    @property
+    def accepting_workers(self) -> list[DeviceWorker]:
+        """Workers new placements may target (excludes draining ones)."""
+        return [w for w in self.workers if w.accepting]
+
+    def add_worker(
+        self, device: Device, now: float = 0.0, ready_s: float | None = None
+    ) -> DeviceWorker:
+        """Scale up: join one device to the fleet at ``now``.
+
+        The worker is provisioned immediately (it counts toward
+        device-seconds from ``now``) but cannot start work before
+        ``ready_s`` — the modelled startup latency. Its plan-cache segment
+        starts empty, so its first batches pay the one-time plan builds:
+        cold start is charged where it lands, never hidden. Queued and held
+        batches are re-stamped so work that was capability- or
+        capacity-bound can immediately consider the newcomer.
+        """
+        if device.is_functional != self.is_functional:
+            raise DeviceError(
+                "scaled-up device must share the fleet's execution mode; "
+                f"got functional={device.is_functional} on a "
+                f"functional={self.is_functional} fleet"
+            )
+        worker = DeviceWorker(
+            device,
+            self._next_index,
+            joined_s=now,
+            ready_s=now if ready_s is None else ready_s,
+        )
+        self._next_index += 1
+        self.workers.append(worker)
+        self.refresh_candidates()
+        return worker
+
+    def begin_drain(self, index: int, now: float) -> DeviceWorker:
+        """Scale down: mark one worker for removal, non-destructively.
+
+        Mirrors PR 3's preemption rule: nothing in flight is revoked. The
+        worker finishes everything already scheduled on its engines; its
+        queued and held batches are re-stamped onto the remaining fleet
+        (falling back to the draining worker only when no accepting worker
+        is capable); and :meth:`reap` retires it once it is idle and no
+        queued work references it.
+        """
+        worker = self.worker_by_index(index)
+        if not worker.accepting:
+            raise DeviceError(f"worker {index} is already draining or retired")
+        worker.draining = True
+        worker._drain_s = now
+        self.refresh_candidates()
+        return worker
+
+    def _referenced(self, index: int) -> bool:
+        """Whether admitted-but-undispatched work still needs this worker.
+
+        Queued and held batches reference workers through their stamped
+        candidates (or committed shard sets); work still *forming* in the
+        micro-batcher pins a draining worker when it is the last one
+        capable of the workload — otherwise the flush would find an empty
+        candidate set for a legitimately admitted request.
+        """
+        for batch in self._held + list(self.scheduler.queued_batches()):
+            if batch.candidate_indices and index in batch.candidate_indices:
+                return True
+            decision = batch.decision
+            if (
+                decision is not None
+                and decision.kind is PlacementKind.SPLIT
+                and index in decision.shard_worker_indices
+            ):
+                return True
+        if self.forming_workloads is not None:
+            worker = self.worker_by_index(index)
+            for workload in self.forming_workloads():
+                if workload.supported_by(worker.device.spec) and not (
+                    self.placer.capable_workers(workload)
+                ):
+                    return True
+        return False
+
+    def next_retire_s(self) -> float | None:
+        """Earliest instant a draining worker can actually leave the fleet.
+
+        Only unreferenced draining workers count: one still named by a
+        queued batch's candidates (or a committed split decision) will
+        produce its own dispatch events, after which this advances.
+        """
+        times = [
+            max(w._compute_free_s, w._drain_s)
+            for w in self.workers
+            if w.draining and not self._referenced(w.index)
+        ]
+        return min(times) if times else None
+
+    def reap(self, now: float) -> list[DeviceWorker]:
+        """Retire every draining worker that is idle and unreferenced.
+
+        Retirement releases the worker's plan-cache segment (its plans hold
+        device-resident state that leaves with the device) and moves it to
+        the retired list so reports still see its batches and busy time.
+        """
+        retired: list[DeviceWorker] = []
+        for worker in list(self.workers):
+            if (
+                worker.draining
+                and max(worker._compute_free_s, worker._drain_s) <= now
+                and not self._referenced(worker.index)
+            ):
+                worker.retired_s = now
+                worker.draining = False
+                self.workers.remove(worker)
+                self._retired.append(worker)
+                self.cache.release(worker.device)
+                retired.append(worker)
+        return retired
+
+    def refresh_candidates(self) -> None:
+        """Re-stamp eligible workers on every queued and held batch.
+
+        Called on every fleet change: a scale-up makes the newcomer an
+        immediate candidate for waiting work, a drain re-routes everything
+        that targeted the leaving worker. Split decisions keep their shard
+        worker set — those placements are committed, and :meth:`reap`
+        waits for them. Predicted service times are re-priced too, so
+        admission's queue-drain estimate tracks the fleet it actually has.
+        """
+        for batch in self._held + list(self.scheduler.queued_batches()):
+            if batch.decision is not None and batch.decision.kind is PlacementKind.SPLIT:
+                continue
+            # Clearing first is load-bearing: _candidates returns the
+            # stamped indices verbatim when they are set.
+            batch.candidate_indices = None
+            batch.candidate_indices = tuple(w.index for w in self._candidates(batch))
+            batch.predicted_service_s = self.placer.predicted_service_s(
+                batch.workload, batch.n_requests
+            )
+
+    def queued_pressure_by_class(self) -> dict[int, "QueuePressure"]:
+        """Per-priority-class pressure over scheduler *and* held batches.
+
+        The signal the autoscaling policies consume: the scheduler's own
+        :meth:`~repro.serve.scheduler.PriorityScheduler.pressure_by_class`
+        misses batches parked dispatcher-side, so the two are merged here —
+        a held capability-bound batch is exactly the pressure a scale-up
+        could relieve.
+        """
+        pressure = self.scheduler.pressure_by_class()
+        for batch in self._held:
+            pressure[batch.priority] = pressure.get(batch.priority, QueuePressure()).plus(batch)
+        return dict(sorted(pressure.items()))
+
+    def queued_drain_by_capability(self) -> dict[str, float]:
+        """Predicted drain seconds per capability class (precision).
+
+        For each precision with queued/held work: the summed predicted
+        service time divided by the number of *accepting* workers that
+        support it — the per-capability-pool latency pressure. A capability
+        whose pool is empty reports ``inf``: queued work no accepting
+        worker can serve is the strongest possible scale-up signal.
+        """
+        service: dict[str, float] = {}
+        sample: dict[str, object] = {}
+        for batch in self._held + list(self.scheduler.queued_batches()):
+            cap = batch.workload.capability
+            service[cap] = service.get(cap, 0.0) + batch.predicted_service_s
+            sample.setdefault(cap, batch.workload)
+        drains: dict[str, float] = {}
+        for cap, total in service.items():
+            pool = [w for w in self.accepting_workers if sample[cap].supported_by(w.device.spec)]
+            drains[cap] = total / len(pool) if pool else float("inf")
+        return drains
+
     def _candidates(self, batch: Batch) -> list[DeviceWorker]:
         """Workers this batch may run on (capability, then memory fit).
 
@@ -248,9 +463,13 @@ class FleetDispatcher:
             wanted = set(batch.decision.shard_worker_indices)
             return [w for w in self.workers if w.index in wanted]
         capable = self.placer.capable_workers(batch.workload)
-        fits = [
-            w for w in capable if self.placer.fits(w, batch.workload, batch.n_requests)
-        ]
+        if not capable:
+            # Every capable worker is draining: the batch was admitted
+            # before the drain began, so it is committed work the drain
+            # must still serve (non-destructive scale-down) — fall back to
+            # the draining pool rather than strand it.
+            capable = self.placer.capable_workers(batch.workload, include_draining=True)
+        fits = [w for w in capable if self.placer.fits(w, batch.workload, batch.n_requests)]
         return fits or capable
 
     def dispatch(self, batch: Batch) -> BatchExecution:
@@ -293,9 +512,7 @@ class FleetDispatcher:
             )
         batch.candidate_indices = tuple(w.index for w in candidates)
         if batch.decision is not None and batch.decision.kind is PlacementKind.SPLIT:
-            batch.predicted_service_s = self.placer.predicted_split_service_s(
-                batch.decision
-            )
+            batch.predicted_service_s = self.placer.predicted_split_service_s(batch.decision)
         else:
             batch.predicted_service_s = self.placer.predicted_service_s(
                 batch.workload, batch.n_requests
@@ -318,22 +535,23 @@ class FleetDispatcher:
         this is the matching term so the latency projection covers *all*
         undispatched work an arrival must wait out.
         """
-        return sum(
-            b.predicted_service_s for b in self._held if b.priority <= priority
-        )
+        return sum(b.predicted_service_s for b in self._held if b.priority <= priority)
 
-    def next_accept_s(self) -> float:
+    def next_accept_s(self) -> float | None:
         """Earliest instant a worker can take one of the queued batches.
 
         Restricted to workers eligible for at least one queued/held batch:
         an AMD worker going idle is not an event for a queue of int1 work.
+        ``None`` when no live worker matches (possible transiently on an
+        elastic fleet while candidates are re-stamped).
         """
         indices: set[int] = set()
         for batch in self._held:
             indices.update(batch.candidate_indices or ())
         for batch in self.scheduler.queued_batches():
             indices.update(batch.candidate_indices or ())
-        return min(w.accept_s for w in self.workers if w.index in indices)
+        accepts = [w.accept_s for w in self.workers if w.index in indices]
+        return min(accepts) if accepts else None
 
     def drain(self, now: float) -> list[BatchExecution]:
         """Dispatch queued batches to every worker available at ``now``.
@@ -386,9 +604,7 @@ class FleetDispatcher:
         worker = self.placer.select_worker(batch, available, now)
         return self._place(worker, batch, now=now)
 
-    def _place(
-        self, worker: DeviceWorker, batch: Batch, now: float
-    ) -> BatchExecution:
+    def _place(self, worker: DeviceWorker, batch: Batch, now: float) -> BatchExecution:
         entry, build_s = self.cache.get(worker.device, batch.workload, batch.n_requests)
         execution = worker.schedule(batch, entry, build_s, now=now)
         if self.is_functional:
@@ -445,9 +661,7 @@ class FleetDispatcher:
         self.executions.append(execution)
         return execution
 
-    def _execute_split(
-        self, batch: Batch, shard_entries: list[CachedPlan]
-    ) -> list[np.ndarray]:
+    def _execute_split(self, batch: Batch, shard_entries: list[CachedPlan]) -> list[np.ndarray]:
         """Functionally beamform one split request and merge the shards.
 
         ``shard_entries`` are the cache entries the placement step already
@@ -529,5 +743,6 @@ class FleetDispatcher:
         return max((e.completion_s for e in self.executions), default=0.0)
 
     def utilizations(self, makespan_s: float | None = None) -> list[float]:
+        """Per-worker busy fraction, retired workers included (index order)."""
         span = self.makespan_s() if makespan_s is None else makespan_s
-        return [w.utilization(span) for w in self.workers]
+        return [w.utilization(span) for w in self.all_workers]

@@ -128,9 +128,7 @@ class Placer:
 
     def __init__(self, memory_fraction: float = DEFAULT_MEMORY_FRACTION):
         if not 0.0 < memory_fraction <= 1.0:
-            raise ShapeError(
-                f"memory_fraction must be in (0, 1], got {memory_fraction}"
-            )
+            raise ShapeError(f"memory_fraction must be in (0, 1], got {memory_fraction}")
         self.memory_fraction = memory_fraction
         self._workers: list[DeviceWorker] = []
         self._cache: PlanCache | None = None
@@ -138,35 +136,46 @@ class Placer:
         #: lifetime decision counters by kind value (the report's view).
         self.decisions: dict[str, int] = {}
 
-    def attach(self, workers: Sequence[DeviceWorker], cache: PlanCache) -> None:
-        """Bind to a fleet (called once by the dispatcher)."""
-        self._workers = list(workers)
+    def attach(self, workers: list[DeviceWorker], cache: PlanCache) -> None:
+        """Bind to a fleet (called once by the dispatcher).
+
+        The worker list is held by reference, not copied: elastic fleets
+        mutate it (scale-up appends, retirement removes) and every placement
+        decision must see the fleet as it is *now* — a worker that joined a
+        microsecond ago is already a routing candidate, and one that
+        retired is not.
+        """
+        self._workers = workers
         self._cache = cache
 
     # -- eligibility ---------------------------------------------------------
 
-    def capable_workers(self, workload: Workload) -> list[DeviceWorker]:
-        """Workers whose architecture supports the workload's precision."""
+    def capable_workers(
+        self, workload: Workload, include_draining: bool = False
+    ) -> list[DeviceWorker]:
+        """Workers whose architecture supports the workload's precision.
+
+        Draining workers are excluded by default: a worker being scaled
+        down takes no *new* placements (it only finishes committed work).
+        ``include_draining=True`` is the dispatcher's fallback for batches
+        admitted before the drain began whose only capable workers are all
+        draining.
+        """
         return [
-            w for w in self._workers if workload.supported_by(w.device.spec)
+            w
+            for w in self._workers
+            if workload.supported_by(w.device.spec)
+            and (include_draining or w.accepting)
         ]
 
-    def fits(
-        self, worker: DeviceWorker, workload: Workload, n_requests: int = 1
-    ) -> bool:
+    def fits(self, worker: DeviceWorker, workload: Workload, n_requests: int = 1) -> bool:
         """Whether the merged problem's operands fit one device's memory."""
         limit = self.memory_fraction * worker.device.spec.mem_bytes
         return workload.footprint_bytes(n_requests) <= limit
 
-    def eligible_workers(
-        self, workload: Workload, n_requests: int = 1
-    ) -> list[DeviceWorker]:
+    def eligible_workers(self, workload: Workload, n_requests: int = 1) -> list[DeviceWorker]:
         """Capable workers that can also hold the merged problem."""
-        return [
-            w
-            for w in self.capable_workers(workload)
-            if self.fits(w, workload, n_requests)
-        ]
+        return [w for w in self.capable_workers(workload) if self.fits(w, workload, n_requests)]
 
     # -- the cost model ------------------------------------------------------
 
@@ -199,14 +208,10 @@ class Placer:
         global service-time EMA: the minimum predicted stage-in + GEMM over
         the workers this workload may actually land on.
         """
-        candidates = self.eligible_workers(workload, n_requests) or (
-            self.capable_workers(workload)
-        )
+        candidates = self.eligible_workers(workload, n_requests) or (self.capable_workers(workload))
         if not candidates:
             return float("inf")
-        return min(
-            self.estimate(w, workload, n_requests).service_s for w in candidates
-        )
+        return min(self.estimate(w, workload, n_requests).service_s for w in candidates)
 
     def _worker_at(self, index: int) -> "DeviceWorker":
         """The attached worker with a declared index (list-order robust)."""
@@ -235,9 +240,7 @@ class Placer:
         self.decisions[kind] = self.decisions.get(kind, 0) + 1
         return decision
 
-    def _place(
-        self, workload: Workload, policy: "BatchingPolicy"
-    ) -> PlacementDecision:
+    def _place(self, workload: Workload, policy: "BatchingPolicy") -> PlacementDecision:
         capable = self.capable_workers(workload)
         if not capable:
             return PlacementDecision(
@@ -245,16 +248,12 @@ class Placer:
             )
         if any(self.fits(w, workload) for w in capable):
             padded = workload.padded_to(policy.bucket_samples(workload.n_samples))
-            if padded is not workload and any(
-                self.fits(w, padded) for w in capable
-            ):
+            if padded is not workload and any(self.fits(w, padded) for w in capable):
                 return PlacementDecision(kind=PlacementKind.MERGE, workload=padded)
             return PlacementDecision(kind=PlacementKind.ROUTE, workload=workload)
         split = self._plan_split(workload, capable)
         if split is None:
-            return PlacementDecision(
-                kind=PlacementKind.SHED, workload=workload, reason="capacity"
-            )
+            return PlacementDecision(kind=PlacementKind.SHED, workload=workload, reason="capacity")
         extents, indices = split
         return PlacementDecision(
             kind=PlacementKind.SPLIT,
@@ -292,10 +291,7 @@ class Placer:
                 workload.batch_per_request,
                 [w.device.spec.mem_bytes for w in workers],
             )
-            if all(
-                self.fits(w, workload.shard(e))
-                for w, e in zip(workers, extents)
-            ):
+            if all(self.fits(w, workload.shard(e)) for w, e in zip(workers, extents)):
                 return tuple(extents), tuple(w.index for w in workers)
         return None
 

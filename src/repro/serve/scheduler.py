@@ -31,12 +31,40 @@ the same trace always produces the same dispatch sequence.
 from __future__ import annotations
 
 from collections import OrderedDict, deque
+from dataclasses import dataclass
 
 from repro.errors import ShapeError
 from repro.serve.batching import Batch
 
 #: DRR credit (in requests) granted per ring visit, before weighting.
 DEFAULT_QUANTUM = 4.0
+
+
+@dataclass(frozen=True)
+class QueuePressure:
+    """Queued-work pressure of one priority class — the autoscaling signal.
+
+    ``service_s`` is the sum of placer-predicted service times of the
+    class's queued batches: what a policy compares against its latency
+    budget to decide whether the fleet is falling behind.
+    """
+
+    n_batches: int = 0
+    n_requests: int = 0
+    service_s: float = 0.0
+
+    def plus(self, batch: Batch) -> "QueuePressure":
+        """This pressure with one more queued batch folded in.
+
+        The one shared accumulation both the scheduler-side and the
+        dispatcher-side (held batches) pressure views use — one place to
+        extend when the pressure definition grows.
+        """
+        return QueuePressure(
+            n_batches=self.n_batches + 1,
+            n_requests=self.n_requests + batch.n_requests,
+            service_s=self.service_s + batch.predicted_service_s,
+        )
 
 
 class _ClassQueue:
@@ -141,9 +169,7 @@ class PriorityScheduler:
         self.tenant_weights = dict(tenant_weights) if tenant_weights else {}
         for tenant, weight in self.tenant_weights.items():
             if weight <= 0:
-                raise ShapeError(
-                    f"tenant weight must be positive, got {weight} for {tenant!r}"
-                )
+                raise ShapeError(f"tenant weight must be positive, got {weight} for {tenant!r}")
         self.quantum = quantum
         self.preemptive = preemptive
         self._classes: dict[int, _ClassQueue] = {}
@@ -202,9 +228,22 @@ class PriorityScheduler:
         """
         if not self.preemptive:
             return sum(b.predicted_service_s for b in self._fifo)
-        return sum(
-            c.service_s for p, c in self._classes.items() if p <= priority
-        )
+        return sum(c.service_s for p, c in self._classes.items() if p <= priority)
+
+    def pressure_by_class(self) -> dict[int, QueuePressure]:
+        """Per-priority-class queue pressure (most urgent first).
+
+        The scheduler-side half of the autoscaling policies' input: batch
+        and request counts plus the predicted drain seconds queued in each
+        class. Held batches live dispatcher-side — see
+        :meth:`FleetDispatcher.queued_pressure_by_class
+        <repro.serve.dispatch.FleetDispatcher.queued_pressure_by_class>`
+        for the merged view policies should consume.
+        """
+        pressure: dict[int, QueuePressure] = {}
+        for batch in self.queued_batches():
+            pressure[batch.priority] = pressure.get(batch.priority, QueuePressure()).plus(batch)
+        return dict(sorted(pressure.items()))
 
     def queued_batches(self):
         """Iterate every queued batch (class order, then tenant rings)."""
@@ -247,7 +286,5 @@ class PriorityScheduler:
             if len(class_queue) == 0:
                 del self._classes[priority]
         key = (batch.priority, batch.tenant)
-        self.served_requests[key] = (
-            self.served_requests.get(key, 0) + batch.n_requests
-        )
+        self.served_requests[key] = self.served_requests.get(key, 0) + batch.n_requests
         return batch

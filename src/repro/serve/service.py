@@ -7,9 +7,11 @@
                     |                                         plan cache
                     +-- route / merge / split / shed     (per-device segments)
 
-and replays a request trace as a discrete-event simulation over three
-event sources: request arrivals, batcher latency-trigger deadlines, and
-worker-availability instants. Every arrival first receives an explicit
+and replays a request trace as a discrete-event simulation over four
+event sources: request arrivals, batcher latency-trigger deadlines,
+worker-availability instants, and — on elastic fleets — autoscaler
+evaluation ticks (plus the retirement instants of draining workers).
+Every arrival first receives an explicit
 :class:`~repro.serve.placement.PlacementDecision`: requests no capable
 device can run are shed at the door; oversized requests become in-service
 splits across several workers; nearby shapes merge into shape buckets;
@@ -36,12 +38,20 @@ import numpy as np
 
 from repro.errors import ShapeError
 from repro.gpusim.device import Device
+from repro.serve.autoscale import Autoscaler, FleetSignals, ScaleEvent
 from repro.serve.batching import BatchingPolicy, MicroBatcher
 from repro.serve.cache import PlanCache
 from repro.serve.dispatch import BatchExecution, FleetDispatcher
 from repro.serve.placement import PlacementDecision, PlacementKind, Placer
 from repro.serve.scheduler import PriorityScheduler
-from repro.serve.slo import SLO, AdmissionController, ClassStats, SLOTracker, percentile
+from repro.serve.slo import (
+    SLO,
+    AdmissionController,
+    ClassStats,
+    FleetTimeline,
+    SLOTracker,
+    percentile,
+)
 from repro.serve.workload import Request
 
 
@@ -79,6 +89,10 @@ class ServiceReport:
     device_names: list[str] = field(default_factory=list)
     #: ingress placement decision counts by kind ("route"/"merge"/...).
     placements: dict[str, int] = field(default_factory=dict)
+    #: applied fleet changes, in time order (empty for fixed fleets).
+    scale_events: list[ScaleEvent] = field(default_factory=list)
+    #: step function of the fleet's size over the run.
+    fleet_timeline: FleetTimeline | None = None
 
     # -- request-level metrics ----------------------------------------------
 
@@ -214,6 +228,58 @@ class ServiceReport:
             stats[owner]["requests"] += e.batch.n_requests
         return stats
 
+    # -- elastic fleets -------------------------------------------------------
+
+    @property
+    def makespan_s(self) -> float:
+        """Completion of the last launch — the device-seconds horizon."""
+        return max((e.completion_s for e in self.executions), default=0.0)
+
+    @property
+    def n_scale_ups(self) -> int:
+        return sum(1 for e in self.scale_events if e.kind == "up")
+
+    @property
+    def n_scale_downs(self) -> int:
+        return sum(1 for e in self.scale_events if e.kind == "down")
+
+    @property
+    def peak_fleet_size(self) -> int:
+        """Peak *provisioned* size — same cost basis as
+        :attr:`device_seconds` and :attr:`mean_fleet_size`, so the three
+        compose (a draining worker still bills until retirement)."""
+        if self.fleet_timeline is None:
+            return self.n_devices
+        return self.fleet_timeline.peak_provisioned
+
+    @property
+    def device_seconds(self) -> float:
+        """Provisioned device-time the run consumed (the cost axis).
+
+        Elastic and fixed fleets are only comparable at equal
+        device-seconds — more capacity always buys a better tail.
+        """
+        if self.fleet_timeline is None:
+            return self.n_devices * self.makespan_s
+        return self.fleet_timeline.device_seconds(self.makespan_s)
+
+    @property
+    def mean_fleet_size(self) -> float:
+        if self.fleet_timeline is None:
+            return float(self.n_devices)
+        return self.fleet_timeline.mean_size(self.makespan_s)
+
+    @property
+    def cold_start_requests(self) -> int:
+        """Requests served in launches that paid a one-time plan build.
+
+        The honest cold-start bill of an elastic fleet: every scaled-up
+        worker's first batches fault their plans in, and those requests
+        carry the build on their critical path. (Fixed fleets pay this
+        once per workload at trace start.)
+        """
+        return sum(e.batch.n_requests for e in self.executions if e.build_s > 0)
+
     # -- per-class / per-tenant breakdowns ------------------------------------
 
     def slo_tracker(self) -> SLOTracker:
@@ -267,6 +333,14 @@ class ServiceReport:
             f"[{', '.join(self.device_names)}], utilization "
             + ", ".join(f"{u:.1%}" for u in self.utilizations),
         ]
+        if self.scale_events:
+            lines.append(
+                f"scaling:  {self.n_scale_ups} up / {self.n_scale_downs} down "
+                f"(peak {self.peak_fleet_size} workers, mean "
+                f"{self.mean_fleet_size:.2f}, "
+                f"{self.device_seconds * 1e3:.2f} device-ms, "
+                f"{self.cold_start_requests} cold-start requests)"
+            )
         if self.placements:
             parts = [f"{kind} {n}" for kind, n in sorted(self.placements.items())]
             extras = []
@@ -324,6 +398,12 @@ class BeamformingService:
         Optional pre-configured :class:`~repro.serve.placement.Placer`
         (e.g. a custom memory fraction); by default one is built with
         defaults and bound to the fleet.
+    autoscaler:
+        Optional :class:`~repro.serve.autoscale.Autoscaler`: the fleet
+        becomes elastic, with the autoscaler's ticks merged into the event
+        loop as a fourth event source. ``devices`` is then the seed fleet
+        and the scale-down floor. ``None`` (default) keeps the fleet
+        fixed.
     """
 
     def __init__(
@@ -337,12 +417,11 @@ class BeamformingService:
         tenant_weights: dict[str, float] | None = None,
         preemptive: bool = True,
         placer: Placer | None = None,
+        autoscaler: Autoscaler | None = None,
     ):
         self.policy = policy if policy is not None else BatchingPolicy()
         self.slo = slo if slo is not None else SLO(p99_latency_s=10e-3)
-        self.admission = (
-            admission if admission is not None else AdmissionController(self.slo)
-        )
+        self.admission = admission if admission is not None else AdmissionController(self.slo)
         self.fleet = FleetDispatcher(
             devices,
             cache=cache,
@@ -352,6 +431,12 @@ class BeamformingService:
             placer=placer,
         )
         self._batcher = MicroBatcher(self.policy, class_policies=class_policies)
+        # Retirement guard: a draining worker that is the last one capable
+        # of a workload still forming in the batcher must outlive the flush.
+        self.fleet.forming_workloads = self._batcher.forming_workloads
+        self._autoscaler = autoscaler
+        self._scale_events: list[ScaleEvent] = []
+        self._timeline = FleetTimeline()
         self._ran = False
         #: min-heap of (completion_s, n_requests) for in-flight depth.
         self._in_flight: list[tuple[float, int]] = []
@@ -392,19 +477,35 @@ class BeamformingService:
         outcomes: list[RequestOutcome | None] = [None] * len(requests)
         trace = sorted(requests, key=lambda r: r.arrival_s)
         idx = 0
+        self._record_fleet(0.0)
         while True:
             t_arrival = trace[idx].arrival_s if idx < len(trace) else None
             t_deadline = self._batcher.next_deadline()
-            t_worker = (
-                self.fleet.next_accept_s() if self.fleet.has_queued() else None
+            t_worker = self.fleet.next_accept_s() if self.fleet.has_queued() else None
+            t_retire = self.fleet.next_retire_s()
+            t_scale = (
+                self._autoscaler.next_tick_s()
+                if self._autoscaler is not None and self._scaling_live(idx, trace)
+                else None
             )
-            times = [t for t in (t_arrival, t_deadline, t_worker) if t is not None]
+            times = [
+                t
+                for t in (t_arrival, t_deadline, t_worker, t_retire, t_scale)
+                if t is not None
+            ]
             if not times:
                 break
             now = min(times)
             if t_deadline is not None and t_deadline <= now:
                 for batch in self._batcher.due(now):
                     self.fleet.submit(batch)
+            elif t_retire is not None and t_retire <= now:
+                # A drained worker is idle and unreferenced: retire it
+                # before anything else sees this instant, so placement and
+                # reports never observe a zombie.
+                self._reap(now)
+            elif t_scale is not None and t_scale <= now:
+                self._scale_tick(now)
             elif t_arrival is not None and t_arrival <= now:
                 req = trace[idx]
                 idx += 1
@@ -412,9 +513,7 @@ class BeamformingService:
                 outcome = RequestOutcome(request=req, admitted=False)
                 outcomes[slots[id(req)]] = outcome
                 priority = req.workload.priority
-                decision = self.fleet.placer.place(
-                    req.workload, self._batcher.policy_for(priority)
-                )
+                decision = self.fleet.placer.place(req.workload, self._batcher.policy_for(priority))
                 if self.admission.admit(
                     self._estimate_latency(now, decision),
                     self._depth(),
@@ -441,13 +540,68 @@ class BeamformingService:
             executions=list(self.fleet.executions),
             slo=self.slo,
             policy=self.policy,
-            n_devices=len(self.fleet.workers),
+            n_devices=len(self.fleet.all_workers),
             shed_rate=self.admission.shed_rate,
             cache_hit_rate=self.fleet.cache.hit_rate,
             cache_misses=self.fleet.cache.misses,
             utilizations=self.fleet.utilizations(),
-            device_names=[w.device.name for w in self.fleet.workers],
+            device_names=[w.device.name for w in self.fleet.all_workers],
             placements=dict(self.fleet.placer.decisions),
+            scale_events=list(self._scale_events),
+            fleet_timeline=self._timeline,
+        )
+
+    # -- the fourth event source: autoscaling --------------------------------
+
+    def _scaling_live(self, idx: int, trace: list[Request]) -> bool:
+        """Whether autoscale ticks should keep firing.
+
+        Ticks run only while arrivals remain: scale decisions exist for
+        traffic, and ticking through the end-of-trace drain would both
+        produce artificial tail actions (a cold worker for the last
+        half-formed batch) and keep the event loop from terminating.
+        Retirement of already-draining workers has its own event source.
+        """
+        return idx < len(trace)
+
+    def _scale_tick(self, now: float) -> None:
+        signals = self._signals(now)
+        events = self._autoscaler.tick(now, self.fleet, signals)
+        if events:
+            self._scale_events.extend(events)
+            self._record_fleet(now)
+
+    def _reap(self, now: float) -> None:
+        for worker in self.fleet.reap(now):
+            self._scale_events.append(
+                ScaleEvent(
+                    t_s=now,
+                    kind="retire",
+                    worker_index=worker.index,
+                    device_name=worker.device.name,
+                    accepting=len(self.fleet.accepting_workers),
+                    provisioned=len(self.fleet.workers),
+                    reason="drain complete",
+                )
+            )
+        self._record_fleet(now)
+
+    def _record_fleet(self, now: float) -> None:
+        self._timeline.record(now, len(self.fleet.accepting_workers), len(self.fleet.workers))
+
+    def _signals(self, now: float) -> FleetSignals:
+        """Snapshot the pressure signals one autoscale tick consumes."""
+        pressure = self.fleet.queued_pressure_by_class()
+        accepting = self.fleet.accepting_workers
+        return FleetSignals(
+            t_s=now,
+            n_accepting=len(accepting),
+            n_draining=len(self.fleet.workers) - len(accepting),
+            queued_requests=sum(p.n_requests for p in pressure.values()),
+            queued_service_s=sum(p.service_s for p in pressure.values()),
+            pressure_by_priority=pressure,
+            drain_s_by_capability=self.fleet.queued_drain_by_capability(),
+            busy_workers=sum(1 for w in accepting if w.backlog_s(now) > 0),
         )
 
     # -- internals -----------------------------------------------------------
@@ -455,9 +609,7 @@ class BeamformingService:
     def _settle(self, execution: BatchExecution) -> None:
         """Bookkeeping for one placed batch: outcomes and in-flight depth."""
         batch = execution.batch
-        heapq.heappush(
-            self._in_flight, (execution.completion_s, batch.n_requests)
-        )
+        heapq.heappush(self._in_flight, (execution.completion_s, batch.n_requests))
         self._in_flight_requests += batch.n_requests
         for i, req in enumerate(batch.requests):
             outcome = self._pending_outcomes.pop(id(req))

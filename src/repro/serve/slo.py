@@ -95,6 +95,74 @@ class ClassStats:
 
 
 @dataclass
+class FleetTimeline:
+    """Step function of the fleet's size over one service run.
+
+    Elastic fleets change size mid-trace; reports need both views of that:
+    ``accepting`` (workers placement may target — what the latency story is
+    about) and ``provisioned`` (workers that exist at all, draining ones
+    included — what the bill is about). Each point is ``(t_s, accepting,
+    provisioned)`` effective from ``t_s`` until the next point; a fixed
+    fleet is a single point at ``t=0``.
+    """
+
+    points: list[tuple[float, int, int]] = field(default_factory=list)
+
+    def record(self, t_s: float, accepting: int, provisioned: int) -> None:
+        """Append one step (collapses consecutive identical sizes)."""
+        if self.points and self.points[-1][0] > t_s:
+            raise ShapeError(
+                f"fleet timeline must advance in time: got {t_s} after "
+                f"{self.points[-1][0]}"
+            )
+        if self.points and self.points[-1][1:] == (accepting, provisioned):
+            return
+        self.points.append((t_s, accepting, provisioned))
+
+    def size_at(self, t_s: float) -> int:
+        """Accepting fleet size in effect at ``t_s`` (0 before any point)."""
+        size = 0
+        for t, accepting, _ in self.points:
+            if t > t_s:
+                break
+            size = accepting
+        return size
+
+    @property
+    def peak_size(self) -> int:
+        """Largest *accepting* size reached (the serving-capacity peak)."""
+        return max((accepting for _, accepting, _ in self.points), default=0)
+
+    @property
+    def peak_provisioned(self) -> int:
+        """Largest *provisioned* size reached (the cost peak — draining
+        workers still bill; pairs with :meth:`device_seconds`)."""
+        return max((provisioned for _, _, provisioned in self.points), default=0)
+
+    def device_seconds(self, end_s: float) -> float:
+        """Integral of the *provisioned* size over ``[first point, end_s]``.
+
+        The cost of the run in device-time: a draining worker is still
+        provisioned (it bills) even though placement no longer targets it.
+        This is the equal-resources axis on which elastic and fixed fleets
+        are compared — an autoscaler is only interesting if it beats a
+        fixed fleet of the same device-seconds.
+        """
+        total = 0.0
+        for i, (t, _, provisioned) in enumerate(self.points):
+            t_next = self.points[i + 1][0] if i + 1 < len(self.points) else end_s
+            total += provisioned * max(min(t_next, end_s) - t, 0.0)
+        return total
+
+    def mean_size(self, end_s: float) -> float:
+        """Time-averaged provisioned size over the run."""
+        if not self.points:
+            return 0.0
+        span = end_s - self.points[0][0]
+        return self.device_seconds(end_s) / span if span > 0 else 0.0
+
+
+@dataclass
 class _Slice:
     n_offered: int = 0
     n_admitted: int = 0
@@ -155,10 +223,7 @@ class SLOTracker:
 
     def by_tenant(self, span_s: float = 0.0) -> list[ClassStats]:
         """One :class:`ClassStats` per tenant, in first-seen order."""
-        return [
-            self._stats(tenant, slice_, span_s)
-            for tenant, slice_ in self._by_tenant.items()
-        ]
+        return [self._stats(tenant, slice_, span_s) for tenant, slice_ in self._by_tenant.items()]
 
     def _stats(self, label: str, slice_: _Slice, span_s: float) -> ClassStats:
         lat = slice_.latencies_s
@@ -215,9 +280,7 @@ class AdmissionController:
         #: per-priority-class shed counts ("who absorbed the overload").
         self.shed_by_class: dict[int, int] = {}
 
-    def admit(
-        self, estimated_latency_s: float, queue_depth: int, priority: int = 0
-    ) -> bool:
+    def admit(self, estimated_latency_s: float, queue_depth: int, priority: int = 0) -> bool:
         """Decide one arrival; updates the shed/admit counters.
 
         ``priority`` only labels the decision for the per-class counters.
@@ -227,12 +290,8 @@ class AdmissionController:
         sees the longest projected queue and sheds first — strictly, once
         its backlog alone busts the deadline.
         """
-        over_deadline = (
-            estimated_latency_s * self.headroom > self.slo.admission_deadline_s
-        )
-        over_depth = (
-            self.max_queue_depth is not None and queue_depth >= self.max_queue_depth
-        )
+        over_deadline = estimated_latency_s * self.headroom > self.slo.admission_deadline_s
+        over_depth = self.max_queue_depth is not None and queue_depth >= self.max_queue_depth
         if over_deadline or over_depth:
             self.n_shed += 1
             self.shed_by_class[priority] = self.shed_by_class.get(priority, 0) + 1

@@ -144,11 +144,21 @@ class Workload:
 
     def request_ops(self) -> float:
         """Application-level GEMM operations one request is worth."""
-        return complex_ops(
-            self.batch_per_request, self.n_beams, self.n_samples, self.n_receivers
-        )
+        return complex_ops(self.batch_per_request, self.n_beams, self.n_samples, self.n_receivers)
 
     # -- placement-facing views ----------------------------------------------
+
+    @property
+    def capability(self) -> str:
+        """The capability class this workload needs from a device.
+
+        Today capability is precision support (1-bit MMA is NVIDIA-only,
+        paper §II), so the class is the precision's name. Autoscaling
+        signals group queued pressure by this key: a queue of ``"int1"``
+        work is only relieved by growing the pool that supports int1, no
+        matter how many other devices join.
+        """
+        return self.precision.value
 
     def supported_by(self, spec: GPUSpec) -> bool:
         """Whether a device model can run this workload at all.
@@ -191,9 +201,7 @@ class Workload:
         the plan built at the padded shape, never hidden.
         """
         if n_samples < self.n_samples:
-            raise ShapeError(
-                f"cannot pad {self.n_samples} samples down to {n_samples}"
-            )
+            raise ShapeError(f"cannot pad {self.n_samples} samples down to {n_samples}")
         if n_samples == self.n_samples:
             return self
         return replace(self, n_samples=n_samples)

@@ -189,9 +189,7 @@ class BeamformerPlan:
         if self.include_transpose:
             costs.append(transpose_cost(self.device, self._stream_values, tr.input_bytes))
         if self.include_packing:
-            costs.append(
-                packing_cost(self.device, self._stream_values, _HOST_BYTES_PER_VALUE)
-            )
+            costs.append(packing_cost(self.device, self._stream_values, _HOST_BYTES_PER_VALUE))
         return costs
 
     def stage_in_cost(self) -> KernelCost | None:
@@ -238,9 +236,7 @@ class BeamformerPlan:
         tr = traits(self.precision)
         costs = [transpose_cost(self.device, self._weight_values, tr.input_bytes)]
         if self.precision is Precision.INT1:
-            costs.append(
-                packing_cost(self.device, self._weight_values, _HOST_BYTES_PER_VALUE)
-            )
+            costs.append(packing_cost(self.device, self._weight_values, _HOST_BYTES_PER_VALUE))
         return combine_costs(name, costs)
 
     def prepare_weights(
@@ -309,9 +305,7 @@ class BeamformerPlan:
             normalized = (
                 data if not self.needs_scale or scale == 1.0 else data / scale
             )
-            gemm_result = self._gemm.run(
-                weights, normalized.astype(np.complex64, copy=False)
-            )
+            gemm_result = self._gemm.run(weights, normalized.astype(np.complex64, copy=False))
             output = gemm_result.output
             if self.restore_output_scale and scale != 1.0:
                 output = output * scale
@@ -319,9 +313,7 @@ class BeamformerPlan:
             gemm_result = self._gemm.run()
         costs.append(gemm_result.cost)
         total = costs[0] if len(costs) == 1 else combine_costs(self.name, costs)
-        return BeamformResult(
-            output=output, costs=costs, total=total, n_frames=self.n_samples
-        )
+        return BeamformResult(output=output, costs=costs, total=total, n_frames=self.n_samples)
 
     # -- internals -----------------------------------------------------------
 

@@ -118,9 +118,7 @@ def build_shard_plans(
     if shard_dim not in SHARD_DIMS:
         raise ShapeError(f"shard_dim must be one of {SHARD_DIMS}, got {shard_dim!r}")
     if len(devices) != len(shard_sizes):
-        raise ShapeError(
-            f"{len(shard_sizes)} shard sizes for {len(devices)} devices"
-        )
+        raise ShapeError(f"{len(shard_sizes)} shard sizes for {len(devices)} devices")
     plans = []
     for device, size in zip(devices, shard_sizes):
         plans.append(
@@ -171,9 +169,7 @@ def merge_batch_operands(
             )
         blocks.append(block)
     if len({b.shape for b in blocks}) > 1:
-        raise ShapeError(
-            f"cannot merge blocks of differing shapes: {[b.shape for b in blocks]}"
-        )
+        raise ShapeError(f"cannot merge blocks of differing shapes: {[b.shape for b in blocks]}")
     merged_weights = np.concatenate([weights] * len(blocks), axis=0)
     merged_data = np.concatenate(blocks, axis=0)
     return merged_weights, merged_data

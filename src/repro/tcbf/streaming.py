@@ -103,9 +103,7 @@ class BlockExecutor:
     def blocks_in_flight(self) -> int:
         return self._pipe.stages_in_flight
 
-    def submit(
-        self, weights: np.ndarray | None = None, data: np.ndarray | None = None
-    ) -> int:
+    def submit(self, weights: np.ndarray | None = None, data: np.ndarray | None = None) -> int:
         """Stage one block for execution; returns its sequence id."""
         idx = self._pipe.producer_acquire(self._next_id)
         self._pipe.producer_commit(idx)

@@ -73,9 +73,7 @@ def pack_bits(bits: np.ndarray, axis: int = -1) -> np.ndarray:
     axis = axis % bits.ndim
     n = bits.shape[axis]
     if n % PACK_WORD_BITS != 0:
-        raise ShapeError(
-            f"packed axis length {n} is not a multiple of {PACK_WORD_BITS}; pad first"
-        )
+        raise ShapeError(f"packed axis length {n} is not a multiple of {PACK_WORD_BITS}; pad first")
     moved = np.moveaxis(bits, axis, -1)
     grouped = moved.reshape(moved.shape[:-1] + (n // PACK_WORD_BITS, PACK_WORD_BITS))
     # np.packbits packs 8 bits per byte MSB-first; view 4 consecutive bytes as

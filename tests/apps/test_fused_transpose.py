@@ -25,9 +25,7 @@ from repro.gpusim.device import Device, ExecutionMode
 class TestFusedTranspose:
     def test_skips_transpose_kernel(self):
         dev = Device("A100", ExecutionMode.DRY_RUN)
-        bf = UltrasoundBeamformer(
-            dev, n_voxels=4096, k=8192, n_frames=256, fused_transpose=True
-        )
+        bf = UltrasoundBeamformer(dev, n_voxels=4096, k=8192, n_frames=256, fused_transpose=True)
         result = bf.reconstruct()
         assert all(c.name != "transpose" for c in result.costs)
 
@@ -64,6 +62,4 @@ class TestFusedTranspose:
         fused = UltrasoundBeamformer(
             dev, model, n_frames=16, fused_transpose=True
         ).reconstruct(filtered)
-        assert np.array_equal(
-            power_doppler(base.frames), power_doppler(fused.frames)
-        )
+        assert np.array_equal(power_doppler(base.frames), power_doppler(fused.frames))

@@ -107,8 +107,7 @@ class TestSky:
         assert data.dtype == np.complex64
 
     def test_source_raises_power_over_noise(self):
-        obs = Observation(layout=lofar_like_layout(6), n_channels=4, n_samples=256,
-                          noise_level=0.1)
+        obs = Observation(layout=lofar_like_layout(6), n_channels=4, n_samples=256, noise_level=0.1)
         quiet = generate_station_data(obs, [])
         loud = generate_station_data(obs, [PointSource(l=0.0, m=0.0, flux=5.0)])
         assert (np.abs(loud) ** 2).mean() > 5 * (np.abs(quiet) ** 2).mean()

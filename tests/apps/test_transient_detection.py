@@ -45,8 +45,7 @@ class TestIncoherentTransientDetection:
         incoh, _ = incoherent_beam(
             Device("A100"), data, obs.n_channels, layout.n_stations, obs.n_samples
         )
-        fixed = dedisperse(incoh, burst.dm_pc_cm3, obs.channel_frequencies(),
-                           obs.sample_time_s)
+        fixed = dedisperse(incoh, burst.dm_pc_cm3, obs.channel_frequencies(), obs.sample_time_s)
         snr_dedispersed = _peak_snr(fixed.sum(axis=0))
         snr_raw = _peak_snr(incoh.sum(axis=0))
         assert snr_dedispersed > 2 * snr_raw
@@ -56,8 +55,7 @@ class TestIncoherentTransientDetection:
         layout, obs, burst, data = burst_scene
         dirs = beam_grid(16, fov_radius=0.02)  # burst far outside
         weights = steering_weights(layout, obs.channel_frequencies(), dirs)
-        bf = LOFARBeamformer(Device("A100"), 16, layout.n_stations,
-                             obs.n_samples, obs.n_channels)
+        bf = LOFARBeamformer(Device("A100"), 16, layout.n_stations, obs.n_samples, obs.n_channels)
         beams = bf.form_beams(weights, data)
         p = (np.abs(beams.beams) ** 2).mean(axis=(0, 2))
         # sidelobe pickup: no beam dominates the grid.
@@ -69,8 +67,7 @@ class TestIncoherentTransientDetection:
         src = PointSource(l=float(dirs[5][0]), m=float(dirs[5][1]), flux=2.0)
         data = generate_station_data(obs, [src])
         weights = steering_weights(layout, obs.channel_frequencies(), dirs)
-        bf = LOFARBeamformer(Device("A100"), 16, layout.n_stations,
-                             obs.n_samples, obs.n_channels)
+        bf = LOFARBeamformer(Device("A100"), 16, layout.n_stations, obs.n_samples, obs.n_channels)
         beams = bf.form_beams(weights, data)
         p = (np.abs(beams.beams) ** 2).mean(axis=(0, 2))
         assert int(p.argmax()) == 5
@@ -83,6 +80,5 @@ class TestIncoherentTransientDetection:
         dry = Device("A100", ExecutionMode.DRY_RUN)
         coh = LOFARBeamformer(dry, 1024, layout.n_stations, obs.n_samples,
                               obs.n_channels).predict_cost()
-        _, inc = incoherent_beam(dry, None, obs.n_channels, layout.n_stations,
-                                 obs.n_samples)
+        _, inc = incoherent_beam(dry, None, obs.n_channels, layout.n_stations, obs.n_samples)
         assert coh.time_s / inc.time_s > 5

@@ -101,9 +101,7 @@ class TestAcoustics:
         arr = TransducerArray(2, 2)
         grid = VoxelGrid(shape=(2, 2, 2))
         codes = TransmissionScheme(3, 4).codes()
-        h = pulse_echo_response(
-            np.array([4e6, 5e6]), arr.positions(), grid.positions(), codes
-        )
+        h = pulse_echo_response(np.array([4e6, 5e6]), arr.positions(), grid.positions(), codes)
         assert h.shape == (2, 4, 3, 8)
         assert h.dtype == np.complex64
 

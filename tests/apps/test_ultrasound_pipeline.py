@@ -100,12 +100,8 @@ class TestClutterFilters:
 
     def test_dispatch(self, small_setup):
         _, _, _, frames = small_setup
-        assert np.array_equal(
-            apply_clutter_filter(frames, ClutterFilter.NONE), frames
-        )
-        assert not np.array_equal(
-            apply_clutter_filter(frames, ClutterFilter.MEAN), frames
-        )
+        assert np.array_equal(apply_clutter_filter(frames, ClutterFilter.NONE), frames)
+        assert not np.array_equal(apply_clutter_filter(frames, ClutterFilter.MEAN), frames)
 
     def test_power_doppler_shape(self, rng):
         frames = rng.normal(size=(10, 7)).astype(np.complex64)
@@ -116,8 +112,7 @@ class TestImaging:
     def test_vessels_visible_with_filter(self, small_setup):
         cfg, model, phantom, frames = small_setup
         filtered = apply_clutter_filter(frames, ClutterFilter.SVD, 2)
-        bf = UltrasoundBeamformer(Device("A100"), model, n_frames=48,
-                                  precision=Precision.INT1)
+        bf = UltrasoundBeamformer(Device("A100"), model, n_frames=48, precision=Precision.INT1)
         img = power_doppler(bf.reconstruct(filtered).frames)
         mips = max_intensity_projections(cfg.grid.to_volume(img))
         mask = phantom.blood_mask_volume()
@@ -127,8 +122,7 @@ class TestImaging:
     def test_paper_ordering_claim(self, small_setup):
         # Sign extraction before Doppler processing loses the signal.
         cfg, model, phantom, frames = small_setup
-        bf = UltrasoundBeamformer(Device("A100"), model, n_frames=48,
-                                  precision=Precision.INT1)
+        bf = UltrasoundBeamformer(Device("A100"), model, n_frames=48, precision=Precision.INT1)
         img_raw = power_doppler(bf.reconstruct(frames).frames)
         mips = max_intensity_projections(cfg.grid.to_volume(img_raw))
         mask = phantom.blood_mask_volume()
@@ -150,8 +144,7 @@ class TestImaging:
 
     def test_cost_accounting_includes_pack_and_transpose(self, small_setup):
         cfg, model, _, frames = small_setup
-        bf = UltrasoundBeamformer(Device("A100"), model, n_frames=48,
-                                  precision=Precision.INT1)
+        bf = UltrasoundBeamformer(Device("A100"), model, n_frames=48, precision=Precision.INT1)
         result = bf.reconstruct(apply_clutter_filter(frames, ClutterFilter.MEAN))
         names = [c.name for c in result.costs]
         assert names[0] == "transpose"
@@ -160,8 +153,7 @@ class TestImaging:
 
     def test_float16_skips_packing(self, small_setup):
         cfg, model, _, frames = small_setup
-        bf = UltrasoundBeamformer(Device("A100"), model, n_frames=48,
-                                  precision=Precision.FLOAT16)
+        bf = UltrasoundBeamformer(Device("A100"), model, n_frames=48, precision=Precision.FLOAT16)
         result = bf.reconstruct(frames)
         assert [c.name for c in result.costs] == ["transpose", "gemm_float16"]
 
@@ -177,8 +169,7 @@ class TestImaging:
 
     def test_prepare_model_records_offline_cost(self, small_setup):
         _, model, _, _ = small_setup
-        bf = UltrasoundBeamformer(Device("A100"), model, n_frames=48,
-                                  precision=Precision.INT1)
+        bf = UltrasoundBeamformer(Device("A100"), model, n_frames=48, precision=Precision.INT1)
         bf.prepare_model()
         assert bf.model_prep_cost is not None
         assert bf.model_prep_cost.time_s > 0
@@ -243,7 +234,5 @@ class TestRealTime:
         from repro.apps.ultrasound.realtime import PAPER_REALTIME_K
 
         for gpu, expected in [("GH200", True), ("A100", True), ("AD4000", False)]:
-            point = frames_per_second(
-                get_spec(gpu), FULL_VOLUME_VOXELS, k=PAPER_REALTIME_K // 2
-            )
+            point = frames_per_second(get_spec(gpu), FULL_VOLUME_VOXELS, k=PAPER_REALTIME_K // 2)
             assert point.real_time is expected

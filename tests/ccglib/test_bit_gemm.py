@@ -64,9 +64,7 @@ class TestComplexBitGemm:
     def test_xor_matches_reference_with_padding(self, problem):
         a_bits, b_bits, k = problem
         expected = bit_gemm_reference(a_bits, b_bits)
-        got = complex_bit_gemm(
-            _pack_planar_bits(a_bits), _pack_planar_bits(b_bits), k, BitOp.XOR
-        )
+        got = complex_bit_gemm(_pack_planar_bits(a_bits), _pack_planar_bits(b_bits), k, BitOp.XOR)
         assert np.array_equal(got, expected)
 
     @given(packed_problem())

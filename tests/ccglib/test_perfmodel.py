@@ -53,21 +53,15 @@ class TestRestrictions:
 
     def test_block_warp_divisibility(self):
         with pytest.raises(KernelConfigError, match="divisible"):
-            validate_config(
-                get_spec("A100"), Precision.FLOAT16, TuneParams(96, 32, 64, 32, 2)
-            )
+            validate_config(get_spec("A100"), Precision.FLOAT16, TuneParams(96, 32, 64, 32, 2))
 
     def test_warp_fragment_multiple(self):
         with pytest.raises(KernelConfigError, match="fragment"):
-            validate_config(
-                get_spec("A100"), Precision.FLOAT16, TuneParams(64, 32, 8, 32, 2)
-            )
+            validate_config(get_spec("A100"), Precision.FLOAT16, TuneParams(64, 32, 8, 32, 2))
 
     def test_amd_rejects_multibuffer(self):
         with pytest.raises(KernelConfigError, match="asynchronous"):
-            validate_config(
-                get_spec("MI300X"), Precision.FLOAT16, TuneParams(128, 64, 64, 32, 2)
-            )
+            validate_config(get_spec("MI300X"), Precision.FLOAT16, TuneParams(128, 64, 64, 32, 2))
 
     def test_register_budget(self):
         # Huge warp tile -> accumulators alone exceed 255 regs on NVIDIA.
@@ -87,9 +81,7 @@ class TestRestrictions:
 
     def test_too_many_warps(self):
         with pytest.raises(KernelConfigError, match="warps"):
-            validate_config(
-                get_spec("A100"), Precision.FLOAT16, TuneParams(256, 256, 16, 16, 1)
-            )
+            validate_config(get_spec("A100"), Precision.FLOAT16, TuneParams(256, 256, 16, 16, 1))
 
     def test_int1_on_amd_rejected(self):
         with pytest.raises(Exception):

@@ -32,9 +32,7 @@ class TestOverlapFactor:
 
     def test_int1_keeps_gaining(self):
         caps = capabilities(Architecture.AMPERE)
-        assert overlap_factor(caps, Precision.INT1, 4) > overlap_factor(
-            caps, Precision.INT1, 2
-        )
+        assert overlap_factor(caps, Precision.INT1, 4) > overlap_factor(caps, Precision.INT1, 2)
 
     def test_amd_requires_single_buffer(self):
         caps = capabilities(Architecture.CDNA3)
@@ -44,9 +42,7 @@ class TestOverlapFactor:
 
     def test_depth_clamped_beyond_table(self):
         caps = capabilities(Architecture.AMPERE)
-        assert overlap_factor(caps, Precision.INT1, 9) == overlap_factor(
-            caps, Precision.INT1, 4
-        )
+        assert overlap_factor(caps, Precision.INT1, 9) == overlap_factor(caps, Precision.INT1, 4)
 
     def test_zero_buffers_invalid(self):
         caps = capabilities(Architecture.AMPERE)

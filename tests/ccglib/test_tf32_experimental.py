@@ -72,8 +72,7 @@ class TestTf32Functional:
         b = random_complex(rng, (1, 64, 16))
         ref = a.astype(np.complex128) @ b.astype(np.complex128)
         out16 = Gemm(dev, Precision.FLOAT16, 1, 16, 16, 64).run(a, b).output
-        out32 = Gemm(dev, Precision.TF32, 1, 16, 16, 64,
-                     experimental_ok=True).run(a, b).output
+        out32 = Gemm(dev, Precision.TF32, 1, 16, 16, 64, experimental_ok=True).run(a, b).output
         err16 = np.abs(out16 - ref).max()
         err32 = np.abs(out32 - ref).max()
         assert err32 < 1.5 * err16

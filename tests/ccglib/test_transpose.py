@@ -71,9 +71,7 @@ class TestCostModel:
         assert cost.dram_bytes == pytest.approx(2 * 10**8 * 2.0)
 
     def test_run_records_on_timeline(self, a100_device):
-        out, cost = run_transpose_kernel(
-            a100_device, np.ones((2, 4, 3), dtype=np.float32), 24, 4.0
-        )
+        out, cost = run_transpose_kernel(a100_device, np.ones((2, 4, 3), dtype=np.float32), 24, 4.0)
         assert out.shape == (2, 3, 4)
         assert a100_device.timeline[-1].cost is cost
 

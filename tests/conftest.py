@@ -44,9 +44,7 @@ def mi300x_device():
 
 def random_complex(rng: np.random.Generator, shape: tuple[int, ...], scale: float = 1.0):
     """Unit-scale complex64 test data."""
-    return (
-        (rng.normal(size=shape) + 1j * rng.normal(size=shape)) * scale
-    ).astype(np.complex64)
+    return ((rng.normal(size=shape) + 1j * rng.normal(size=shape)) * scale).astype(np.complex64)
 
 
 def random_pm1_complex(rng: np.random.Generator, shape: tuple[int, ...]):

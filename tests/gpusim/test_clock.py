@@ -18,9 +18,7 @@ class TestClockModel:
     def test_full_load_hits_sustained(self):
         spec = get_spec("MI300X")
         model = ClockModel(spec)
-        assert model.resolve(1.0).fraction_of_spec == pytest.approx(
-            spec.sustained_clock_fraction
-        )
+        assert model.resolve(1.0).fraction_of_spec == pytest.approx(spec.sustained_clock_fraction)
 
     def test_monotone_droop(self):
         model = ClockModel(get_spec("GH200"))

@@ -63,9 +63,7 @@ class TestPeaks:
 
     def test_wmma_peak_hopper_penalty(self):
         gh = get_spec("GH200")
-        assert gh.wmma_peak_ops("float16") == pytest.approx(
-            gh.sustained_peak_ops("float16") * 0.65
-        )
+        assert gh.wmma_peak_ops("float16") == pytest.approx(gh.sustained_peak_ops("float16") * 0.65)
 
     def test_int1_peak_missing_on_amd(self):
         with pytest.raises(Exception):

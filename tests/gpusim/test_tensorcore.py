@@ -93,9 +93,7 @@ class TestBinaryMma:
 
     def test_word_count_mismatch(self):
         with pytest.raises(ShapeError):
-            bmma_xor(
-                np.zeros((1, 2), dtype=np.uint32), np.zeros((1, 3), dtype=np.uint32)
-            )
+            bmma_xor(np.zeros((1, 2), dtype=np.uint32), np.zeros((1, 3), dtype=np.uint32))
 
 
 class TestFragmentTileValidation:

@@ -53,7 +53,7 @@ def two_stage_setup():
         signal_st = base_signal * station_phase
         phases = antennas[:, 0] / antennas[0, 0]  # relative antenna phases
         antennas = np.outer(phases * antennas[0, 0] / np.abs(antennas[0, 0]), signal_st)
-        noise = (rng.normal(size=antennas.shape) + 1j * rng.normal(size=antennas.shape))
+        noise = rng.normal(size=antennas.shape) + 1j * rng.normal(size=antennas.shape)
         antennas = antennas + 0.5 * noise.astype(np.complex64)
         beam = station.form_station_beam(antennas.astype(np.complex64), *source_lm)
         beamlets.append(beam)
@@ -72,8 +72,7 @@ class TestTwoStagePipeline:
             geometric_delay(layout.positions, 0.2, 0.15),
         ])  # (2 beams, S)
         weights = np.exp(2j * np.pi * freqs[:, None, None] * tau[None]) / n_st
-        bf = LOFARBeamformer(Device("A100"), 2, n_st, n_t, len(freqs),
-                             precision=Precision.FLOAT16)
+        bf = LOFARBeamformer(Device("A100"), 2, n_st, n_t, len(freqs), precision=Precision.FLOAT16)
         out = bf.form_beams(weights.astype(np.complex64), data)
         on_power = (np.abs(out.beams[:, 0]) ** 2).mean()
         off_power = (np.abs(out.beams[:, 1]) ** 2).mean()

@@ -28,8 +28,8 @@ def pm1_gemm(draw):
     k = draw(st.integers(1, 300))
     seed = draw(st.integers(0, 2**31))
     rng = np.random.default_rng(seed)
-    a = (rng.choice([-1.0, 1.0], (m, k)) + 1j * rng.choice([-1.0, 1.0], (m, k)))
-    b = (rng.choice([-1.0, 1.0], (k, n)) + 1j * rng.choice([-1.0, 1.0], (k, n)))
+    a = rng.choice([-1.0, 1.0], (m, k)) + 1j * rng.choice([-1.0, 1.0], (m, k))
+    b = rng.choice([-1.0, 1.0], (k, n)) + 1j * rng.choice([-1.0, 1.0], (k, n))
     return a.astype(np.complex64), b.astype(np.complex64)
 
 

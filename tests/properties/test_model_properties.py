@@ -32,8 +32,7 @@ class TestUniversalInvariants:
     def test_time_positive_and_energy_above_idle(self, case):
         gpu, problem = case
         spec = get_spec(gpu)
-        cost = model_gemm(spec, Precision.FLOAT16, problem,
-                          default_params(spec, Precision.FLOAT16))
+        cost = model_gemm(spec, Precision.FLOAT16, problem, default_params(spec, Precision.FLOAT16))
         assert cost.time_s > 0
         assert cost.energy_j >= spec.power.idle_w * cost.time_s * 0.999
         assert cost.power_w <= spec.tdp_w + 1e-9
@@ -42,8 +41,7 @@ class TestUniversalInvariants:
     def test_useful_ops_conserved(self, case):
         gpu, problem = case
         spec = get_spec(gpu)
-        cost = model_gemm(spec, Precision.FLOAT16, problem,
-                          default_params(spec, Precision.FLOAT16))
+        cost = model_gemm(spec, Precision.FLOAT16, problem, default_params(spec, Precision.FLOAT16))
         assert cost.useful_ops == pytest.approx(
             complex_ops(problem.batch, problem.m, problem.n, problem.k)
         )
@@ -53,16 +51,14 @@ class TestUniversalInvariants:
     def test_never_beats_sustained_peak(self, case):
         gpu, problem = case
         spec = get_spec(gpu)
-        cost = model_gemm(spec, Precision.FLOAT16, problem,
-                          default_params(spec, Precision.FLOAT16))
+        cost = model_gemm(spec, Precision.FLOAT16, problem, default_params(spec, Precision.FLOAT16))
         assert cost.ops_per_second <= spec.sustained_peak_ops("float16") * 1.001
 
     @given(gemm_case(precision=Precision.INT1))
     def test_int1_invariants(self, case):
         gpu, problem = case
         spec = get_spec(gpu)
-        cost = model_gemm(spec, Precision.INT1, problem,
-                          default_params(spec, Precision.INT1))
+        cost = model_gemm(spec, Precision.INT1, problem, default_params(spec, Precision.INT1))
         assert cost.ops_per_second <= spec.sustained_peak_ops("int1") * 1.001
         assert cost.time_s > 0
 

@@ -75,9 +75,7 @@ class TestBursty:
             workload(), rate_on_hz=2000.0, rate_off_hz=0.0, mean_on_s=0.02,
             mean_off_s=0.08, horizon_s=1.0, seed=5,
         )
-        gaps = [
-            b.arrival_s - a.arrival_s for a, b in zip(on_off, on_off[1:])
-        ]
+        gaps = [b.arrival_s - a.arrival_s for a, b in zip(on_off, on_off[1:])]
         assert max(gaps) > 0.02
 
 

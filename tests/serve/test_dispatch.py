@@ -48,9 +48,7 @@ class TestRouting:
 
     def test_mixed_mode_fleet_rejected(self):
         with pytest.raises(DeviceError):
-            FleetDispatcher(
-                [Device("A100"), Device("A100", ExecutionMode.DRY_RUN)]
-            )
+            FleetDispatcher([Device("A100"), Device("A100", ExecutionMode.DRY_RUN)])
         with pytest.raises(ShapeError):
             FleetDispatcher([])
 
@@ -228,9 +226,7 @@ class TestSharedCache:
         devices = [Device("A100") for _ in range(2)]
         fleet = FleetDispatcher(devices)
         for i in range(4):
-            fleet.dispatch(
-                make_batch(i, wl, 1, 0.0, data=random_complex(rng, (1, 16, 8)))
-            )
+            fleet.dispatch(make_batch(i, wl, 1, 0.0, data=random_complex(rng, (1, 16, 8))))
         assert {e.worker_index for e in fleet.executions} == {0, 1}
         assert len(devices[0].timeline) > 0
         assert len(devices[1].timeline) > 0

@@ -18,6 +18,7 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.bench.registry import run_experiment
+from repro.bench.serve_autoscale import golden_rows as autoscale_golden_rows
 from repro.bench.serve_priority import golden_rows
 from repro.util.formatting import render_csv
 
@@ -26,10 +27,7 @@ GOLDEN_DIR = Path(__file__).parent / "golden"
 
 def _csv_tables(name: str) -> dict[str, str]:
     result = run_experiment(name, quick=True)
-    return {
-        table: render_csv(headers, rows)
-        for table, (headers, rows) in result.tables.items()
-    }
+    return {table: render_csv(headers, rows) for table, (headers, rows) in result.tables.items()}
 
 
 class TestExperimentReplay:
@@ -58,3 +56,20 @@ class TestGoldenFile:
             "clinic",
             "overall",
         ]
+
+
+class TestAutoscaleGoldenFile:
+    def test_small_scenario_matches_checked_in_golden(self):
+        # golden_rows defaults to serve_autoscale.GOLDEN_HORIZON_S — the
+        # same single source scripts/check_golden.py regenerates from.
+        headers, rows = autoscale_golden_rows()
+        rendered = render_csv(headers, rows)
+        golden = (GOLDEN_DIR / "serve_autoscale_small.csv").read_text()
+        assert rendered == golden
+
+    def test_golden_covers_every_provisioning_regime(self):
+        golden = (GOLDEN_DIR / "serve_autoscale_small.csv").read_text()
+        first_column = [line.split(",")[0] for line in golden.splitlines()[1:]]
+        assert first_column[:2] == ["reactive", "predictive"]
+        assert all(label.startswith("fixed-") for label in first_column[2:])
+        assert len(first_column) == 4

@@ -50,13 +50,8 @@ def fleet(*gpus: str) -> FleetDispatcher:
 
 
 def make_batch(bid, wl, n, formed_s=0.0, decision=None) -> Batch:
-    requests = [
-        Request(rid=bid * 1000 + i, workload=wl, arrival_s=formed_s)
-        for i in range(n)
-    ]
-    return Batch(
-        bid=bid, workload=wl, requests=requests, formed_s=formed_s, decision=decision
-    )
+    requests = [Request(rid=bid * 1000 + i, workload=wl, arrival_s=formed_s) for i in range(n)]
+    return Batch(bid=bid, workload=wl, requests=requests, formed_s=formed_s, decision=decision)
 
 
 class TestCapability:
@@ -87,9 +82,7 @@ class TestCapability:
         from repro.ccglib.precision import Precision
 
         amd = fleet("MI300X")
-        decision = amd.placer.place(
-            workload(precision=Precision.INT1), BatchingPolicy()
-        )
+        decision = amd.placer.place(workload(precision=Precision.INT1), BatchingPolicy())
         assert decision.kind is PlacementKind.SHED
         assert decision.reason == "capability"
         assert amd.placer.decisions == {"shed": 1}
@@ -200,9 +193,7 @@ class TestWorkerSelection:
         # stage-in + GEMM wins, whatever its index.
         f = fleet("W7700", "GH200")
         batch = make_batch(0, lofar_workload(n_samples=2048), 8)
-        costs = [
-            f.placer.estimate(w, batch.workload, 8).service_s for w in f.workers
-        ]
+        costs = [f.placer.estimate(w, batch.workload, 8).service_s for w in f.workers]
         assert costs[1] < costs[0]  # the GH200 is far faster here
         assert f.placer.select_worker(batch, f.workers, 0.0).index == 1
 
@@ -225,9 +216,7 @@ class TestSplitDispatch:
         assert execution.is_split
         assert len(execution.shards) == 2
         assert {s.device_name for s in execution.shards} == {"GH200", "MI300X"}
-        assert execution.completion_s == max(
-            s.completion_s for s in execution.shards
-        )
+        assert execution.completion_s == max(s.completion_s for s in execution.shards)
         # Both workers' compute engines were really occupied.
         assert all(w.busy_s > 0 for w in mixed.workers)
 
@@ -298,9 +287,7 @@ class TestBucketedBatching:
         )
         report = service.run(trace)
         assert report.n_completed == len(trace)
-        sample_mixes = [
-            {r.workload.n_samples for e in report.executions for r in e.batch.requests}
-        ]
+        sample_mixes = [{r.workload.n_samples for e in report.executions for r in e.batch.requests}]
         # At least one launch merged more than one exact shape.
         mixed_launches = [
             e
@@ -358,11 +345,7 @@ class TestServiceEndToEnd:
             slo=BIG_SLO,
         )
         report = service.run(trace)
-        int1_launches = [
-            e
-            for e in report.executions
-            if e.batch.workload.precision.value == "int1"
-        ]
+        int1_launches = [e for e in report.executions if e.batch.workload.precision.value == "int1"]
         assert int1_launches
         assert all(e.device_name == "GH200" for e in int1_launches)
         amd_launches = [e for e in report.executions if e.device_name == "MI300X"]

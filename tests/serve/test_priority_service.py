@@ -40,9 +40,7 @@ def batch_workload(tenant: str = "astronomy"):
 
 def batched_capacity_hz(workload) -> float:
     merged = BATCH_POLICY.max_batch
-    return merged / workload.make_plan(
-        dry_fleet()[0], merged
-    ).predict_gemm_cost().time_s
+    return merged / workload.make_plan(dry_fleet()[0], merged).predict_gemm_cost().time_s
 
 
 def priority_service(tenant_weights=None, slo=SLO_5MS, preemptive=True):
@@ -190,12 +188,8 @@ class TestNonPreemptiveFallback:
 
 class TestReplayDeterminism:
     def test_priority_run_is_bit_identical(self):
-        first = priority_service(
-            tenant_weights={"astronomy": 2.0}
-        ).run(overload_trace(seed=5))
-        second = priority_service(
-            tenant_weights={"astronomy": 2.0}
-        ).run(overload_trace(seed=5))
+        first = priority_service(tenant_weights={"astronomy": 2.0}).run(overload_trace(seed=5))
+        second = priority_service(tenant_weights={"astronomy": 2.0}).run(overload_trace(seed=5))
         assert first.latencies_s == second.latencies_s
         assert first.n_batches == second.n_batches
         assert [

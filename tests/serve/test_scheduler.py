@@ -17,10 +17,7 @@ def workload(priority=0, tenant="default", name="wl") -> Workload:
 
 
 def batch(bid: int, wl: Workload, n: int = 1, formed_s: float = 0.0) -> Batch:
-    requests = [
-        Request(rid=bid * 1000 + i, workload=wl, arrival_s=formed_s)
-        for i in range(n)
-    ]
+    requests = [Request(rid=bid * 1000 + i, workload=wl, arrival_s=formed_s) for i in range(n)]
     return Batch(bid=bid, workload=wl, requests=requests, formed_s=formed_s)
 
 

@@ -28,9 +28,7 @@ def dry_fleet(n: int = 1) -> list[Device]:
 
 
 def overload_trace(factor: float = 5.0, horizon_s: float = 0.01, seed: int = 11):
-    t_request = (
-        BEAM_BLOCK.make_plan(dry_fleet()[0], 1).predict_block_cost().time_s
-    )
+    t_request = BEAM_BLOCK.make_plan(dry_fleet()[0], 1).predict_block_cost().time_s
     return poisson_arrivals(BEAM_BLOCK, factor / t_request, horizon_s, seed=seed)
 
 
@@ -102,9 +100,7 @@ class TestAdmissionControl:
 
     def test_queue_depth_cap(self):
         trace = overload_trace()
-        admission = AdmissionController(
-            SLO(p99_latency_s=1e9), max_queue_depth=32
-        )
+        admission = AdmissionController(SLO(p99_latency_s=1e9), max_queue_depth=32)
         report = run_service(trace, max_batch=1, admission=admission)
         assert report.shed_rate > 0.0
 
@@ -139,9 +135,7 @@ class TestFunctionalService:
     def test_outputs_match_reference_through_batching(self, rng):
         b, m, k, n = 2, 8, 16, 12
         weights = random_complex(rng, (b, m, k))
-        wl = lofar_workload(
-            n_beams=m, n_stations=k, n_samples=n, n_channels=b, weights=weights
-        )
+        wl = lofar_workload(n_beams=m, n_stations=k, n_samples=n, n_channels=b, weights=weights)
         requests = [
             Request(
                 rid=i, workload=wl, arrival_s=i * 1e-5,

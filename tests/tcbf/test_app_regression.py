@@ -68,9 +68,7 @@ class TestLOFARRegression:
         ref_dev = Device("A100")
         plan = Gemm(ref_dev, Precision.FLOAT16, batch=batch, m=m, n=n, k=k)
         scale = float(np.sqrt(np.mean(np.abs(data) ** 2)))
-        ref = plan.run(
-            weights.astype(np.complex64), (data / scale).astype(np.complex64)
-        )
+        ref = plan.run(weights.astype(np.complex64), (data / scale).astype(np.complex64))
         assert np.array_equal(out.beams, ref.output * scale)
         assert out.cost == ref.cost  # full KernelCost equality, field by field
 
@@ -78,9 +76,7 @@ class TestLOFARRegression:
         # LOFAR accounting is GEMM-only: data are already GPU-resident.
         dev = Device("A100")
         bf = LOFARBeamformer(dev, 9, 16, 128, 4)
-        bf.form_beams(
-            random_complex(rng, (4, 9, 16)), random_complex(rng, (4, 16, 128))
-        )
+        bf.form_beams(random_complex(rng, (4, 9, 16)), random_complex(rng, (4, 16, 128)))
         assert [e.cost.name for e in dev.timeline] == ["gemm_float16"]
 
     def test_predict_cost_unchanged(self):
@@ -93,9 +89,7 @@ class TestLOFARRegression:
 class TestUltrasoundRegression:
     def test_output_and_cost_match_direct_ccglib(self, ultrasound_setup):
         model, frames = ultrasound_setup
-        bf = UltrasoundBeamformer(
-            Device("A100"), model, n_frames=32, precision=Precision.INT1
-        )
+        bf = UltrasoundBeamformer(Device("A100"), model, n_frames=32, precision=Precision.INT1)
         result = bf.reconstruct(frames)
 
         ref_dev = Device("A100")
@@ -127,9 +121,7 @@ class TestUltrasoundRegression:
 
     def test_model_prep_cost_matches_direct_composition(self, ultrasound_setup):
         model, _ = ultrasound_setup
-        bf = UltrasoundBeamformer(
-            Device("A100"), model, n_frames=32, precision=Precision.INT1
-        )
+        bf = UltrasoundBeamformer(Device("A100"), model, n_frames=32, precision=Precision.INT1)
         bf.prepare_model()
         ref_dev = Device("A100")
         n_values = 2 * model.n_voxels * model.k

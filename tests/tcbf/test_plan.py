@@ -155,9 +155,7 @@ class TestFunctionalExecution:
         dev = Device("A100")
         plan = BeamformerPlan(dev, n_beams=8, n_receivers=32, n_samples=16)
         with pytest.raises(ShapeError):
-            plan.execute(
-                random_complex(rng, (8, 32)), random_complex(rng, (31, 16))
-            )
+            plan.execute(random_complex(rng, (8, 32)), random_complex(rng, (31, 16)))
         assert len(dev.timeline) == 0  # nothing charged for a rejected block
 
     def test_dry_run_ignores_operands(self):

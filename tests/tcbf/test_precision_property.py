@@ -34,9 +34,7 @@ def beamform_problems(draw):
 def test_int1_tracks_float16_in_sign_and_correlation(problem):
     m, k, n, seed = problem
     rng = np.random.default_rng(seed)
-    weights = (rng.normal(size=(m, k)) + 1j * rng.normal(size=(m, k))).astype(
-        np.complex64
-    )
+    weights = (rng.normal(size=(m, k)) + 1j * rng.normal(size=(m, k))).astype(np.complex64)
     data = (rng.normal(size=(k, n)) + 1j * rng.normal(size=(k, n))).astype(np.complex64)
 
     def run(precision):

@@ -173,9 +173,7 @@ class TestAggregateThroughput:
 
     def test_energy_sums_over_shards(self):
         result = ShardedBeamformer(dry_devices(2), **LOFAR).execute()
-        assert result.energy_j == pytest.approx(
-            sum(s.total.energy_j for s in result.shards)
-        )
+        assert result.energy_j == pytest.approx(sum(s.total.energy_j for s in result.shards))
 
 
 class TestFunctionalSharding:
@@ -200,9 +198,7 @@ class TestFunctionalSharding:
         m, k, n = 8, 64, 16
         w = random_pm1_complex(rng, (1, m, k))
         d = random_pm1_complex(rng, (1, k, n))
-        kwargs = dict(
-            n_beams=m, n_receivers=k, n_samples=n, precision=Precision.INT1
-        )
+        kwargs = dict(n_beams=m, n_receivers=k, n_samples=n, precision=Precision.INT1)
         single = BeamformerPlan(Device("A100"), **kwargs).execute(w, d)
         sharded = ShardedBeamformer(
             [Device("A100"), Device("A100")], shard_dim="beams", **kwargs
@@ -277,21 +273,15 @@ class TestValidation:
         # axis must raise like the single-device plan, not be sliced down.
         kwargs = dict(n_beams=4, n_receivers=32, n_samples=8, batch=4,
                       include_transpose=False)
-        sharded = ShardedBeamformer(
-            [Device("A100"), Device("A100")], shard_dim="batch", **kwargs
-        )
+        sharded = ShardedBeamformer([Device("A100"), Device("A100")], shard_dim="batch", **kwargs)
         with pytest.raises(ShapeError):
-            sharded.execute(
-                random_complex(rng, (6, 4, 32)), random_complex(rng, (6, 32, 8))
-            )
+            sharded.execute(random_complex(rng, (6, 4, 32)), random_complex(rng, (6, 32, 8)))
         beam_sharded = ShardedBeamformer(
             [Device("A100"), Device("A100")], shard_dim="beams",
             n_beams=8, n_receivers=32, n_samples=8, include_transpose=False,
         )
         with pytest.raises(ShapeError):
-            beam_sharded.execute(
-                random_complex(rng, (1, 12, 32)), random_complex(rng, (1, 32, 8))
-            )
+            beam_sharded.execute(random_complex(rng, (1, 12, 32)), random_complex(rng, (1, 32, 8)))
 
     def test_kernel_variant_kwargs_forwarded(self):
         # AND-mode int1 (Hopper-style) must be shardable too.
@@ -308,15 +298,11 @@ class TestValidation:
         from repro.errors import DeviceError
 
         with pytest.raises(DeviceError):
-            ShardedBeamformer(
-                [Device("A100"), Device("A100", ExecutionMode.DRY_RUN)], **LOFAR
-            )
+            ShardedBeamformer([Device("A100"), Device("A100", ExecutionMode.DRY_RUN)], **LOFAR)
 
     def test_more_devices_than_units(self):
         with pytest.raises(ShapeError):
-            ShardedBeamformer(
-                dry_devices(3), n_beams=16, n_receivers=8, n_samples=16, batch=2
-            )
+            ShardedBeamformer(dry_devices(3), n_beams=16, n_receivers=8, n_samples=16, batch=2)
 
 
 class TestDegenerateCases:

@@ -13,9 +13,7 @@ from tests.conftest import random_complex
 
 
 def dry_plan(**overrides) -> BeamformerPlan:
-    kwargs = dict(
-        n_beams=4096, n_receivers=8192, n_samples=256, precision=Precision.INT1
-    )
+    kwargs = dict(n_beams=4096, n_receivers=8192, n_samples=256, precision=Precision.INT1)
     kwargs.update(overrides)
     return BeamformerPlan(Device("A100", ExecutionMode.DRY_RUN), **kwargs)
 
