@@ -63,6 +63,12 @@ def check(report_path: str) -> list[str]:
         for table, series in entry.get("tables", {}).items():
             if not series.get("headers") or not series.get("rows"):
                 problems.append(f"{name}: table {table!r} has no headers or rows")
+        # Serving experiments publish a metrics-registry snapshot of their
+        # headline run; a missing/empty block means the wiring regressed.
+        if name.startswith("serve"):
+            metrics = entry.get("metrics")
+            if not isinstance(metrics, dict) or not metrics.get("counters"):
+                problems.append(f"{name}: missing or empty 'metrics' block")
     unknown = sorted(set(entries) - set(EXPERIMENTS))
     if unknown:
         problems.append(f"report names unknown experiments: {', '.join(unknown)}")

@@ -1,8 +1,10 @@
 #!/usr/bin/env python
-"""CI gate: the checked-in golden CSVs must match their generators.
+"""CI gate: the checked-in golden files must match their generators.
 
 Every golden file under ``tests/serve/golden/`` is the rendered output of
-a documented ``golden_rows`` function. This script regenerates each one
+a documented generator — ``golden_rows`` functions for the CSVs, and
+``repro.bench.serve.golden_trace`` for the Perfetto span-event trace of
+the small serve run. This script regenerates each one
 and fails on any byte difference — catching un-blessed replay drift at
 review time (the event loop, scheduler, estimates, or float formatting
 changed and nobody re-blessed the golden) instead of in a later PR.
@@ -29,7 +31,7 @@ GOLDEN_DIR = REPO_ROOT / "tests" / "serve" / "golden"
 def _renderers():
     """Golden file name -> zero-argument callable rendering its CSV."""
     sys.path.insert(0, str(REPO_ROOT / "src"))
-    from repro.bench import serve_autoscale, serve_priority
+    from repro.bench import serve, serve_autoscale, serve_priority
     from repro.util.formatting import render_csv
 
     def render(rows_fn, *args):
@@ -41,6 +43,9 @@ def _renderers():
         # One diurnal day — serve_autoscale.GOLDEN_HORIZON_S, the same
         # constant the golden test reads (golden_rows' default).
         "serve_autoscale_small.csv": lambda: render(serve_autoscale.golden_rows),
+        # Perfetto span-event trace of the small serve run — pins every
+        # lifecycle edge (arrival through completion), not just aggregates.
+        "serve_trace_small.json": serve.golden_trace,
     }
 
 
@@ -50,7 +55,10 @@ def main(argv: list[str]) -> int:
     problems: list[str] = []
 
     unregistered = sorted(
-        p.name for p in GOLDEN_DIR.glob("*.csv") if p.name not in renderers
+        p.name
+        for pattern in ("*.csv", "*.json")
+        for p in GOLDEN_DIR.glob(pattern)
+        if p.name not in renderers
     )
     if unregistered:
         problems.append(

@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""CI gate: validate an exported Perfetto ``trace_event`` JSON file.
+
+The bench-smoke CI job exports a span-event trace for one serving
+experiment (``python -m repro.bench serve --quick --trace trace.json``)
+and then runs this checker over the file. The job fails when
+
+* the file is not JSON or lacks the ``traceEvents`` array,
+* an event lacks the keys its phase requires (``ph``/``pid``/``tid``/
+  ``ts`` everywhere; ``dur`` on complete slices; ``id`` on async and
+  flow events; numeric ``args`` on counter samples),
+* a phase letter is outside the trace_event vocabulary the exporter
+  emits (``M X b e s f i C``),
+* timestamps are negative or non-monotonic (the exporter sorts events
+  by ``ts``; an out-of-order event means the sort — or the simulation
+  clock feeding it — broke),
+* an async span is unbalanced (a request that began and never ended,
+  or ended twice).
+
+This is a *format* gate, not a semantic one: it proves any bench trace
+opens cleanly in ``ui.perfetto.dev``, not that the spans mean the right
+thing — the semantic bars live in ``tests/serve/test_obs.py``.
+
+Usage::
+
+    python scripts/validate_trace.py trace.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: every phase letter the exporter emits (subset of the trace_event spec).
+KNOWN_PHASES = frozenset("MXbesfiC")
+#: phases exempt from the monotonicity walk (metadata is pinned at ts 0).
+METADATA_PHASES = frozenset("M")
+
+
+def check(trace_path: str) -> list[str]:
+    """Return the list of format problems found in one trace file."""
+    try:
+        payload = json.loads(Path(trace_path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"cannot read trace {trace_path!r}: {exc}"]
+    if not isinstance(payload, dict) or not isinstance(payload.get("traceEvents"), list):
+        return ["top level must be an object with a 'traceEvents' array"]
+
+    problems: list[str] = []
+    open_async: dict[tuple[object, object], int] = {}
+    last_ts = 0.0
+    for i, event in enumerate(payload["traceEvents"]):
+        if not isinstance(event, dict):
+            problems.append(f"event #{i}: not an object: {event!r:.60}")
+            continue
+        ph = event.get("ph")
+        where = f"event #{i} (ph={ph!r}, name={event.get('name')!r})"
+        if ph not in KNOWN_PHASES:
+            problems.append(f"{where}: unknown phase")
+            continue
+        for key in ("pid", "tid", "ts"):
+            if key not in event:
+                problems.append(f"{where}: missing {key!r}")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+            problems.append(f"{where}: ts must be a non-negative number, got {ts!r}")
+            continue
+        if ph not in METADATA_PHASES:
+            if ts < last_ts:
+                problems.append(
+                    f"{where}: non-monotonic ts {ts} after {last_ts} — "
+                    "the exporter's sort or the simulation clock broke"
+                )
+            last_ts = max(last_ts, ts)
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or isinstance(dur, bool) or dur < 0:
+                problems.append(f"{where}: complete slice needs a non-negative 'dur'")
+        if ph in "besf" and "id" not in event:
+            problems.append(f"{where}: async/flow event needs an 'id'")
+        if ph in "be":
+            key = (event.get("pid"), event.get("id"))
+            open_async[key] = open_async.get(key, 0) + (1 if ph == "b" else -1)
+            if open_async[key] < 0:
+                problems.append(f"{where}: async end with no matching begin")
+        if ph == "C":
+            series = event.get("args")
+            if not isinstance(series, dict) or not series:
+                problems.append(f"{where}: counter needs a non-empty 'args' object")
+            elif not all(
+                isinstance(v, (int, float)) and not isinstance(v, bool)
+                for v in series.values()
+            ):
+                problems.append(f"{where}: counter values must be numbers")
+
+    unclosed = sorted(str(key) for key, depth in open_async.items() if depth > 0)
+    if unclosed:
+        problems.append(
+            f"{len(unclosed)} async span(s) never ended: {', '.join(unclosed[:5])}"
+        )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 1:
+        print("usage: validate_trace.py TRACE_JSON", file=sys.stderr)
+        return 2
+    problems = check(argv[0])
+    if problems:
+        for problem in problems[:40]:
+            print(f"validate-trace: {problem}", file=sys.stderr)
+        if len(problems) > 40:
+            print(f"validate-trace: ... and {len(problems) - 40} more", file=sys.stderr)
+        return 1
+    n = len(json.loads(Path(argv[0]).read_text())["traceEvents"])
+    print(f"validate-trace: {argv[0]} is well-formed trace_event JSON ({n} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -7,11 +7,16 @@ Usage::
     python -m repro.bench --quick         # coarser sweeps
     python -m repro.bench --list          # experiments + one-line summaries
     python -m repro.bench serve --output report.json
+    python -m repro.bench serve --trace serve.trace.json
 
 Exits non-zero on unknown experiment names. ``--output`` additionally
 writes one machine-readable JSON report covering every experiment run
-(name, title, findings, raw table series) — the per-experiment ``.txt`` /
-``.csv`` files still land in ``--outdir``.
+(name, title, findings, raw table series, and — for serving experiments —
+a ``metrics`` block with the registry snapshot of the headline run) — the
+per-experiment ``.txt`` / ``.csv`` files still land in ``--outdir``.
+``--trace PATH`` records the headline run's span events and writes
+Chrome/Perfetto ``trace_event`` JSON to PATH (open it at
+``ui.perfetto.dev``); it applies to exactly one experiment per invocation.
 """
 
 from __future__ import annotations
@@ -21,7 +26,7 @@ import json
 import sys
 import time
 
-from repro.bench.registry import EXPERIMENTS, describe, run_experiment
+from repro.bench.registry import EXPERIMENTS, describe, run_experiment, supports_tracing
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -46,6 +51,14 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="also write one combined JSON report of the run to PATH",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help=(
+            "record the headline run's span events and write Perfetto "
+            "trace_event JSON to PATH (exactly one experiment)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -59,27 +72,47 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         parser.error(f"unknown experiments: {', '.join(unknown)}")
 
+    recorder = None
+    if args.trace:
+        if len(names) != 1:
+            parser.error("--trace applies to exactly one experiment, e.g. --trace out.json serve")
+        if not supports_tracing(names[0]):
+            traceable = [n for n in EXPERIMENTS if supports_tracing(n)]
+            parser.error(
+                f"experiment {names[0]!r} does not support tracing; "
+                f"traceable: {', '.join(traceable)}"
+            )
+        from repro.serve.obs import TraceRecorder
+
+        recorder = TraceRecorder()
+
     json_report: list[dict] = []
     for name in names:
         t0 = time.perf_counter()
-        result = run_experiment(name, quick=args.quick)
+        result = run_experiment(name, quick=args.quick, recorder=recorder)
         elapsed = time.perf_counter() - t0
         print(result.full_text())
         written = result.write(args.outdir)
         print(f"[{name}] done in {elapsed:.1f}s; wrote {len(written)} files to {args.outdir}/")
         print()
-        json_report.append(
-            {
-                "name": result.name,
-                "title": result.title,
-                "findings": result.findings,
-                "tables": {
-                    table: {"headers": list(headers), "rows": [list(r) for r in rows]}
-                    for table, (headers, rows) in result.tables.items()
-                },
-                "elapsed_s": round(elapsed, 3),
-            }
-        )
+        entry = {
+            "name": result.name,
+            "title": result.title,
+            "findings": result.findings,
+            "tables": {
+                table: {"headers": list(headers), "rows": [list(r) for r in rows]}
+                for table, (headers, rows) in result.tables.items()
+            },
+            "elapsed_s": round(elapsed, 3),
+        }
+        if result.metrics is not None:
+            entry["metrics"] = result.metrics
+        json_report.append(entry)
+    if args.trace:
+        from repro.serve.obs import write_trace
+
+        write_trace(recorder, args.trace)
+        print(f"wrote Perfetto trace ({len(recorder.events)} events) to {args.trace}")
     if args.output:
         with open(args.output, "w") as fh:
             json.dump({"experiments": json_report}, fh, indent=2, default=str)

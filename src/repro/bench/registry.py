@@ -56,17 +56,33 @@ def describe(name: str) -> str:
     return first.removeprefix("Experiment:").strip().rstrip(".")
 
 
-def run_experiment(name: str, quick: bool = False) -> ExperimentResult:
-    """Run one experiment by name; passes ``quick`` where supported."""
+def supports_tracing(name: str) -> bool:
+    """Whether an experiment's runner accepts a span-event ``recorder``."""
+    return "recorder" in inspect.signature(EXPERIMENTS[name]).parameters
+
+
+def run_experiment(name: str, quick: bool = False, recorder=None) -> ExperimentResult:
+    """Run one experiment by name; passes ``quick`` and ``recorder`` where
+    supported (``recorder`` collects the headline run's span events for
+    Perfetto export — see :mod:`repro.serve.obs`)."""
     try:
         runner = EXPERIMENTS[name]
     except KeyError as exc:
         raise ReproError(
             f"unknown experiment {name!r}; available: {', '.join(EXPERIMENTS)}"
         ) from exc
-    if "quick" in inspect.signature(runner).parameters:
-        return runner(quick=quick)
-    return runner()
+    params = inspect.signature(runner).parameters
+    kwargs: dict[str, object] = {}
+    if "quick" in params:
+        kwargs["quick"] = quick
+    if recorder is not None:
+        if "recorder" not in params:
+            raise ReproError(
+                f"experiment {name!r} does not support tracing; traceable: "
+                f"{', '.join(n for n in EXPERIMENTS if supports_tracing(n))}"
+            )
+        kwargs["recorder"] = recorder
+    return runner(**kwargs)
 
 
 def run_all(quick: bool = False) -> list[ExperimentResult]:

@@ -29,6 +29,9 @@ class ExperimentResult:
     )
     #: headline comparisons against the paper, one line each.
     findings: list[str] = field(default_factory=list)
+    #: JSON-ready :meth:`MetricsRegistry.snapshot` of the experiment's
+    #: headline run, when the runner serves traffic (``None`` otherwise).
+    metrics: dict[str, object] | None = None
 
     def full_text(self) -> str:
         parts = [f"=== {self.name}: {self.title} ===", "", self.text]

@@ -29,11 +29,14 @@ from repro.serve import (
     BeamformingService,
     Request,
     ServiceReport,
+    TraceRecorder,
     Workload,
     bursty_arrivals,
     diurnal_arrivals,
     poisson_arrivals,
+    render_trace,
 )
+from repro.serve.obs.trace import NullRecorder
 from repro.util.formatting import ascii_scatter, render_table
 
 #: serving GPU and SLO of every scenario in this experiment.
@@ -49,12 +52,18 @@ OVERLOAD_FACTOR = 5.0
 REQUIRED_SPEEDUP = 3.0
 
 
-def _simulate(requests: list[Request], max_batch: int, n_devices: int) -> ServiceReport:
+def _simulate(
+    requests: list[Request],
+    max_batch: int,
+    n_devices: int,
+    recorder: NullRecorder | None = None,
+) -> ServiceReport:
     devices = [Device(GPU, ExecutionMode.DRY_RUN) for _ in range(n_devices)]
     service = BeamformingService(
         devices,
         policy=BatchingPolicy(max_batch=max_batch, max_wait_s=MAX_WAIT_S),
         slo=SLO(p99_latency_s=SLO_P99_S),
+        recorder=recorder,
     )
     return service.run(requests)
 
@@ -67,6 +76,28 @@ def _naive_rate(workload: Workload) -> float:
         .time_s
     )
     return OVERLOAD_FACTOR / t_request
+
+
+#: horizon of the small traced run pinned by the checked-in golden trace.
+#: Short on purpose — a few hundred requests already exercise every event
+#: type while keeping the checked-in JSON reviewable.
+GOLDEN_HORIZON_S = 0.001
+
+
+def golden_trace(horizon_s: float = GOLDEN_HORIZON_S, seed: int = SEED) -> str:
+    """The rendered Perfetto JSON pinned by the checked-in golden trace.
+
+    Traces the headline batched configuration over a short fixed-seed
+    Poisson overload. Timestamps come from the simulation clock and the
+    rendering sorts keys with fixed separators, so the returned text must
+    match the golden file byte for byte on any platform.
+    """
+    beam_block = lofar_workload()
+    arrivals = poisson_arrivals(beam_block, _naive_rate(beam_block), horizon_s, seed=seed)
+    recorder = TraceRecorder()
+    _simulate(arrivals, max_batch=32, n_devices=1, recorder=recorder)
+    return render_trace(recorder) + "\n"
+
 
 def _row(label: str, report: ServiceReport) -> list[object]:
     return [
@@ -95,7 +126,7 @@ _HEADERS = [
 ]
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def run(quick: bool = False, recorder: NullRecorder | None = None) -> ExperimentResult:
     horizon_s = 0.012 if quick else 0.03
     findings: list[str] = []
     tables: dict[str, tuple[list[str], list[list[object]]]] = {}
@@ -106,7 +137,7 @@ def run(quick: bool = False) -> ExperimentResult:
     rate_hz = _naive_rate(beam_block)
     arrivals = poisson_arrivals(beam_block, rate_hz, horizon_s, seed=SEED)
     naive = _simulate(arrivals, max_batch=1, n_devices=1)
-    batched = _simulate(arrivals, max_batch=32, n_devices=1)
+    batched = _simulate(arrivals, max_batch=32, n_devices=1, recorder=recorder)
     speedup = batched.throughput_rps / naive.throughput_rps
     headline_rows = [_row("naive (max_batch=1)", naive), _row("batched (max_batch=32)", batched)]
     tables["headline"] = (_HEADERS, headline_rows)
@@ -247,4 +278,5 @@ def run(quick: bool = False) -> ExperimentResult:
         text="\n".join(text_parts),
         tables=tables,
         findings=findings,
+        metrics=batched.metrics.snapshot() if batched.metrics is not None else None,
     )

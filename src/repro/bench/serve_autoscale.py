@@ -48,6 +48,7 @@ from repro.serve import (
     ServiceReport,
     diurnal_arrivals,
 )
+from repro.serve.obs.trace import NullRecorder
 from repro.util.formatting import render_table
 
 GPU = "A100"
@@ -141,16 +142,25 @@ def _trace(horizon_s: float, seed: int):
     )
 
 
-def _service(n_devices: int, autoscaler: Autoscaler | None = None) -> BeamformingService:
+def _service(
+    n_devices: int,
+    autoscaler: Autoscaler | None = None,
+    recorder: NullRecorder | None = None,
+) -> BeamformingService:
     return BeamformingService(
         [_device() for _ in range(n_devices)],
         policy=POLICY,
         slo=SLO(p99_latency_s=SLO_P99_S, deadline_s=DEADLINE_S),
         autoscaler=autoscaler,
+        recorder=recorder,
     )
 
 
-def reactive_scenario(horizon_s: float = HORIZON_S, seed: int = SEED) -> ServiceReport:
+def reactive_scenario(
+    horizon_s: float = HORIZON_S,
+    seed: int = SEED,
+    recorder: NullRecorder | None = None,
+) -> ServiceReport:
     """The reactive run: queue pressure up, sustained idle down."""
     autoscaler = Autoscaler(
         ReactiveAutoscaler(
@@ -161,7 +171,9 @@ def reactive_scenario(horizon_s: float = HORIZON_S, seed: int = SEED) -> Service
         max_workers=MAX_WORKERS,
         startup_s=STARTUP_S,
     )
-    return _service(SEED_WORKERS, autoscaler).run(_trace(horizon_s, seed))
+    return _service(SEED_WORKERS, autoscaler, recorder=recorder).run(
+        _trace(horizon_s, seed)
+    )
 
 
 def predictive_scenario(horizon_s: float = HORIZON_S, seed: int = SEED) -> ServiceReport:
@@ -255,7 +267,7 @@ def golden_rows(
     return _REPORT_HEADERS, rows
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def run(quick: bool = False, recorder: NullRecorder | None = None) -> ExperimentResult:
     # The two-day trace is the experiment: quick mode keeps the full
     # horizon (a single day would have no second peak for the reactive
     # policy to pay its cold-start bill on) — the run is already small.
@@ -264,7 +276,7 @@ def run(quick: bool = False) -> ExperimentResult:
     tables: dict[str, tuple[list[str], list[list[object]]]] = {}
     text_parts: list[str] = []
 
-    reactive = reactive_scenario(horizon_s)
+    reactive = reactive_scenario(horizon_s, recorder=recorder)
     predictive = predictive_scenario(horizon_s)
     #: the autoscaler's device-second budget as whole fixed devices.
     n_budget = max(1, int(reactive.mean_fleet_size))
@@ -367,4 +379,5 @@ def run(quick: bool = False) -> ExperimentResult:
         text="\n".join(text_parts),
         tables=tables,
         findings=findings,
+        metrics=reactive.metrics.snapshot() if reactive.metrics is not None else None,
     )

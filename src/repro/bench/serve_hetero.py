@@ -39,6 +39,7 @@ from repro.serve import (
     merge_arrivals,
     poisson_arrivals,
 )
+from repro.serve.obs.trace import NullRecorder
 from repro.util.formatting import render_table
 
 SEED = 2026
@@ -80,7 +81,9 @@ def _batched_capacity_hz(workload, gpu: str) -> float:
     return merged / plan.predict_block_cost().time_s
 
 
-def mixed_scenario(horizon_s: float, seed: int = SEED) -> ServiceReport:
+def mixed_scenario(
+    horizon_s: float, seed: int = SEED, recorder: NullRecorder | None = None
+) -> ServiceReport:
     """int1 imaging + float16 LOFAR on the mixed fleet (the headline run)."""
     imaging = ultrasound_workload(n_voxels=4096, k=1024, n_frames=64)
     beams = lofar_workload(n_samples=2048)
@@ -94,6 +97,7 @@ def mixed_scenario(horizon_s: float, seed: int = SEED) -> ServiceReport:
         policy=BATCH_POLICY,
         class_policies={0: INTERACTIVE_POLICY},
         slo=SLO(p99_latency_s=SLO_P99_S),
+        recorder=recorder,
     )
     return service.run(trace)
 
@@ -188,14 +192,14 @@ _REPORT_HEADERS = [
 ]
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def run(quick: bool = False, recorder: NullRecorder | None = None) -> ExperimentResult:
     horizon_s = 0.004 if quick else 0.01
     findings: list[str] = []
     tables: dict[str, tuple[list[str], list[list[object]]]] = {}
     text_parts: list[str] = []
 
     # --- capability routing on the mixed fleet ------------------------------
-    mixed = mixed_scenario(horizon_s)
+    mixed = mixed_scenario(horizon_s, recorder=recorder)
     by_dev = _precision_by_device(mixed)
     int1_on_amd = sum(n for (dev, prec), n in by_dev.items() if prec == "int1" and dev != "GH200")
     int1_on_gh200 = by_dev.get(("GH200", "int1"), 0)
@@ -334,4 +338,5 @@ def run(quick: bool = False) -> ExperimentResult:
         text="\n".join(text_parts),
         tables=tables,
         findings=findings,
+        metrics=mixed.metrics.snapshot() if mixed.metrics is not None else None,
     )

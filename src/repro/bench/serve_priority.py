@@ -35,6 +35,7 @@ from repro.serve import (
     merge_arrivals,
     poisson_arrivals,
 )
+from repro.serve.obs.trace import NullRecorder
 from repro.util.formatting import render_table
 
 GPU = "A100"
@@ -77,17 +78,22 @@ def _batched_capacity_hz(workload) -> float:
     return merged / gemm_s
 
 
-def _service(slo_s: float = SLO_P99_S) -> BeamformingService:
+def _service(
+    slo_s: float = SLO_P99_S, recorder: NullRecorder | None = None
+) -> BeamformingService:
     return BeamformingService(
         [_device()],
         policy=BATCH_POLICY,
         class_policies={0: INTERACTIVE_POLICY},
         slo=SLO(p99_latency_s=slo_s),
         tenant_weights=TENANT_WEIGHTS,
+        recorder=recorder,
     )
 
 
-def overload_scenario(horizon_s: float, seed: int = SEED) -> ServiceReport:
+def overload_scenario(
+    horizon_s: float, seed: int = SEED, recorder: NullRecorder | None = None
+) -> ServiceReport:
     """The headline run: clinic + two pulsar campaigns at 5x overload."""
     interactive, pulsar_a, pulsar_b = _workloads()
     batch_rate = OVERLOAD_FACTOR / 2.0 * _batched_capacity_hz(pulsar_a)
@@ -96,7 +102,7 @@ def overload_scenario(horizon_s: float, seed: int = SEED) -> ServiceReport:
         poisson_arrivals(pulsar_a, batch_rate, horizon_s, seed=seed + 1),
         poisson_arrivals(pulsar_b, batch_rate, horizon_s, seed=seed + 2),
     )
-    return _service().run(trace)
+    return _service(recorder=recorder).run(trace)
 
 
 def fairness_scenario(horizon_s: float, seed: int = SEED) -> tuple[dict[str, int], float]:
@@ -175,14 +181,14 @@ def golden_rows(horizon_s: float = 0.004, seed: int = SEED) -> tuple[list[str], 
     return _STATS_HEADERS, rows
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def run(quick: bool = False, recorder: NullRecorder | None = None) -> ExperimentResult:
     horizon_s = 0.004 if quick else 0.01
     findings: list[str] = []
     tables: dict[str, tuple[list[str], list[list[object]]]] = {}
     text_parts: list[str] = []
 
     # --- headline: 5x overload, three tenants, two priority classes ---------
-    report = overload_scenario(horizon_s)
+    report = overload_scenario(horizon_s, recorder=recorder)
     classes = report.by_priority()
     tenants = report.by_tenant()
     class_rows = [_stats_row(s) for s in classes]
@@ -254,4 +260,5 @@ def run(quick: bool = False) -> ExperimentResult:
         text="\n".join(text_parts),
         tables=tables,
         findings=findings,
+        metrics=report.metrics.snapshot() if report.metrics is not None else None,
     )

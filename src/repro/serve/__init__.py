@@ -33,6 +33,11 @@ discrete-event simulation:
 * :mod:`~repro.serve.slo` — SLO targets, deterministic percentiles,
   front-door admission control (lowest-class-first load shedding), and the
   per-class / per-tenant :class:`SLOTracker`;
+* :mod:`~repro.serve.obs` — observability: the zero-overhead-when-disabled
+  :class:`TraceRecorder` of typed lifecycle span events, Chrome/Perfetto
+  ``trace_event`` export, exact critical-path latency attribution with
+  p99 blame, and the :class:`MetricsRegistry` the whole stack publishes
+  into;
 * :mod:`~repro.serve.service` — :class:`BeamformingService`, the event
   loop tying it together, reporting p50/p95/p99, throughput, goodput, shed
   rate, batch and cache statistics, and fleet utilization — overall and
@@ -59,6 +64,15 @@ from repro.serve.autoscale import (
 from repro.serve.batching import Batch, BatchingPolicy, MicroBatcher
 from repro.serve.cache import CachedPlan, PlanCache
 from repro.serve.dispatch import BatchExecution, DeviceWorker, FleetDispatcher
+from repro.serve.obs import (
+    NULL_RECORDER,
+    BlameReport,
+    MetricsRegistry,
+    RequestPath,
+    TraceRecorder,
+    render_trace,
+    write_trace,
+)
 from repro.serve.placement import (
     PlacementCost,
     PlacementDecision,
@@ -116,4 +130,11 @@ __all__ = [
     "BeamformingService",
     "RequestOutcome",
     "ServiceReport",
+    "TraceRecorder",
+    "NULL_RECORDER",
+    "MetricsRegistry",
+    "RequestPath",
+    "BlameReport",
+    "render_trace",
+    "write_trace",
 ]

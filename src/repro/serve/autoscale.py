@@ -337,6 +337,9 @@ class Autoscaler:
         #: indices of workers this autoscaler added, in join order; drains
         #: pop from the end (LIFO — the newest capacity leaves first).
         self._added: list[int] = []
+        #: optional metrics registry ("autoscale.*" counters; the service
+        #: binds its own).
+        self.metrics = None
 
     def next_tick_s(self) -> float:
         """The next evaluation instant (the fourth event source's clock)."""
@@ -361,6 +364,9 @@ class Autoscaler:
             events = self._scale_down(now, fleet, action)
         if events:
             self._last_action_s = now
+            if self.metrics is not None:
+                for event in events:
+                    self.metrics.inc(f"autoscale.{event.kind}")
         return events
 
     # -- applying actions ----------------------------------------------------

@@ -28,6 +28,8 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.errors import ShapeError
+from repro.serve.obs.events import BatchClosed, BatcherEnqueued
+from repro.serve.obs.trace import NULL_RECORDER
 from repro.serve.workload import Request, Workload
 
 if TYPE_CHECKING:
@@ -196,6 +198,10 @@ class MicroBatcher:
         self.n_offered = 0
         self.n_flushed_full = 0
         self.n_flushed_timer = 0
+        #: trace recorder (the service binds its own; default disabled).
+        self.recorder = NULL_RECORDER
+        #: optional metrics registry ("batcher.*" counters).
+        self.metrics = None
 
     def policy_for(self, priority: int) -> BatchingPolicy:
         """The knobs governing one priority class (override or default)."""
@@ -254,9 +260,21 @@ class MicroBatcher:
             self._next_seq += 1
         group.requests.append(request)
         self.n_offered += 1
+        if self.metrics is not None:
+            self.metrics.inc("batcher.offered")
+        if self.recorder.enabled:
+            self.recorder.emit(
+                BatcherEnqueued(
+                    t_s=now,
+                    rid=request.rid,
+                    workload=merged.name,
+                    group_seq=group.seq,
+                    n_waiting=len(group.requests),
+                )
+            )
         if len(group.requests) >= policy.max_batch:
             self.n_flushed_full += 1
-            return self._flush(key, now)
+            return self._flush(key, now, cause="max_batch")
         return None
 
     def due(self, now: float) -> list[Batch]:
@@ -272,7 +290,7 @@ class MicroBatcher:
         batches = []
         for key in due_keys:
             self.n_flushed_timer += 1
-            batches.append(self._flush(key, self._groups[key].deadline_s))
+            batches.append(self._flush(key, self._groups[key].deadline_s, cause="max_wait"))
         return batches
 
     def flush_all(self) -> list[Batch]:
@@ -284,10 +302,10 @@ class MicroBatcher:
         batches = []
         for key in keys:
             self.n_flushed_timer += 1
-            batches.append(self._flush(key, self._groups[key].deadline_s))
+            batches.append(self._flush(key, self._groups[key].deadline_s, cause="max_wait"))
         return batches
 
-    def _flush(self, key: tuple, formed_s: float) -> Batch:
+    def _flush(self, key: tuple, formed_s: float, cause: str = "max_wait") -> Batch:
         group = self._groups.pop(key)
         workload = group.workload if group.workload is not None else group.requests[0].workload
         batch = Batch(
@@ -298,7 +316,24 @@ class MicroBatcher:
             decision=group.decision,
         )
         self._next_bid += 1
+        self._record_close(batch, cause)
         return batch
+
+    def _record_close(self, batch: Batch, cause: str) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(f"batcher.flush.{cause}")
+        if self.recorder.enabled:
+            self.recorder.emit(
+                BatchClosed(
+                    t_s=batch.formed_s,
+                    bid=batch.bid,
+                    cause=cause,
+                    workload=batch.workload.name,
+                    priority=batch.priority,
+                    tenant=batch.tenant,
+                    rids=tuple(r.rid for r in batch.requests),
+                )
+            )
 
     def singleton(self, request: Request, now: float, decision=None) -> Batch:
         """Wrap one request as its own batch, bypassing group formation.
@@ -309,6 +344,8 @@ class MicroBatcher:
         still orders by priority before the fleet shards it.
         """
         self.n_offered += 1
+        if self.metrics is not None:
+            self.metrics.inc("batcher.offered")
         batch = Batch(
             bid=self._next_bid,
             workload=request.workload,
@@ -317,4 +354,5 @@ class MicroBatcher:
             decision=decision,
         )
         self._next_bid += 1
+        self._record_close(batch, cause="decision")
         return batch

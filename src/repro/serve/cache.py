@@ -80,6 +80,10 @@ class PlanCache:
         self.evictions = 0
         #: entries dropped by whole-segment release (scale-down), not LRU.
         self.released = 0
+        #: lifetime per-segment lookup stats: device id -> [hits, misses].
+        #: Survives :meth:`release` — a retired worker's cold-start bill is
+        #: part of the run's story even after its plans are dropped.
+        self._segment_stats: dict[int, list[int]] = {}
 
     def __len__(self) -> int:
         return sum(len(seg) for seg in self._segments.values())
@@ -111,6 +115,17 @@ class PlanCache:
         """Resident entry count of one device's segment."""
         return len(self._segments.get(id(device), ()))
 
+    def segment_stats(self, device: Device) -> tuple[int, int]:
+        """Lifetime ``(hits, misses)`` of one device's segment.
+
+        Per-device cold-start accounting for reports: the fleet-wide
+        :attr:`hits`/:attr:`misses` hide which worker paid the builds (a
+        scaled-up worker faults in everything; a seed worker mostly hits).
+        Stats persist across :meth:`release`.
+        """
+        stats = self._segment_stats.get(id(device))
+        return (stats[0], stats[1]) if stats is not None else (0, 0)
+
     def release(self, device: Device) -> int:
         """Drop one device's whole segment; returns the entry count freed.
 
@@ -137,14 +152,19 @@ class PlanCache:
         segment = self._segments.get(id(device))
         if segment is None:
             segment = self._segments[id(device)] = OrderedDict()
+        stats = self._segment_stats.get(id(device))
+        if stats is None:
+            stats = self._segment_stats[id(device)] = [0, 0]
         key = self.key(device, workload, n_requests)
         entry = segment.get(key)
         if entry is not None:
             segment.move_to_end(key)
             entry.hits += 1
             self.hits += 1
+            stats[0] += 1
             return entry, 0.0
         self.misses += 1
+        stats[1] += 1
         plan = workload.make_plan(device, n_requests)
         prep = plan.prepare_weights(name=f"serve_weight_prep_{workload.name}")
         stage_in = plan.stage_in_cost()

@@ -45,6 +45,8 @@ from repro.errors import DeviceError, ShapeError
 from repro.gpusim.device import Device
 from repro.serve.batching import Batch
 from repro.serve.cache import CachedPlan, PlanCache
+from repro.serve.obs.events import BatchExecuted, BatchHeld, CacheLookup
+from repro.serve.obs.trace import NULL_RECORDER, NullRecorder
 from repro.serve.placement import PlacementKind, Placer
 from repro.serve.scheduler import PriorityScheduler, QueuePressure
 from repro.serve.workload import Workload
@@ -237,6 +239,24 @@ class FleetDispatcher:
         #: not reached the scheduler yet, which retirement must not
         #: strand. ``None`` means no batcher-side work exists.
         self.forming_workloads: Callable[[], Iterable[Workload]] | None = None
+        #: trace recorder (the service binds its own via :meth:`bind_obs`).
+        self.recorder: NullRecorder = NULL_RECORDER
+        #: optional metrics registry ("dispatch.*" / "cache.*" counters).
+        self.metrics = None
+
+    def bind_obs(self, recorder: NullRecorder, metrics) -> None:
+        """Bind one run's trace recorder and metrics registry fleet-wide.
+
+        Called once by the service before replay: the dispatcher emits the
+        execution and cache-lookup events itself and hands the same
+        recorder/registry to the scheduler and placer, so every component
+        publishes into one stream.
+        """
+        self.recorder = recorder
+        self.metrics = metrics
+        self.scheduler.recorder = recorder
+        self.scheduler.metrics = metrics
+        self.placer.metrics = metrics
 
     @property
     def is_functional(self) -> bool:
@@ -584,9 +604,20 @@ class FleetDispatcher:
             elif head_p is None or all(w.accept_s > now for w in self.workers):
                 break
             else:
-                batch = self.scheduler.next()
+                batch = self.scheduler.next(now)
             execution = self._try_place(batch, now)
             if execution is None:
+                if self.metrics is not None:
+                    self.metrics.inc("dispatch.holds")
+                if self.recorder.enabled:
+                    self.recorder.emit(
+                        BatchHeld(
+                            t_s=now,
+                            bid=batch.bid,
+                            priority=batch.priority,
+                            candidates=batch.candidate_indices or (),
+                        )
+                    )
                 remaining.append(batch)
             else:
                 placed.append(execution)
@@ -606,11 +637,66 @@ class FleetDispatcher:
 
     def _place(self, worker: DeviceWorker, batch: Batch, now: float) -> BatchExecution:
         entry, build_s = self.cache.get(worker.device, batch.workload, batch.n_requests)
+        self._record_lookup(worker, batch.workload, batch.n_requests, build_s, now)
         execution = worker.schedule(batch, entry, build_s, now=now)
+        self._record_execution(execution)
         if self.is_functional:
             execution.outputs = self._execute(batch, entry)
         self.executions.append(execution)
         return execution
+
+    # -- observability hooks -------------------------------------------------
+
+    def _record_lookup(
+        self,
+        worker: DeviceWorker,
+        workload: Workload,
+        n_requests: int,
+        build_s: float,
+        now: float,
+    ) -> None:
+        """Publish one plan-cache lookup (the dispatcher sees the worker)."""
+        if self.metrics is not None:
+            self.metrics.inc("cache.hits" if build_s == 0.0 else "cache.misses")
+        if self.recorder.enabled:
+            self.recorder.emit(
+                CacheLookup(
+                    t_s=now,
+                    device=worker.device.name,
+                    worker_index=worker.index,
+                    workload=workload.name,
+                    n_requests=n_requests,
+                    hit=build_s == 0.0,
+                    build_s=build_s,
+                )
+            )
+
+    def _record_execution(self, execution: BatchExecution, shard_index: int = -1) -> None:
+        """Emit the execution-timeline event of one placed (shard) launch."""
+        if self.metrics is not None:
+            self.metrics.inc("dispatch.launches")
+        if self.recorder.enabled:
+            batch = execution.batch
+            self.recorder.emit(
+                BatchExecuted(
+                    t_s=execution.start_s,
+                    bid=batch.bid,
+                    worker_index=execution.worker_index,
+                    device=execution.device_name,
+                    workload=batch.workload.name,
+                    priority=batch.priority,
+                    tenant=batch.tenant,
+                    n_requests=batch.n_requests,
+                    rids=tuple(r.rid for r in batch.requests),
+                    ready_s=execution.ready_s,
+                    start_s=execution.start_s,
+                    build_s=execution.build_s,
+                    stage_in_s=execution.stage_in_s,
+                    compute_start_s=execution.compute_start_s,
+                    completion_s=execution.completion_s,
+                    shard_index=shard_index,
+                )
+            )
 
     # -- split placement -----------------------------------------------------
 
@@ -633,16 +719,17 @@ class FleetDispatcher:
             worker = self.worker_by_index(index)
             shard_workload = batch.workload.shard(extent)
             entry, build_s = self.cache.get(worker.device, shard_workload, 1)
-            shard_entries.append(entry)
-            shard_execs.append(
-                worker.schedule(
-                    batch,
-                    entry,
-                    build_s,
-                    now=now,
-                    n_requests=batch.n_requests if i == 0 else 0,
-                )
+            self._record_lookup(worker, shard_workload, 1, build_s, now)
+            shard = worker.schedule(
+                batch,
+                entry,
+                build_s,
+                now=now,
+                n_requests=batch.n_requests if i == 0 else 0,
             )
+            self._record_execution(shard, shard_index=i)
+            shard_entries.append(entry)
+            shard_execs.append(shard)
         execution = BatchExecution(
             batch=batch,
             device_name="+".join(e.device_name for e in shard_execs),

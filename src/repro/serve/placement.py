@@ -135,6 +135,8 @@ class Placer:
         self._costs: dict[tuple, PlacementCost] = {}
         #: lifetime decision counters by kind value (the report's view).
         self.decisions: dict[str, int] = {}
+        #: optional metrics registry ("placement.*" counters).
+        self.metrics = None
 
     def attach(self, workers: list[DeviceWorker], cache: PlanCache) -> None:
         """Bind to a fleet (called once by the dispatcher).
@@ -238,6 +240,8 @@ class Placer:
         decision = self._place(workload, policy)
         kind = decision.kind.value
         self.decisions[kind] = self.decisions.get(kind, 0) + 1
+        if self.metrics is not None:
+            self.metrics.inc(f"placement.{kind}")
         return decision
 
     def _place(self, workload: Workload, policy: "BatchingPolicy") -> PlacementDecision:

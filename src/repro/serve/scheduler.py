@@ -35,6 +35,8 @@ from dataclasses import dataclass
 
 from repro.errors import ShapeError
 from repro.serve.batching import Batch
+from repro.serve.obs.events import BatchPreempted, BatchQueued
+from repro.serve.obs.trace import NULL_RECORDER
 
 #: DRR credit (in requests) granted per ring visit, before weighting.
 DEFAULT_QUANTUM = 4.0
@@ -176,6 +178,12 @@ class PriorityScheduler:
         self._fifo: deque[Batch] = deque()
         #: lifetime dispatch counters per (priority, tenant), in requests.
         self.served_requests: dict[tuple[int, str], int] = {}
+        #: lifetime overtakes: earlier-formed batches a pop jumped past.
+        self.preemptions = 0
+        #: trace recorder (the dispatcher binds the service's; default off).
+        self.recorder = NULL_RECORDER
+        #: optional metrics registry ("scheduler.*" counters).
+        self.metrics = None
 
     def __len__(self) -> int:
         if not self.preemptive:
@@ -263,6 +271,18 @@ class PriorityScheduler:
         return {p: len(c) for p in sorted(self._classes) if len(c := self._classes[p])}
 
     def enqueue(self, batch: Batch) -> None:
+        if self.metrics is not None:
+            self.metrics.inc("scheduler.enqueued.batches")
+        if self.recorder.enabled:
+            self.recorder.emit(
+                BatchQueued(
+                    t_s=batch.formed_s,
+                    bid=batch.bid,
+                    priority=batch.priority,
+                    tenant=batch.tenant,
+                    n_requests=batch.n_requests,
+                )
+            )
         if not self.preemptive:
             self._fifo.append(batch)
             return
@@ -273,8 +293,13 @@ class PriorityScheduler:
             )
         class_queue.enqueue(batch)
 
-    def next(self) -> Batch:
-        """Pop the next batch to dispatch; raises when empty."""
+    def next(self, now: float | None = None) -> Batch:
+        """Pop the next batch to dispatch; raises when empty.
+
+        ``now`` is the dispatch instant, used only to timestamp preemption
+        trace events (the pop itself is time-free); omitted, the popped
+        batch's formation time stands in.
+        """
         if self.empty():
             raise ShapeError("PriorityScheduler.next() on an empty queue")
         if not self.preemptive:
@@ -285,6 +310,39 @@ class PriorityScheduler:
             batch = class_queue.next()
             if len(class_queue) == 0:
                 del self._classes[priority]
+            self._record_overtakes(batch, now)
         key = (batch.priority, batch.tenant)
         self.served_requests[key] = self.served_requests.get(key, 0) + batch.n_requests
         return batch
+
+    def _record_overtakes(self, batch: Batch, now: float | None) -> None:
+        """Account the earlier-formed, less urgent batches this pop jumped.
+
+        The observable edge of non-destructive preemption: every batch
+        still queued at a lower urgency that was formed before the popped
+        one just lost its turn to it.
+        """
+        overtaken = [
+            waiting
+            for p, class_queue in self._classes.items()
+            if p > batch.priority
+            for waiting in class_queue.batches()
+            if waiting.formed_s < batch.formed_s
+        ]
+        if not overtaken:
+            return
+        self.preemptions += len(overtaken)
+        if self.metrics is not None:
+            self.metrics.inc("scheduler.preemptions", len(overtaken))
+        if self.recorder.enabled:
+            t_s = batch.formed_s if now is None else now
+            for waiting in overtaken:
+                self.recorder.emit(
+                    BatchPreempted(
+                        t_s=t_s,
+                        bid=waiting.bid,
+                        by_bid=batch.bid,
+                        priority=waiting.priority,
+                        by_priority=batch.priority,
+                    )
+                )

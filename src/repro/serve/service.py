@@ -42,6 +42,16 @@ from repro.serve.autoscale import Autoscaler, FleetSignals, ScaleEvent
 from repro.serve.batching import BatchingPolicy, MicroBatcher
 from repro.serve.cache import PlanCache
 from repro.serve.dispatch import BatchExecution, FleetDispatcher
+from repro.serve.obs.critical_path import BlameReport, RequestPath, attribute, blame
+from repro.serve.obs.events import (
+    AdmissionDecided,
+    PlacementDecided,
+    RequestArrived,
+    RequestCompleted,
+    ScaleApplied,
+)
+from repro.serve.obs.metrics import MetricsRegistry
+from repro.serve.obs.trace import NULL_RECORDER, NullRecorder
 from repro.serve.placement import PlacementDecision, PlacementKind, Placer
 from repro.serve.scheduler import PriorityScheduler
 from repro.serve.slo import (
@@ -93,6 +103,10 @@ class ServiceReport:
     scale_events: list[ScaleEvent] = field(default_factory=list)
     #: step function of the fleet's size over the run.
     fleet_timeline: FleetTimeline | None = None
+    #: per-worker plan-cache story: (worker index, device, hits, misses).
+    cache_by_worker: list[tuple[int, str, int, int]] = field(default_factory=list)
+    #: the run's metrics registry (``None`` for hand-built reports).
+    metrics: MetricsRegistry | None = None
 
     # -- request-level metrics ----------------------------------------------
 
@@ -313,6 +327,22 @@ class ServiceReport:
         """Fraction of all shed requests that came from one priority class."""
         return self.slo_tracker().shed_share(priority)
 
+    # -- critical-path attribution --------------------------------------------
+
+    def request_paths(self) -> list[RequestPath]:
+        """Every completed request's latency, decomposed along its critical
+        path (see :mod:`repro.serve.obs.critical_path`). Cached — the
+        executions are immutable after the run."""
+        paths = getattr(self, "_paths", None)
+        if paths is None:
+            paths = attribute(self.outcomes, self.executions)
+            self._paths = paths
+        return paths
+
+    def blame(self, q: float = 99.0) -> BlameReport | None:
+        """Per-segment blame over the ``q``-th-percentile tail cohort."""
+        return blame(self.request_paths(), q)
+
     def summary(self) -> str:
         lines = [
             f"requests: {self.n_offered} offered, {self.n_admitted} admitted, "
@@ -328,7 +358,16 @@ class ServiceReport:
             f"{self.mean_batch_size:.1f} (max {self.max_batch_size}, "
             f"knob {self.policy.max_batch} / {self.policy.max_wait_s * 1e6:.0f} us)",
             f"plans:    {self.cache_hit_rate:.1%} cache hit rate "
-            f"({self.cache_misses} builds)",
+            f"({self.cache_misses} builds)"
+            + (
+                " — "
+                + ", ".join(
+                    f"worker{index}/{device} {hits}h/{misses}b"
+                    for index, device, hits, misses in self.cache_by_worker
+                )
+                if self.cache_by_worker
+                else ""
+            ),
             f"fleet:    {self.n_devices} device(s) "
             f"[{', '.join(self.device_names)}], utilization "
             + ", ".join(f"{u:.1%}" for u in self.utilizations),
@@ -350,6 +389,10 @@ class ServiceReport:
                 extras.append(f"{self.padded_ops_fraction:.1%} padded ops")
             suffix = f" ({'; '.join(extras)})" if extras else ""
             lines.append("placing:  " + ", ".join(parts) + suffix)
+        if self.n_completed > 0:
+            tail = self.blame()
+            if tail is not None:
+                lines.append("blame:    " + tail.summary())
         classes = self.by_priority()
         tenants = self.by_tenant()
         if len(classes) > 1 or len(tenants) > 1:
@@ -361,6 +404,11 @@ class ServiceReport:
                     f"{stats.shed_rate:.1%} shed "
                     f"({stats.shed_share:.1%} of all shedding)"
                 )
+        if self.metrics is not None:
+            rendered = self.metrics.render()
+            if rendered:
+                lines.append("metrics:")
+                lines.extend("  " + line for line in rendered.splitlines())
         return "\n".join(lines)
 
 
@@ -418,10 +466,19 @@ class BeamformingService:
         preemptive: bool = True,
         placer: Placer | None = None,
         autoscaler: Autoscaler | None = None,
+        recorder: NullRecorder | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.policy = policy if policy is not None else BatchingPolicy()
         self.slo = slo if slo is not None else SLO(p99_latency_s=10e-3)
         self.admission = admission if admission is not None else AdmissionController(self.slo)
+        #: span-event recorder; the default NULL_RECORDER keeps every
+        #: emission site behind a false ``enabled`` flag (zero overhead,
+        #: bit-identical goldens). Pass a TraceRecorder to capture the run.
+        self.recorder = NULL_RECORDER if recorder is None else recorder
+        #: the run's metrics registry; always live (deterministic counters),
+        #: shared with every component below and attached to the report.
+        self.metrics = MetricsRegistry() if metrics is None else metrics
         self.fleet = FleetDispatcher(
             devices,
             cache=cache,
@@ -430,11 +487,17 @@ class BeamformingService:
             ),
             placer=placer,
         )
+        self.fleet.bind_obs(self.recorder, self.metrics)
+        self.admission.metrics = self.metrics
         self._batcher = MicroBatcher(self.policy, class_policies=class_policies)
+        self._batcher.recorder = self.recorder
+        self._batcher.metrics = self.metrics
         # Retirement guard: a draining worker that is the last one capable
         # of a workload still forming in the batcher must outlive the flush.
         self.fleet.forming_workloads = self._batcher.forming_workloads
         self._autoscaler = autoscaler
+        if autoscaler is not None:
+            autoscaler.metrics = self.metrics
         self._scale_events: list[ScaleEvent] = []
         self._timeline = FleetTimeline()
         self._ran = False
@@ -513,12 +576,36 @@ class BeamformingService:
                 outcome = RequestOutcome(request=req, admitted=False)
                 outcomes[slots[id(req)]] = outcome
                 priority = req.workload.priority
+                if self.recorder.enabled:
+                    self.recorder.emit(
+                        RequestArrived(
+                            t_s=now,
+                            rid=req.rid,
+                            workload=req.workload.name,
+                            priority=priority,
+                            tenant=req.workload.tenant,
+                        )
+                    )
                 decision = self.fleet.placer.place(req.workload, self._batcher.policy_for(priority))
-                if self.admission.admit(
-                    self._estimate_latency(now, decision),
-                    self._depth(),
-                    priority=priority,
-                ):
+                if self.recorder.enabled:
+                    self.recorder.emit(self._placement_event(now, req, decision))
+                projected = self._estimate_latency(now, decision)
+                depth = self._depth()
+                admitted = self.admission.admit(projected, depth, priority=priority)
+                if self.recorder.enabled:
+                    reason = decision.reason if decision.is_shed else self.admission.last_reason
+                    self.recorder.emit(
+                        AdmissionDecided(
+                            t_s=now,
+                            rid=req.rid,
+                            admitted=admitted,
+                            projected_s=projected,
+                            queue_depth=depth,
+                            priority=priority,
+                            reason=reason,
+                        )
+                    )
+                if admitted:
                     outcome.admitted = True
                     self._pending_outcomes[id(req)] = outcome
                     if decision.kind is PlacementKind.SPLIT:
@@ -535,6 +622,13 @@ class BeamformingService:
             # drain below dispatches everything placeable at this instant.
             for execution in self.fleet.drain(now):
                 self._settle(execution)
+        cache_by_worker = [
+            (w.index, w.device.name, *self.fleet.cache.segment_stats(w.device))
+            for w in self.fleet.all_workers
+        ]
+        for index, _, hits, misses in cache_by_worker:
+            self.metrics.counter(f"cache.worker{index}.hits").inc(hits)
+            self.metrics.counter(f"cache.worker{index}.misses").inc(misses)
         return ServiceReport(
             outcomes=outcomes,
             executions=list(self.fleet.executions),
@@ -549,6 +643,8 @@ class BeamformingService:
             placements=dict(self.fleet.placer.decisions),
             scale_events=list(self._scale_events),
             fleet_timeline=self._timeline,
+            cache_by_worker=cache_by_worker,
+            metrics=self.metrics,
         )
 
     # -- the fourth event source: autoscaling --------------------------------
@@ -569,25 +665,47 @@ class BeamformingService:
         events = self._autoscaler.tick(now, self.fleet, signals)
         if events:
             self._scale_events.extend(events)
+            if self.recorder.enabled:
+                for event in events:
+                    self.recorder.emit(self._scale_span(event))
             self._record_fleet(now)
 
     def _reap(self, now: float) -> None:
         for worker in self.fleet.reap(now):
-            self._scale_events.append(
-                ScaleEvent(
-                    t_s=now,
-                    kind="retire",
-                    worker_index=worker.index,
-                    device_name=worker.device.name,
-                    accepting=len(self.fleet.accepting_workers),
-                    provisioned=len(self.fleet.workers),
-                    reason="drain complete",
-                )
+            event = ScaleEvent(
+                t_s=now,
+                kind="retire",
+                worker_index=worker.index,
+                device_name=worker.device.name,
+                accepting=len(self.fleet.accepting_workers),
+                provisioned=len(self.fleet.workers),
+                reason="drain complete",
             )
+            self._scale_events.append(event)
+            self.metrics.inc("autoscale.retire")
+            if self.recorder.enabled:
+                self.recorder.emit(self._scale_span(event))
         self._record_fleet(now)
 
+    @staticmethod
+    def _scale_span(event: ScaleEvent) -> ScaleApplied:
+        """One applied :class:`ScaleEvent`, re-shaped as a trace event."""
+        return ScaleApplied(
+            t_s=event.t_s,
+            kind=event.kind,
+            worker_index=event.worker_index,
+            device=event.device_name,
+            accepting=event.accepting,
+            provisioned=event.provisioned,
+            reason=event.reason,
+        )
+
     def _record_fleet(self, now: float) -> None:
-        self._timeline.record(now, len(self.fleet.accepting_workers), len(self.fleet.workers))
+        accepting = len(self.fleet.accepting_workers)
+        provisioned = len(self.fleet.workers)
+        self.metrics.set_gauge("fleet.accepting", accepting)
+        self.metrics.set_gauge("fleet.provisioned", provisioned)
+        self._timeline.record(now, accepting, provisioned)
 
     def _signals(self, now: float) -> FleetSignals:
         """Snapshot the pressure signals one autoscale tick consumes."""
@@ -617,6 +735,52 @@ class BeamformingService:
             outcome.completion_s = execution.completion_s
             if execution.outputs is not None:
                 outcome.output = execution.outputs[i]
+            latency = execution.completion_s - req.arrival_s
+            self.metrics.inc("service.completed")
+            self.metrics.observe("service.latency_ms", latency * 1e3)
+            if self.recorder.enabled:
+                self.recorder.emit(
+                    RequestCompleted(
+                        t_s=execution.completion_s,
+                        rid=req.rid,
+                        bid=batch.bid,
+                        latency_s=latency,
+                        tenant=batch.tenant,
+                        priority=batch.priority,
+                    )
+                )
+
+    def _placement_event(self, now: float, req: Request, decision: PlacementDecision):
+        """The :class:`PlacementDecided` span of one arrival (traced runs).
+
+        ``costs`` lists every capable worker's predicted steady-state
+        service time for the decision's workload — the alternatives the
+        cost model weighed — in worker-index order. Estimates are memoized
+        and pure (:meth:`Placer.estimate`), so pricing them for the trace
+        cannot perturb the simulation.
+        """
+        placer = self.fleet.placer
+        if decision.is_shed:
+            chosen, costs = float("inf"), ()
+        elif decision.kind is PlacementKind.SPLIT:
+            chosen, costs = placer.predicted_split_service_s(decision), ()
+        else:
+            costs = tuple(
+                sorted(
+                    (w.index, placer.estimate(w, decision.workload, 1).service_s)
+                    for w in placer.capable_workers(decision.workload)
+                )
+            )
+            chosen = min((service_s for _, service_s in costs), default=float("inf"))
+        return PlacementDecided(
+            t_s=now,
+            rid=req.rid,
+            kind=decision.kind.value,
+            workload=decision.workload.name,
+            chosen_s=chosen,
+            costs=costs,
+            shed_reason=decision.reason,
+        )
 
     def _drain_completed(self, now: float) -> None:
         while self._in_flight and self._in_flight[0][0] <= now:

@@ -279,6 +279,14 @@ class AdmissionController:
         self.n_shed = 0
         #: per-priority-class shed counts ("who absorbed the overload").
         self.shed_by_class: dict[int, int] = {}
+        #: shed counts by cause ("deadline" / "depth").
+        self.shed_by_reason: dict[str, int] = {}
+        #: cause of the most recent verdict: "ok", "deadline", or "depth"
+        #: (tracing reads this right after :meth:`admit`).
+        self.last_reason = "ok"
+        #: optional :class:`~repro.serve.obs.metrics.MetricsRegistry` the
+        #: controller publishes admit/shed counters into.
+        self.metrics = None
 
     def admit(self, estimated_latency_s: float, queue_depth: int, priority: int = 0) -> bool:
         """Decide one arrival; updates the shed/admit counters.
@@ -295,8 +303,17 @@ class AdmissionController:
         if over_deadline or over_depth:
             self.n_shed += 1
             self.shed_by_class[priority] = self.shed_by_class.get(priority, 0) + 1
+            self.last_reason = "deadline" if over_deadline else "depth"
+            self.shed_by_reason[self.last_reason] = (
+                self.shed_by_reason.get(self.last_reason, 0) + 1
+            )
+            if self.metrics is not None:
+                self.metrics.inc(f"admission.shed.{self.last_reason}")
             return False
         self.n_admitted += 1
+        self.last_reason = "ok"
+        if self.metrics is not None:
+            self.metrics.inc("admission.admitted")
         return True
 
     @property
