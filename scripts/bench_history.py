@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""CI gate: track bench headline metrics across runs and flag regressions.
+
+Appends a summarized row from a combined ``--output`` JSON report to a
+``history.jsonl`` file and/or checks the newest row against the mean of a
+trailing window of comparable rows (same ``--quick`` flag). The tracked
+metrics and their per-metric tolerances live in
+:mod:`repro.bench.history` (``SPECS``): throughput down, p99 up, or shed
+up past tolerance fails the gate.
+
+Usage::
+
+    python scripts/bench_history.py --history benchmarks/history.jsonl \\
+        --append report.json --label ci --quick --check
+    python scripts/bench_history.py --history benchmarks/history.jsonl --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def main(argv: list[str] | None = None) -> int:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.bench.history import (
+        DEFAULT_WINDOW,
+        append_history,
+        check,
+        load_history,
+        summarize,
+    )
+    from repro.errors import ShapeError
+
+    parser = argparse.ArgumentParser(
+        prog="bench_history",
+        description="append/check bench headline metrics across runs",
+    )
+    parser.add_argument(
+        "--history",
+        default=str(REPO_ROOT / "benchmarks" / "history.jsonl"),
+        help="history JSONL file (default: benchmarks/history.jsonl)",
+    )
+    parser.add_argument(
+        "--append",
+        metavar="REPORT",
+        help="summarize this combined --output JSON report into a new row",
+    )
+    parser.add_argument("--label", default="", help="free-form label stored on the row")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="mark the row as a --quick run (rows only compare within a flag)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail if the newest row regressed vs the trailing window",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=DEFAULT_WINDOW,
+        help=f"trailing rows to average against (default {DEFAULT_WINDOW})",
+    )
+    args = parser.parse_args(argv)
+    if not args.append and not args.check:
+        parser.error("nothing to do: pass --append REPORT and/or --check")
+
+    try:
+        if args.append:
+            payload = json.loads(Path(args.append).read_text())
+            row = summarize(payload, label=args.label, quick=args.quick)
+            append_history(args.history, row)
+            print(
+                f"bench-history: appended {len(row['metrics'])} metric(s) "
+                f"to {args.history}"
+            )
+        if args.check:
+            rows = load_history(args.history)
+            problems = check(rows, window=args.window)
+            if problems:
+                for problem in problems:
+                    print(f"bench-history: regression: {problem}", file=sys.stderr)
+                return 1
+            print(
+                f"bench-history: newest of {len(rows)} row(s) within tolerance "
+                f"(window {args.window})"
+            )
+    except (OSError, json.JSONDecodeError, ShapeError) as exc:
+        print(f"bench-history: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

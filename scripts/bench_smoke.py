@@ -63,12 +63,18 @@ def check(report_path: str) -> list[str]:
         for table, series in entry.get("tables", {}).items():
             if not series.get("headers") or not series.get("rows"):
                 problems.append(f"{name}: table {table!r} has no headers or rows")
-        # Serving experiments publish a metrics-registry snapshot of their
-        # headline run; a missing/empty block means the wiring regressed.
+        # Serving experiments publish a metrics-registry snapshot and a
+        # burn-rate alerting snapshot of their headline run; a missing or
+        # empty block means the wiring regressed.
         if name.startswith("serve"):
             metrics = entry.get("metrics")
             if not isinstance(metrics, dict) or not metrics.get("counters"):
                 problems.append(f"{name}: missing or empty 'metrics' block")
+            alerts = entry.get("alerts")
+            if not isinstance(alerts, dict) or not alerts.get("rules"):
+                problems.append(f"{name}: missing or empty 'alerts' block")
+            elif not isinstance(alerts.get("history"), list):
+                problems.append(f"{name}: 'alerts' block lacks a 'history' list")
     unknown = sorted(set(entries) - set(EXPERIMENTS))
     if unknown:
         problems.append(f"report names unknown experiments: {', '.join(unknown)}")

@@ -2,9 +2,10 @@
 """CI gate: the checked-in golden files must match their generators.
 
 Every golden file under ``tests/serve/golden/`` is the rendered output of
-a documented generator — ``golden_rows`` functions for the CSVs, and
+a documented generator — ``golden_rows`` functions for the CSVs,
 ``repro.bench.serve.golden_trace`` for the Perfetto span-event trace of
-the small serve run. This script regenerates each one
+the small serve run, and ``golden_dashboard_digest`` for the sha256 of
+its monitored dashboard HTML. This script regenerates each one
 and fails on any byte difference — catching un-blessed replay drift at
 review time (the event loop, scheduler, estimates, or float formatting
 changed and nobody re-blessed the golden) instead of in a later PR.
@@ -46,6 +47,10 @@ def _renderers():
         # Perfetto span-event trace of the small serve run — pins every
         # lifecycle edge (arrival through completion), not just aggregates.
         "serve_trace_small.json": serve.golden_trace,
+        # sha256 of the monitored small serve run's dashboard HTML — pins
+        # the sampler cadence, alert evaluation, and the rendering itself
+        # without checking in tens of kilobytes of markup.
+        "serve_dashboard_small.sha256": serve.golden_dashboard_digest,
     }
 
 
@@ -56,7 +61,7 @@ def main(argv: list[str]) -> int:
 
     unregistered = sorted(
         p.name
-        for pattern in ("*.csv", "*.json")
+        for pattern in ("*.csv", "*.json", "*.sha256")
         for p in GOLDEN_DIR.glob(pattern)
         if p.name not in renderers
     )

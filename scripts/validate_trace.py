@@ -15,7 +15,14 @@ and then runs this checker over the file. The job fails when
   by ``ts``; an out-of-order event means the sort — or the simulation
   clock feeding it — broke),
 * an async span is unbalanced (a request that began and never ended,
-  or ended twice).
+  or ended twice),
+* a counter sample is negative (every exported counter is a count or a
+  cumulative sum — a negative value means the accounting broke),
+* an alert instant is malformed: missing ``id``/``scope``/``rule``/
+  ``state`` args, an unknown state, a repeated state for one alert id,
+  or a lifecycle order violation (``firing`` only after ``pending``,
+  ``resolved`` only after ``firing``, ``cancelled`` only after a
+  ``pending`` that never fired, nothing after a terminal state).
 
 This is a *format* gate, not a semantic one: it proves any bench trace
 opens cleanly in ``ui.perfetto.dev``, not that the spans mean the right
@@ -37,6 +44,44 @@ KNOWN_PHASES = frozenset("MXbesfiC")
 #: phases exempt from the monotonicity walk (metadata is pinned at ts 0).
 METADATA_PHASES = frozenset("M")
 
+#: every alert lifecycle state the AlertEngine emits as a trace instant.
+ALERT_STATES = frozenset({"pending", "firing", "resolved", "cancelled"})
+#: states after which an alert id must never emit again.
+ALERT_TERMINAL = frozenset({"resolved", "cancelled"})
+
+
+def _check_alert(
+    where: str, args: object, alert_states: dict[object, list[str]]
+) -> list[str]:
+    """One alert instant against the per-id lifecycle state machine."""
+    if not isinstance(args, dict):
+        return [f"{where}: alert instant needs an 'args' object"]
+    missing = [k for k in ("id", "scope", "rule", "state") if not args.get(k)]
+    if missing:
+        return [f"{where}: alert instant missing args {missing}"]
+    state = args["state"]
+    if state not in ALERT_STATES:
+        return [f"{where}: unknown alert state {state!r}"]
+    seen = alert_states.setdefault(args["id"], [])
+    problems: list[str] = []
+    if seen and seen[-1] in ALERT_TERMINAL:
+        problems.append(f"{where}: alert {args['id']!r} emits {state!r} after {seen[-1]!r}")
+    elif state in seen:
+        problems.append(f"{where}: alert {args['id']!r} repeats state {state!r}")
+    elif state == "pending" and seen:
+        problems.append(f"{where}: alert {args['id']!r} re-enters 'pending'")
+    elif state == "firing" and "pending" not in seen:
+        problems.append(f"{where}: alert {args['id']!r} fires without 'pending'")
+    elif state == "resolved" and "firing" not in seen:
+        problems.append(f"{where}: alert {args['id']!r} resolves without 'firing'")
+    elif state == "cancelled" and ("firing" in seen or "pending" not in seen):
+        problems.append(
+            f"{where}: alert {args['id']!r} cancels "
+            + ("after firing" if "firing" in seen else "without 'pending'")
+        )
+    seen.append(state)
+    return problems
+
 
 def check(trace_path: str) -> list[str]:
     """Return the list of format problems found in one trace file."""
@@ -49,6 +94,7 @@ def check(trace_path: str) -> list[str]:
 
     problems: list[str] = []
     open_async: dict[tuple[object, object], int] = {}
+    alert_states: dict[object, list[str]] = {}
     last_ts = 0.0
     for i, event in enumerate(payload["traceEvents"]):
         if not isinstance(event, dict):
@@ -93,6 +139,14 @@ def check(trace_path: str) -> list[str]:
                 for v in series.values()
             ):
                 problems.append(f"{where}: counter values must be numbers")
+            else:
+                negative = {k: v for k, v in series.items() if v < 0}
+                if negative:
+                    problems.append(
+                        f"{where}: counter values must be non-negative, got {negative}"
+                    )
+        if ph == "i" and event.get("name") == "alert":
+            problems += _check_alert(where, event.get("args"), alert_states)
 
     unclosed = sorted(str(key) for key, depth in open_async.items() if depth > 0)
     if unclosed:

@@ -17,6 +17,10 @@ per-experiment ``.txt`` / ``.csv`` files still land in ``--outdir``.
 ``--trace PATH`` records the headline run's span events and writes
 Chrome/Perfetto ``trace_event`` JSON to PATH (open it at
 ``ui.perfetto.dev``); it applies to exactly one experiment per invocation.
+``--dashboard PATH`` writes the headline run's monitoring dashboard — a
+self-contained, byte-deterministic HTML page with per-series sparklines,
+the burn-rate alert timeline, p99 blame, and the fleet timeline — and
+likewise applies to exactly one (serving) experiment.
 """
 
 from __future__ import annotations
@@ -59,6 +63,14 @@ def main(argv: list[str] | None = None) -> int:
             "trace_event JSON to PATH (exactly one experiment)"
         ),
     )
+    parser.add_argument(
+        "--dashboard",
+        metavar="PATH",
+        help=(
+            "write the headline run's monitoring dashboard HTML to PATH "
+            "(exactly one serving experiment)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -85,8 +97,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro.serve.obs import TraceRecorder
 
         recorder = TraceRecorder()
+    if args.dashboard and len(names) != 1:
+        parser.error(
+            "--dashboard applies to exactly one experiment, "
+            "e.g. --dashboard dash.html serve"
+        )
 
     json_report: list[dict] = []
+    dashboard_html: str | None = None
     for name in names:
         t0 = time.perf_counter()
         result = run_experiment(name, quick=args.quick, recorder=recorder)
@@ -107,12 +125,25 @@ def main(argv: list[str] | None = None) -> int:
         }
         if result.metrics is not None:
             entry["metrics"] = result.metrics
+        if result.alerts is not None:
+            entry["alerts"] = result.alerts
+        if args.dashboard:
+            dashboard_html = result.dashboard_html
         json_report.append(entry)
     if args.trace:
         from repro.serve.obs import write_trace
 
         write_trace(recorder, args.trace)
         print(f"wrote Perfetto trace ({len(recorder.events)} events) to {args.trace}")
+    if args.dashboard:
+        if dashboard_html is None:
+            parser.error(
+                f"experiment {names[0]!r} does not produce a dashboard "
+                "(only the serving experiments monitor their headline run)"
+            )
+        with open(args.dashboard, "w") as fh:
+            fh.write(dashboard_html)
+        print(f"wrote monitoring dashboard to {args.dashboard}")
     if args.output:
         with open(args.output, "w") as fh:
             json.dump({"experiments": json_report}, fh, indent=2, default=str)

@@ -32,6 +32,13 @@ class ExperimentResult:
     #: JSON-ready :meth:`MetricsRegistry.snapshot` of the experiment's
     #: headline run, when the runner serves traffic (``None`` otherwise).
     metrics: dict[str, object] | None = None
+    #: JSON-ready :meth:`AlertEngine.snapshot` of the headline run's
+    #: burn-rate alerting (``None`` for unmonitored experiments).
+    alerts: dict[str, object] | None = None
+    #: rendered monitoring dashboard HTML of the headline run
+    #: (``repro-bench --dashboard PATH`` writes it; ``None`` when the
+    #: runner does not monitor).
+    dashboard_html: str | None = None
 
     def full_text(self) -> str:
         parts = [f"=== {self.name}: {self.title} ===", "", self.text]

@@ -19,6 +19,8 @@ experiment quantifies what the :mod:`repro.serve` tier buys back:
 
 from __future__ import annotations
 
+import hashlib
+
 from repro.apps.radioastronomy.beamformer import service_workload as lofar_workload
 from repro.apps.ultrasound.imaging import service_workload as ultrasound_workload
 from repro.bench.report import ExperimentResult
@@ -28,12 +30,14 @@ from repro.serve import (
     BatchingPolicy,
     BeamformingService,
     Request,
+    ServiceMonitor,
     ServiceReport,
     TraceRecorder,
     Workload,
     bursty_arrivals,
     diurnal_arrivals,
     poisson_arrivals,
+    render_dashboard,
     render_trace,
 )
 from repro.serve.obs.trace import NullRecorder
@@ -51,12 +55,16 @@ OVERLOAD_FACTOR = 5.0
 #: the acceptance bar: batched throughput over naive throughput.
 REQUIRED_SPEEDUP = 3.0
 
+#: monitoring cadence of the headline run (~120 samples per quick run).
+MONITOR_INTERVAL_S = 100e-6
+
 
 def _simulate(
     requests: list[Request],
     max_batch: int,
     n_devices: int,
     recorder: NullRecorder | None = None,
+    monitor: ServiceMonitor | None = None,
 ) -> ServiceReport:
     devices = [Device(GPU, ExecutionMode.DRY_RUN) for _ in range(n_devices)]
     service = BeamformingService(
@@ -64,6 +72,7 @@ def _simulate(
         policy=BatchingPolicy(max_batch=max_batch, max_wait_s=MAX_WAIT_S),
         slo=SLO(p99_latency_s=SLO_P99_S),
         recorder=recorder,
+        monitor=monitor,
     )
     return service.run(requests)
 
@@ -97,6 +106,29 @@ def golden_trace(horizon_s: float = GOLDEN_HORIZON_S, seed: int = SEED) -> str:
     recorder = TraceRecorder()
     _simulate(arrivals, max_batch=32, n_devices=1, recorder=recorder)
     return render_trace(recorder) + "\n"
+
+
+def golden_dashboard(horizon_s: float = GOLDEN_HORIZON_S, seed: int = SEED) -> str:
+    """The rendered dashboard HTML pinned by the checked-in golden digest.
+
+    Monitors the same short headline configuration as :func:`golden_trace`.
+    Sampling, alert evaluation, and HTML rendering are all deterministic
+    functions of the simulation clock, so the page must hash identically
+    on any platform; ``scripts/check_golden.py`` gates the digest.
+    """
+    beam_block = lofar_workload()
+    arrivals = poisson_arrivals(beam_block, _naive_rate(beam_block), horizon_s, seed=seed)
+    monitor = ServiceMonitor(interval_s=MONITOR_INTERVAL_S)
+    report = _simulate(arrivals, max_batch=32, n_devices=1, monitor=monitor)
+    return render_dashboard(
+        report, title=f"serve (golden): batched LOFAR overload on one {GPU}"
+    )
+
+
+def golden_dashboard_digest(horizon_s: float = GOLDEN_HORIZON_S, seed: int = SEED) -> str:
+    """sha256 hex digest of :func:`golden_dashboard`, plus a trailing newline."""
+    html = golden_dashboard(horizon_s, seed=seed)
+    return hashlib.sha256(html.encode("utf-8")).hexdigest() + "\n"
 
 
 def _row(label: str, report: ServiceReport) -> list[object]:
@@ -137,7 +169,8 @@ def run(quick: bool = False, recorder: NullRecorder | None = None) -> Experiment
     rate_hz = _naive_rate(beam_block)
     arrivals = poisson_arrivals(beam_block, rate_hz, horizon_s, seed=SEED)
     naive = _simulate(arrivals, max_batch=1, n_devices=1)
-    batched = _simulate(arrivals, max_batch=32, n_devices=1, recorder=recorder)
+    monitor = ServiceMonitor(interval_s=MONITOR_INTERVAL_S)
+    batched = _simulate(arrivals, max_batch=32, n_devices=1, recorder=recorder, monitor=monitor)
     speedup = batched.throughput_rps / naive.throughput_rps
     headline_rows = [_row("naive (max_batch=1)", naive), _row("batched (max_batch=32)", batched)]
     tables["headline"] = (_HEADERS, headline_rows)
@@ -279,4 +312,8 @@ def run(quick: bool = False, recorder: NullRecorder | None = None) -> Experiment
         tables=tables,
         findings=findings,
         metrics=batched.metrics.snapshot() if batched.metrics is not None else None,
+        alerts=monitor.engine.snapshot(),
+        dashboard_html=render_dashboard(
+            batched, title=f"serve: batched LOFAR overload on one {GPU}"
+        ),
     )

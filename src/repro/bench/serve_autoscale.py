@@ -48,6 +48,8 @@ from repro.serve import (
     ServiceReport,
     diurnal_arrivals,
 )
+from repro.serve.arrivals import fit_rate_forecast
+from repro.serve.obs import ServiceMonitor, render_dashboard
 from repro.serve.obs.trace import NullRecorder
 from repro.util.formatting import render_table
 
@@ -76,6 +78,8 @@ MAX_WORKERS = 10
 STARTUP_S = 400e-6
 #: autoscaler evaluation interval (the fourth event source's clock).
 INTERVAL_S = 250e-6
+#: monitor sampling cadence (the pure-read fifth event source's clock).
+MONITOR_INTERVAL_S = 100e-6
 
 #: reactive knobs: sustained-pressure threshold and trend lengths.
 UP_PRESSURE_S = 0.15e-3
@@ -146,6 +150,7 @@ def _service(
     n_devices: int,
     autoscaler: Autoscaler | None = None,
     recorder: NullRecorder | None = None,
+    monitor: ServiceMonitor | None = None,
 ) -> BeamformingService:
     return BeamformingService(
         [_device() for _ in range(n_devices)],
@@ -153,13 +158,20 @@ def _service(
         slo=SLO(p99_latency_s=SLO_P99_S, deadline_s=DEADLINE_S),
         autoscaler=autoscaler,
         recorder=recorder,
+        monitor=monitor,
     )
+
+
+def _monitor() -> ServiceMonitor:
+    """The headline run's monitor: default burn-rate rules, 100 µs ticks."""
+    return ServiceMonitor(interval_s=MONITOR_INTERVAL_S)
 
 
 def reactive_scenario(
     horizon_s: float = HORIZON_S,
     seed: int = SEED,
     recorder: NullRecorder | None = None,
+    monitor: ServiceMonitor | None = None,
 ) -> ServiceReport:
     """The reactive run: queue pressure up, sustained idle down."""
     autoscaler = Autoscaler(
@@ -171,16 +183,38 @@ def reactive_scenario(
         max_workers=MAX_WORKERS,
         startup_s=STARTUP_S,
     )
-    return _service(SEED_WORKERS, autoscaler, recorder=recorder).run(
+    return _service(SEED_WORKERS, autoscaler, recorder=recorder, monitor=monitor).run(
         _trace(horizon_s, seed)
     )
 
 
-def predictive_scenario(horizon_s: float = HORIZON_S, seed: int = SEED) -> ServiceReport:
-    """The predictive run: sized against the diurnal rate forecast."""
+@cache
+def fitted_forecast(horizon_s: float = HORIZON_S, seed: int = SEED) -> RateForecast:
+    """The forecast a live operator would have: fitted from observed traffic.
+
+    Estimated from the trace's own arrival instants via
+    :func:`~repro.serve.arrivals.fit_rate_forecast` — only the period is
+    assumed known (the day length is scheduled; the profile is not). The
+    profile is periodic, so fitting on the same window the run replays is
+    the honest stand-in for "fit on yesterday, provision today".
+    """
+    trace = _trace(horizon_s, seed)
+    return fit_rate_forecast([r.arrival_s for r in trace], PERIOD_S, horizon_s)
+
+
+def predictive_scenario(
+    horizon_s: float = HORIZON_S, seed: int = SEED, oracle: bool = False
+) -> ServiceReport:
+    """The predictive run: sized against the diurnal rate forecast.
+
+    By default the policy consumes the *fitted* forecast (estimated from
+    observed arrivals); ``oracle=True`` hands it the generator's true
+    profile instead — the upper bound the regression test pins the fitted
+    run against.
+    """
     autoscaler = Autoscaler(
         PredictiveAutoscaler(
-            forecast=forecast(),
+            forecast=forecast() if oracle else fitted_forecast(horizon_s, seed),
             capacity_hz=capacity_hz(),
             lead_s=LEAD_S,
             hold_s=HOLD_S,
@@ -276,7 +310,8 @@ def run(quick: bool = False, recorder: NullRecorder | None = None) -> Experiment
     tables: dict[str, tuple[list[str], list[list[object]]]] = {}
     text_parts: list[str] = []
 
-    reactive = reactive_scenario(horizon_s, recorder=recorder)
+    monitor = _monitor()
+    reactive = reactive_scenario(horizon_s, recorder=recorder, monitor=monitor)
     predictive = predictive_scenario(horizon_s)
     #: the autoscaler's device-second budget as whole fixed devices.
     n_budget = max(1, int(reactive.mean_fleet_size))
@@ -361,6 +396,35 @@ def run(quick: bool = False, recorder: NullRecorder | None = None) -> Experiment
         f"({'PASS' if drains_ok else 'FAIL'})"
     )
 
+    # --- burn-rate alerting sees the peak -----------------------------------
+    fired = [a for a in reactive.alerts() if a.firing_s is not None]
+    service_fired = [a for a in fired if a.scope == "service"]
+    resolved = [a for a in service_fired if a.resolved_s is not None]
+    scaled_into_resolution = any(
+        any(
+            e.kind == "up" and a.firing_s <= e.t_s <= a.resolved_s
+            for e in reactive.scale_events
+        )
+        for a in resolved
+    )
+    alerts_ok = bool(service_fired) and bool(resolved) and scaled_into_resolution
+    if service_fired:
+        first = service_fired[0]
+        findings.append(
+            f"burn-rate alerting catches the diurnal peak: "
+            f"{len(fired)} alert(s) fired "
+            f"(service-scope [{first.aid}] at {first.firing_s * 1e3:.2f} ms, "
+            f"peak burn {first.peak_burn:.0f}x the error budget) and "
+            f"resolved after scale-up at "
+            f"{(resolved[0].resolved_s if resolved else 0.0) * 1e3:.2f} ms "
+            f"({'PASS' if alerts_ok else 'FAIL'})"
+        )
+    else:
+        findings.append(
+            "burn-rate alerting: no service-scope alert fired at the "
+            "diurnal peak (FAIL)"
+        )
+
     # --- determinism ---------------------------------------------------------
     replay = reactive_scenario(horizon_s)
     deterministic = (
@@ -380,4 +444,9 @@ def run(quick: bool = False, recorder: NullRecorder | None = None) -> Experiment
         tables=tables,
         findings=findings,
         metrics=reactive.metrics.snapshot() if reactive.metrics is not None else None,
+        alerts=monitor.engine.snapshot(),
+        dashboard_html=render_dashboard(
+            reactive,
+            title="serve-autoscale: reactive policy, two compressed diurnal days",
+        ),
     )

@@ -35,9 +35,11 @@ from repro.serve import (
     BatchingPolicy,
     BeamformingService,
     Request,
+    ServiceMonitor,
     ServiceReport,
     merge_arrivals,
     poisson_arrivals,
+    render_dashboard,
 )
 from repro.serve.obs.trace import NullRecorder
 from repro.util.formatting import render_table
@@ -69,6 +71,9 @@ SURVEY_CHANNELS = 350_000
 BATCH_POLICY = BatchingPolicy(max_batch=32, max_wait_s=1e-3)
 INTERACTIVE_POLICY = BatchingPolicy(max_batch=4, max_wait_s=50e-6)
 
+#: monitoring cadence of the headline run (~80 samples per quick run).
+MONITOR_INTERVAL_S = 50e-6
+
 
 def _fleet() -> list[Device]:
     return [Device(name, ExecutionMode.DRY_RUN) for name in FLEET]
@@ -82,7 +87,10 @@ def _batched_capacity_hz(workload, gpu: str) -> float:
 
 
 def mixed_scenario(
-    horizon_s: float, seed: int = SEED, recorder: NullRecorder | None = None
+    horizon_s: float,
+    seed: int = SEED,
+    recorder: NullRecorder | None = None,
+    monitor: ServiceMonitor | None = None,
 ) -> ServiceReport:
     """int1 imaging + float16 LOFAR on the mixed fleet (the headline run)."""
     imaging = ultrasound_workload(n_voxels=4096, k=1024, n_frames=64)
@@ -98,6 +106,7 @@ def mixed_scenario(
         class_policies={0: INTERACTIVE_POLICY},
         slo=SLO(p99_latency_s=SLO_P99_S),
         recorder=recorder,
+        monitor=monitor,
     )
     return service.run(trace)
 
@@ -199,7 +208,8 @@ def run(quick: bool = False, recorder: NullRecorder | None = None) -> Experiment
     text_parts: list[str] = []
 
     # --- capability routing on the mixed fleet ------------------------------
-    mixed = mixed_scenario(horizon_s, recorder=recorder)
+    monitor = ServiceMonitor(interval_s=MONITOR_INTERVAL_S)
+    mixed = mixed_scenario(horizon_s, recorder=recorder, monitor=monitor)
     by_dev = _precision_by_device(mixed)
     int1_on_amd = sum(n for (dev, prec), n in by_dev.items() if prec == "int1" and dev != "GH200")
     int1_on_gh200 = by_dev.get(("GH200", "int1"), 0)
@@ -339,4 +349,8 @@ def run(quick: bool = False, recorder: NullRecorder | None = None) -> Experiment
         tables=tables,
         findings=findings,
         metrics=mixed.metrics.snapshot() if mixed.metrics is not None else None,
+        alerts=monitor.engine.snapshot(),
+        dashboard_html=render_dashboard(
+            mixed, title="serve-hetero: int1 imaging + float16 LOFAR on GH200 + MI300X"
+        ),
     )

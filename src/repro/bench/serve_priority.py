@@ -31,9 +31,11 @@ from repro.serve import (
     BatchingPolicy,
     BeamformingService,
     ClassStats,
+    ServiceMonitor,
     ServiceReport,
     merge_arrivals,
     poisson_arrivals,
+    render_dashboard,
 )
 from repro.serve.obs.trace import NullRecorder
 from repro.util.formatting import render_table
@@ -59,6 +61,9 @@ FAIRNESS_TOLERANCE = 0.10
 INTERACTIVE_POLICY = BatchingPolicy(max_batch=4, max_wait_s=50e-6)
 BATCH_POLICY = BatchingPolicy(max_batch=32, max_wait_s=1e-3)
 
+#: monitoring cadence of the headline run (~80 samples per quick run).
+MONITOR_INTERVAL_S = 50e-6
+
 
 def _device() -> Device:
     return Device(GPU, ExecutionMode.DRY_RUN)
@@ -79,7 +84,9 @@ def _batched_capacity_hz(workload) -> float:
 
 
 def _service(
-    slo_s: float = SLO_P99_S, recorder: NullRecorder | None = None
+    slo_s: float = SLO_P99_S,
+    recorder: NullRecorder | None = None,
+    monitor: ServiceMonitor | None = None,
 ) -> BeamformingService:
     return BeamformingService(
         [_device()],
@@ -88,11 +95,15 @@ def _service(
         slo=SLO(p99_latency_s=slo_s),
         tenant_weights=TENANT_WEIGHTS,
         recorder=recorder,
+        monitor=monitor,
     )
 
 
 def overload_scenario(
-    horizon_s: float, seed: int = SEED, recorder: NullRecorder | None = None
+    horizon_s: float,
+    seed: int = SEED,
+    recorder: NullRecorder | None = None,
+    monitor: ServiceMonitor | None = None,
 ) -> ServiceReport:
     """The headline run: clinic + two pulsar campaigns at 5x overload."""
     interactive, pulsar_a, pulsar_b = _workloads()
@@ -102,7 +113,7 @@ def overload_scenario(
         poisson_arrivals(pulsar_a, batch_rate, horizon_s, seed=seed + 1),
         poisson_arrivals(pulsar_b, batch_rate, horizon_s, seed=seed + 2),
     )
-    return _service(recorder=recorder).run(trace)
+    return _service(recorder=recorder, monitor=monitor).run(trace)
 
 
 def fairness_scenario(horizon_s: float, seed: int = SEED) -> tuple[dict[str, int], float]:
@@ -188,7 +199,8 @@ def run(quick: bool = False, recorder: NullRecorder | None = None) -> Experiment
     text_parts: list[str] = []
 
     # --- headline: 5x overload, three tenants, two priority classes ---------
-    report = overload_scenario(horizon_s, recorder=recorder)
+    monitor = ServiceMonitor(interval_s=MONITOR_INTERVAL_S)
+    report = overload_scenario(horizon_s, recorder=recorder, monitor=monitor)
     classes = report.by_priority()
     tenants = report.by_tenant()
     class_rows = [_stats_row(s) for s in classes]
@@ -261,4 +273,9 @@ def run(quick: bool = False, recorder: NullRecorder | None = None) -> Experiment
         tables=tables,
         findings=findings,
         metrics=report.metrics.snapshot() if report.metrics is not None else None,
+        alerts=monitor.engine.snapshot(),
+        dashboard_html=render_dashboard(
+            report,
+            title=f"serve-priority: clinic vs pulsar campaigns on one {GPU}",
+        ),
     )

@@ -36,8 +36,10 @@ discrete-event simulation:
 * :mod:`~repro.serve.obs` — observability: the zero-overhead-when-disabled
   :class:`TraceRecorder` of typed lifecycle span events, Chrome/Perfetto
   ``trace_event`` export, exact critical-path latency attribution with
-  p99 blame, and the :class:`MetricsRegistry` the whole stack publishes
-  into;
+  p99 blame, the :class:`MetricsRegistry` the whole stack publishes
+  into, plus operational monitoring — fixed-cadence :class:`TimeSeries`
+  sampling (:class:`ServiceMonitor`), SLO error-budget burn-rate
+  alerting, and a byte-deterministic HTML dashboard;
 * :mod:`~repro.serve.service` — :class:`BeamformingService`, the event
   loop tying it together, reporting p50/p95/p99, throughput, goodput, shed
   rate, batch and cache statistics, and fleet utilization — overall and
@@ -48,6 +50,7 @@ from repro.serve.arrivals import (
     RateForecast,
     bursty_arrivals,
     diurnal_arrivals,
+    fit_rate_forecast,
     merge_arrivals,
     poisson_arrivals,
 )
@@ -66,11 +69,19 @@ from repro.serve.cache import CachedPlan, PlanCache
 from repro.serve.dispatch import BatchExecution, DeviceWorker, FleetDispatcher
 from repro.serve.obs import (
     NULL_RECORDER,
+    Alert,
+    AlertEngine,
     BlameReport,
+    BurnRateRule,
+    ErrorBudget,
     MetricsRegistry,
     RequestPath,
+    ServiceMonitor,
+    TimeSeries,
     TraceRecorder,
+    render_dashboard,
     render_trace,
+    write_dashboard,
     write_trace,
 )
 from repro.serve.placement import (
@@ -99,6 +110,7 @@ __all__ = [
     "diurnal_arrivals",
     "merge_arrivals",
     "RateForecast",
+    "fit_rate_forecast",
     "BatchingPolicy",
     "MicroBatcher",
     "Batch",
@@ -137,4 +149,12 @@ __all__ = [
     "BlameReport",
     "render_trace",
     "write_trace",
+    "ServiceMonitor",
+    "TimeSeries",
+    "Alert",
+    "AlertEngine",
+    "BurnRateRule",
+    "ErrorBudget",
+    "render_dashboard",
+    "write_dashboard",
 ]

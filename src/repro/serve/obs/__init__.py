@@ -1,6 +1,6 @@
-"""Observability for the serving tier: tracing, metrics, attribution.
+"""Observability for the serving tier: tracing, metrics, monitoring.
 
-Three pieces, all deterministic and all off the hot path unless asked
+Six pieces, all deterministic and all off the hot path unless asked
 for:
 
 * :mod:`~repro.serve.obs.trace` / :mod:`~repro.serve.obs.events` — a
@@ -11,9 +11,22 @@ for:
 * :mod:`~repro.serve.obs.critical_path` — exact per-request latency
   decomposition and p99 blame rollup;
 * :mod:`~repro.serve.obs.metrics` — the :class:`MetricsRegistry` of
-  counters/gauges/histograms the whole stack publishes into.
+  counters/gauges/histograms the whole stack publishes into;
+* :mod:`~repro.serve.obs.monitor` / :mod:`~repro.serve.obs.alerts` —
+  fixed-cadence :class:`TimeSeries` sampling of a live run plus SRE-style
+  multi-window burn-rate alerting over per-scope SLO error budgets;
+* :mod:`~repro.serve.obs.dashboard` — a self-contained, byte-deterministic
+  HTML dashboard of a monitored run (``repro-bench --dashboard``).
 """
 
+from repro.serve.obs.alerts import (
+    DEFAULT_OBJECTIVE,
+    DEFAULT_RULES,
+    Alert,
+    AlertEngine,
+    BurnRateRule,
+    ErrorBudget,
+)
 from repro.serve.obs.critical_path import (
     SEGMENTS,
     BlameReport,
@@ -21,9 +34,11 @@ from repro.serve.obs.critical_path import (
     attribute,
     blame,
 )
+from repro.serve.obs.dashboard import render_dashboard, write_dashboard
 from repro.serve.obs.events import (
     EVENT_TYPES,
     AdmissionDecided,
+    AlertStateChanged,
     BatchClosed,
     BatchExecuted,
     BatcherEnqueued,
@@ -44,6 +59,7 @@ from repro.serve.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.serve.obs.monitor import MetricSampler, ServiceMonitor, TimeSeries
 from repro.serve.obs.perfetto import render_trace, trace_to_dict, write_trace
 from repro.serve.obs.trace import NULL_RECORDER, NullRecorder, TraceRecorder
 
@@ -53,8 +69,17 @@ __all__ = [
     "RequestPath",
     "attribute",
     "blame",
+    "DEFAULT_OBJECTIVE",
+    "DEFAULT_RULES",
+    "Alert",
+    "AlertEngine",
+    "BurnRateRule",
+    "ErrorBudget",
+    "render_dashboard",
+    "write_dashboard",
     "EVENT_TYPES",
     "AdmissionDecided",
+    "AlertStateChanged",
     "BatchClosed",
     "BatchExecuted",
     "BatcherEnqueued",
@@ -72,6 +97,9 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "MetricSampler",
+    "ServiceMonitor",
+    "TimeSeries",
     "render_trace",
     "trace_to_dict",
     "write_trace",

@@ -227,6 +227,25 @@ class ScaleApplied(SpanEvent):
     reason: str = ""
 
 
+@dataclass(frozen=True)
+class AlertStateChanged(SpanEvent):
+    """One burn-rate alert lifecycle transition from the alert engine.
+
+    ``state`` is one of ``"pending"``, ``"firing"``, ``"resolved"``,
+    ``"cancelled"`` (a pending alert whose condition cleared before the
+    hold-down elapsed). ``burn_fast``/``burn_slow`` are the rule's two
+    window burn rates at the evaluating tick — the evidence the
+    transition was decided on.
+    """
+
+    alert_id: str
+    scope: str
+    rule: str
+    state: str
+    burn_fast: float
+    burn_slow: float
+
+
 #: event-type name -> class, for exporters that dispatch on type.
 EVENT_TYPES: dict[str, type] = {
     cls.__name__: cls
@@ -243,5 +262,6 @@ EVENT_TYPES: dict[str, type] = {
         BatchExecuted,
         RequestCompleted,
         ScaleApplied,
+        AlertStateChanged,
     )
 }

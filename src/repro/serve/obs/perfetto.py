@@ -33,6 +33,7 @@ from pathlib import Path
 
 from repro.serve.obs.events import (
     AdmissionDecided,
+    AlertStateChanged,
     BatchClosed,
     BatchExecuted,
     BatcherEnqueued,
@@ -201,6 +202,11 @@ def trace_to_dict(recorder: TraceRecorder) -> dict:
                  "name": "fleet", "args": {"accepting": event.accepting,
                                            "provisioned": event.provisioned}}
             )
+        elif isinstance(event, AlertStateChanged):
+            instant(event, "alert",
+                    {"id": event.alert_id, "scope": event.scope, "rule": event.rule,
+                     "state": event.state, "burn_fast": event.burn_fast,
+                     "burn_slow": event.burn_slow})
         elif isinstance(event, BatchExecuted):
             if event.bid not in started_bids:
                 started_bids.add(event.bid)

@@ -50,7 +50,9 @@ from repro.serve.obs.events import (
     RequestCompleted,
     ScaleApplied,
 )
+from repro.serve.obs.alerts import Alert
 from repro.serve.obs.metrics import MetricsRegistry
+from repro.serve.obs.monitor import ServiceMonitor
 from repro.serve.obs.trace import NULL_RECORDER, NullRecorder
 from repro.serve.placement import PlacementDecision, PlacementKind, Placer
 from repro.serve.scheduler import PriorityScheduler
@@ -107,6 +109,11 @@ class ServiceReport:
     cache_by_worker: list[tuple[int, str, int, int]] = field(default_factory=list)
     #: the run's metrics registry (``None`` for hand-built reports).
     metrics: MetricsRegistry | None = None
+    #: the run's service monitor (``None`` for unmonitored runs).
+    monitor: ServiceMonitor | None = None
+    #: per-worker provisioned windows ``(joined_s, end_s)``, worker-index
+    #: order; ``end_s`` is retirement or the run's makespan.
+    worker_spans: list[tuple[float, float]] = field(default_factory=list)
 
     # -- request-level metrics ----------------------------------------------
 
@@ -343,6 +350,40 @@ class ServiceReport:
         """Per-segment blame over the ``q``-th-percentile tail cohort."""
         return blame(self.request_paths(), q)
 
+    # -- monitoring -----------------------------------------------------------
+
+    def alerts(self) -> list[Alert]:
+        """Every burn-rate alert the run's monitor raised (creation order).
+
+        Empty for unmonitored runs — monitoring is opt-in the same way
+        tracing is.
+        """
+        if self.monitor is None:
+            return []
+        return list(self.monitor.engine.history)
+
+    def worker_busy_fractions(self) -> list[float]:
+        """Per-worker compute-busy fraction over each worker's own window.
+
+        Busy time is the sum of the worker's compute-engine spans
+        (shard-level for splits); the window is the worker's provisioned
+        span from :attr:`worker_spans` — a late joiner or early retiree is
+        judged only over the time it actually existed, unlike
+        :attr:`utilizations`' shared-makespan denominator.
+        """
+        if not self.worker_spans:
+            return []
+        busy = [0.0] * len(self.worker_spans)
+        for e in self.executions:
+            parts = e.shards if e.is_split else [e]
+            for part in parts:
+                busy[part.worker_index] += part.completion_s - part.compute_start_s
+        fractions = []
+        for (start_s, end_s), busy_s in zip(self.worker_spans, busy):
+            window = end_s - start_s
+            fractions.append(busy_s / window if window > 0 else 0.0)
+        return fractions
+
     def summary(self) -> str:
         lines = [
             f"requests: {self.n_offered} offered, {self.n_admitted} admitted, "
@@ -372,6 +413,16 @@ class ServiceReport:
             f"[{', '.join(self.device_names)}], utilization "
             + ", ".join(f"{u:.1%}" for u in self.utilizations),
         ]
+        busy = self.worker_busy_fractions()
+        if busy:
+            lines.append(
+                "busy:     "
+                + ", ".join(
+                    f"worker{i}/{device} {fraction:.1%}"
+                    for i, (device, fraction) in enumerate(zip(self.device_names, busy))
+                )
+                + " (compute-busy over each worker's provisioned window)"
+            )
         if self.scale_events:
             lines.append(
                 f"scaling:  {self.n_scale_ups} up / {self.n_scale_downs} down "
@@ -403,6 +454,28 @@ class ServiceReport:
                     f"{stats.p99_latency_s * 1e3:.3f} ms, "
                     f"{stats.shed_rate:.1%} shed "
                     f"({stats.shed_share:.1%} of all shedding)"
+                )
+        if self.monitor is not None:
+            engine = self.monitor.engine
+            lines.append(
+                f"alerts:   {engine.count('firing')} fired, "
+                f"{engine.count('resolved')} resolved, "
+                f"{engine.count('cancelled')} cancelled "
+                f"(objective {engine.objective:.2%} in-deadline, "
+                f"{self.monitor.sampler.n_ticks} samples)"
+            )
+            for alert in engine.history:
+                marks = [f"pending {alert.pending_s * 1e3:.3f} ms"]
+                if alert.firing_s is not None:
+                    marks.append(f"fired {alert.firing_s * 1e3:.3f} ms")
+                if alert.resolved_s is not None:
+                    marks.append(f"resolved {alert.resolved_s * 1e3:.3f} ms")
+                if alert.cancelled_s is not None:
+                    marks.append(f"cancelled {alert.cancelled_s * 1e3:.3f} ms")
+                lines.append(
+                    f"  [{alert.aid}] "
+                    + ", ".join(marks)
+                    + f", peak burn {alert.peak_burn:.1f}x"
                 )
         if self.metrics is not None:
             rendered = self.metrics.render()
@@ -452,6 +525,13 @@ class BeamformingService:
         loop as a fourth event source. ``devices`` is then the seed fleet
         and the scale-down floor. ``None`` (default) keeps the fleet
         fixed.
+    monitor:
+        Optional :class:`~repro.serve.obs.monitor.ServiceMonitor`: its
+        sampler ticks are caught up ahead of every event (a pure-read
+        fifth event source — sampling never perturbs the simulation) and
+        its alert engine is fed every shed/completion verdict. ``None``
+        (default) does no monitoring work at all, the same zero-overhead
+        discipline as the trace recorder.
     """
 
     def __init__(
@@ -468,6 +548,7 @@ class BeamformingService:
         autoscaler: Autoscaler | None = None,
         recorder: NullRecorder | None = None,
         metrics: MetricsRegistry | None = None,
+        monitor: ServiceMonitor | None = None,
     ):
         self.policy = policy if policy is not None else BatchingPolicy()
         self.slo = slo if slo is not None else SLO(p99_latency_s=10e-3)
@@ -498,6 +579,9 @@ class BeamformingService:
         self._autoscaler = autoscaler
         if autoscaler is not None:
             autoscaler.metrics = self.metrics
+        self._monitor = monitor
+        if monitor is not None:
+            monitor.bind(self.recorder, self.metrics, self.slo.admission_deadline_s)
         self._scale_events: list[ScaleEvent] = []
         self._timeline = FleetTimeline()
         self._ran = False
@@ -559,6 +643,15 @@ class BeamformingService:
             if not times:
                 break
             now = min(times)
+            if self._monitor is not None:
+                # Catch the monitor up *before* this event's handler: every
+                # pending sampler tick <= now fires (oldest first), each a
+                # pure read of service state — sample, evaluate alerts,
+                # emit trace/metrics. Ticks never dispatch or drain, so a
+                # monitored run replays bit-identically to an unmonitored
+                # one, and ticks only advance while real events remain, so
+                # the loop still terminates.
+                self._monitor.advance(now, self)
             if t_deadline is not None and t_deadline <= now:
                 for batch in self._batcher.due(now):
                     self.fleet.submit(batch)
@@ -605,6 +698,8 @@ class BeamformingService:
                             reason=reason,
                         )
                     )
+                if self._monitor is not None and not admitted:
+                    self._monitor.observe_shed(now, priority, req.workload.tenant)
                 if admitted:
                     outcome.admitted = True
                     self._pending_outcomes[id(req)] = outcome
@@ -622,6 +717,12 @@ class BeamformingService:
             # drain below dispatches everything placeable at this instant.
             for execution in self.fleet.drain(now):
                 self._settle(execution)
+        makespan = max((e.completion_s for e in self.fleet.executions), default=0.0)
+        if self._monitor is not None:
+            # Sample the drain tail too: arrivals have stopped but in-flight
+            # work is still completing, and alerts raised at the last peak
+            # should get their chance to resolve on the time axis.
+            self._monitor.advance(makespan, self)
         cache_by_worker = [
             (w.index, w.device.name, *self.fleet.cache.segment_stats(w.device))
             for w in self.fleet.all_workers
@@ -645,6 +746,11 @@ class BeamformingService:
             fleet_timeline=self._timeline,
             cache_by_worker=cache_by_worker,
             metrics=self.metrics,
+            monitor=self._monitor,
+            worker_spans=[
+                (w.joined_s, w.retired_s if w.retired_s is not None else makespan)
+                for w in self.fleet.all_workers
+            ],
         )
 
     # -- the fourth event source: autoscaling --------------------------------
@@ -738,6 +844,13 @@ class BeamformingService:
             latency = execution.completion_s - req.arrival_s
             self.metrics.inc("service.completed")
             self.metrics.observe("service.latency_ms", latency * 1e3)
+            if self._monitor is not None:
+                self._monitor.observe_completion(
+                    execution.completion_s,
+                    req.workload.priority,
+                    req.workload.tenant,
+                    latency,
+                )
             if self.recorder.enabled:
                 self.recorder.emit(
                     RequestCompleted(
@@ -787,14 +900,22 @@ class BeamformingService:
             _, n = heapq.heappop(self._in_flight)
             self._in_flight_requests -= n
 
-    def _depth(self) -> int:
-        """Admitted requests waiting or in flight (admission's queue view)."""
+    @property
+    def in_flight(self) -> list[tuple[float, int]]:
+        """Scheduled-but-uncompleted ``(completion_s, n_requests)`` pairs."""
+        return self._in_flight
+
+    def queued_requests(self) -> int:
+        """Admitted requests waiting to dispatch (batcher + scheduler + held)."""
         return (
             self._batcher.depth()
             + self.fleet.scheduler.depth_requests()
             + self.fleet.held_requests
-            + self._in_flight_requests
         )
+
+    def _depth(self) -> int:
+        """Admitted requests waiting or in flight (admission's queue view)."""
+        return self.queued_requests() + self._in_flight_requests
 
     def _estimate_latency(self, now: float, decision: PlacementDecision) -> float:
         """At-arrival, class-aware latency projection for admission control.

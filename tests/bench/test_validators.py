@@ -1,0 +1,143 @@
+"""The CI validator scripts: trace alert lifecycle, counter signs, dashboard.
+
+The validators live in ``scripts/`` (loaded here by file path) and gate
+artifacts CI produces on every run; these tests pin their judgement on
+synthetic inputs — well-formed sequences pass, each class of corruption
+is named in a problem string.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+SCRIPTS_DIR = Path(__file__).parent.parent.parent / "scripts"
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(name, SCRIPTS_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _trace(tmp_path, events: list[dict]) -> str:
+    path = tmp_path / "trace.json"
+    path.write_text(json.dumps({"traceEvents": events}))
+    return str(path)
+
+
+def _alert(ts: float, aid: str, state: str) -> dict:
+    return {
+        "ph": "i",
+        "name": "alert",
+        "pid": 3,
+        "tid": 0,
+        "ts": ts,
+        "s": "t",
+        "args": {"id": aid, "scope": "svc", "rule": "burn", "state": state},
+    }
+
+
+def _counter(ts: float, **series) -> dict:
+    return {"ph": "C", "name": "c", "pid": 3, "tid": 0, "ts": ts, "args": series}
+
+
+class TestTraceAlerts:
+    def test_full_lifecycle_passes(self, tmp_path):
+        validate = _load("validate_trace")
+        events = [
+            _alert(1.0, "a#1", "pending"),
+            _alert(1.0, "a#1", "firing"),
+            _alert(2.0, "a#1", "resolved"),
+            _alert(3.0, "b#1", "pending"),
+            _alert(4.0, "b#1", "cancelled"),
+        ]
+        assert validate.check(_trace(tmp_path, events)) == []
+
+    def test_firing_without_pending_fails(self, tmp_path):
+        validate = _load("validate_trace")
+        problems = validate.check(_trace(tmp_path, [_alert(1.0, "a#1", "firing")]))
+        assert any("without 'pending'" in p for p in problems)
+
+    def test_resolved_before_firing_fails(self, tmp_path):
+        validate = _load("validate_trace")
+        events = [_alert(1.0, "a#1", "pending"), _alert(2.0, "a#1", "resolved")]
+        problems = validate.check(_trace(tmp_path, events))
+        assert any("resolves without 'firing'" in p for p in problems)
+
+    def test_cancel_after_firing_fails(self, tmp_path):
+        validate = _load("validate_trace")
+        events = [
+            _alert(1.0, "a#1", "pending"),
+            _alert(1.0, "a#1", "firing"),
+            _alert(2.0, "a#1", "cancelled"),
+        ]
+        problems = validate.check(_trace(tmp_path, events))
+        assert any("after firing" in p for p in problems)
+
+    def test_states_after_terminal_fail(self, tmp_path):
+        validate = _load("validate_trace")
+        events = [
+            _alert(1.0, "a#1", "pending"),
+            _alert(1.0, "a#1", "firing"),
+            _alert(2.0, "a#1", "resolved"),
+            _alert(3.0, "a#1", "firing"),
+        ]
+        problems = validate.check(_trace(tmp_path, events))
+        assert any("after 'resolved'" in p for p in problems)
+
+    def test_repeated_state_fails(self, tmp_path):
+        validate = _load("validate_trace")
+        events = [
+            _alert(1.0, "a#1", "pending"),
+            _alert(1.0, "a#1", "firing"),
+            _alert(2.0, "a#1", "firing"),
+        ]
+        problems = validate.check(_trace(tmp_path, events))
+        assert any("repeats state" in p for p in problems)
+
+    def test_missing_args_and_unknown_state_fail(self, tmp_path):
+        validate = _load("validate_trace")
+        bare = _alert(1.0, "a#1", "pending")
+        del bare["args"]["rule"]
+        weird = _alert(2.0, "b#1", "exploded")
+        problems = validate.check(_trace(tmp_path, [bare, weird]))
+        assert any("missing args" in p for p in problems)
+        assert any("unknown alert state" in p for p in problems)
+
+
+class TestTraceCounters:
+    def test_non_negative_counters_pass(self, tmp_path):
+        validate = _load("validate_trace")
+        assert validate.check(_trace(tmp_path, [_counter(1.0, depth=3)])) == []
+
+    def test_negative_counter_fails(self, tmp_path):
+        validate = _load("validate_trace")
+        problems = validate.check(_trace(tmp_path, [_counter(1.0, depth=-1)]))
+        assert any("non-negative" in p for p in problems)
+
+
+class TestDashboardValidator:
+    def test_minimal_valid_page_passes(self, tmp_path):
+        validate = _load("validate_dashboard")
+        sections = "".join(
+            f'<div id="{s}"><svg width="1" height="1"></svg></div>'
+            for s in validate.REQUIRED_SECTIONS
+        )
+        series = " ".join(validate.REQUIRED_SERIES)
+        page = (
+            "<!doctype html>\n<html><head><title>d</title></head>"
+            f"<body>{sections}<p>{series}</p></body></html>"
+        )
+        path = tmp_path / "dash.html"
+        path.write_text(page)
+        assert validate.check(str(path)) == []
+
+    def test_unbalanced_tags_fail(self, tmp_path):
+        validate = _load("validate_dashboard")
+        path = tmp_path / "dash.html"
+        path.write_text("<!doctype html><html><head><title>d</title></head><body><div></span>")
+        problems = validate.check(str(path))
+        assert any("misnested" in p or "unclosed" in p for p in problems)

@@ -9,6 +9,7 @@ from repro.serve import (
     Workload,
     bursty_arrivals,
     diurnal_arrivals,
+    fit_rate_forecast,
     merge_arrivals,
     poisson_arrivals,
 )
@@ -107,3 +108,54 @@ class TestMerge:
         # Both tenants are present after the merge.
         names = {r.workload.name for r in merged}
         assert names == {"a", "b"}
+
+
+class TestFitRateForecast:
+    def _arrivals(self, base=20_000.0, amplitude=0.8, period=0.5, horizon=2.0, seed=9):
+        return diurnal_arrivals(workload(), base, amplitude, period, horizon, seed=seed)
+
+    def test_recovers_the_generating_profile(self):
+        base, amplitude, period = 20_000.0, 0.8, 0.5
+        arrivals = self._arrivals(base, amplitude, period)
+        fit = fit_rate_forecast([r.arrival_s for r in arrivals], period)
+        assert fit.period_s == period
+        assert fit.base_rate_hz == pytest.approx(base, rel=0.05)
+        assert fit.amplitude == pytest.approx(amplitude, abs=0.05)
+        # Phase is circular: compare the nearest wrap.
+        phase_err = min(fit.phase_s % period, period - fit.phase_s % period)
+        assert phase_err <= 0.02 * period
+
+    def test_fit_is_deterministic(self):
+        times = [r.arrival_s for r in self._arrivals()]
+        a = fit_rate_forecast(times, 0.5)
+        b = fit_rate_forecast(times, 0.5)
+        assert (a.base_rate_hz, a.amplitude, a.phase_s) == (
+            b.base_rate_hz,
+            b.amplitude,
+            b.phase_s,
+        )
+
+    def test_flat_traffic_fits_near_zero_amplitude(self):
+        flat = poisson_arrivals(workload(), 20_000.0, 2.0, seed=4)
+        fit = fit_rate_forecast([r.arrival_s for r in flat], 0.5)
+        assert fit.amplitude <= 0.05
+        assert fit.base_rate_hz == pytest.approx(20_000.0, rel=0.05)
+
+    def test_only_whole_periods_enter_the_window(self):
+        arrivals = self._arrivals(horizon=2.0)
+        times = [r.arrival_s for r in arrivals]
+        # A horizon of 2.3 periods fits over exactly 2 periods: adding
+        # arrivals past the cut must not change the fit.
+        fit_a = fit_rate_forecast([t for t in times if t < 1.0], 0.5, horizon_s=1.15)
+        fit_b = fit_rate_forecast(times, 0.5, horizon_s=1.15)
+        assert fit_a.base_rate_hz == fit_b.base_rate_hz
+        assert fit_a.amplitude == fit_b.amplitude
+        assert fit_a.phase_s == fit_b.phase_s
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            fit_rate_forecast([], 0.5)
+        with pytest.raises(ShapeError):
+            fit_rate_forecast([0.1], 0.0)
+        with pytest.raises(ShapeError):
+            fit_rate_forecast([0.1], 0.5, horizon_s=0.25)  # under one period

@@ -568,3 +568,30 @@ class TestAutoscaledService:
     def test_summary_mentions_scaling(self):
         report = self.run_service(self.reactive())
         assert "scaling:" in report.summary()
+
+
+class TestFittedForecastRegression:
+    """The fitted forecast must track the oracle the generator thins against."""
+
+    def test_fitted_parameters_match_the_oracle_profile(self):
+        from repro.bench.serve_autoscale import PERIOD_S, fitted_forecast, forecast
+
+        oracle = forecast()
+        fitted = fitted_forecast()
+        assert fitted.period_s == oracle.period_s == PERIOD_S
+        assert fitted.base_rate_hz == pytest.approx(oracle.base_rate_hz, rel=0.02)
+        assert fitted.amplitude == pytest.approx(oracle.amplitude, abs=0.02)
+        phase_err = abs(fitted.phase_s - oracle.phase_s) % PERIOD_S
+        phase_err = min(phase_err, PERIOD_S - phase_err)
+        assert phase_err <= 0.01 * PERIOD_S
+
+    def test_fitted_predictive_run_matches_the_oracle_run(self):
+        # Worker-count quantization absorbs the sub-percent fit error:
+        # the fitted-forecast run is run-level identical to the oracle's.
+        from repro.bench.serve_autoscale import GOLDEN_HORIZON_S, predictive_scenario
+
+        fitted = predictive_scenario(GOLDEN_HORIZON_S)
+        oracle = predictive_scenario(GOLDEN_HORIZON_S, oracle=True)
+        assert fitted.n_completed == oracle.n_completed
+        assert fitted.p99_latency_s == oracle.p99_latency_s
+        assert len(fitted.scale_events) == len(oracle.scale_events)

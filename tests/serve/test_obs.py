@@ -210,6 +210,40 @@ class TestMetricsPrimitives:
         with pytest.raises(ShapeError, match="strictly ascending"):
             Histogram("h", edges=(2.0, 1.0))
 
+    def test_empty_histogram_reports_zeros(self):
+        histogram = Histogram("h", edges=(1.0, 2.0))
+        assert histogram.total == 0
+        assert histogram.sum == 0.0
+        assert histogram.mean == 0.0  # no division by zero
+        assert histogram.counts == [0, 0, 0]
+
+    def test_single_sample_histogram(self):
+        histogram = Histogram("h", edges=(1.0, 2.0))
+        histogram.observe(1.5)
+        assert histogram.total == 1
+        assert histogram.mean == 1.5
+        assert histogram.counts == [0, 1, 0]
+
+    def test_histogram_rejects_duplicate_edges(self):
+        with pytest.raises(ShapeError, match="strictly ascending"):
+            Histogram("h", edges=(1.0, 1.0, 2.0))
+
+    def test_negative_observation_lands_in_the_first_bucket(self):
+        histogram = Histogram("h", edges=(1.0, 2.0))
+        histogram.observe(-5.0)
+        assert histogram.counts == [1, 0, 0]
+        assert histogram.mean == -5.0
+
+    def test_registry_rejects_reregistering_with_different_edges(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", edges=(1.0, 2.0))
+        with pytest.raises(ShapeError, match="already registered with edges"):
+            registry.histogram("lat", edges=(1.0, 4.0))
+        # The same edges get the same instance back.
+        assert registry.histogram("lat", edges=(1.0, 2.0)) is registry.histogram(
+            "lat", edges=(1.0, 2.0)
+        )
+
     def test_registry_name_is_one_kind_forever(self):
         registry = MetricsRegistry()
         registry.inc("x")
