@@ -75,6 +75,18 @@ def check(report_path: str) -> list[str]:
                 problems.append(f"{name}: missing or empty 'alerts' block")
             elif not isinstance(alerts.get("history"), list):
                 problems.append(f"{name}: 'alerts' block lacks a 'history' list")
+            # ... and the availability of their headline run: a missing
+            # value means the resilience axis silently stopped reporting;
+            # a value outside [0, 1] means the accounting broke.
+            availability = entry.get("availability")
+            if not isinstance(availability, (int, float)) or isinstance(
+                availability, bool
+            ):
+                problems.append(f"{name}: missing or non-numeric 'availability'")
+            elif not 0.0 <= availability <= 1.0:
+                problems.append(
+                    f"{name}: 'availability' must be in [0, 1], got {availability}"
+                )
     unknown = sorted(set(entries) - set(EXPERIMENTS))
     if unknown:
         problems.append(f"report names unknown experiments: {', '.join(unknown)}")

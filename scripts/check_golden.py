@@ -32,7 +32,7 @@ GOLDEN_DIR = REPO_ROOT / "tests" / "serve" / "golden"
 def _renderers():
     """Golden file name -> zero-argument callable rendering its CSV."""
     sys.path.insert(0, str(REPO_ROOT / "src"))
-    from repro.bench import serve, serve_autoscale, serve_priority
+    from repro.bench import serve, serve_autoscale, serve_priority, serve_resilience
     from repro.util.formatting import render_csv
 
     def render(rows_fn, *args):
@@ -44,6 +44,9 @@ def _renderers():
         # One diurnal day — serve_autoscale.GOLDEN_HORIZON_S, the same
         # constant the golden test reads (golden_rows' default).
         "serve_autoscale_small.csv": lambda: render(serve_autoscale.golden_rows),
+        # One short storm — serve_resilience.GOLDEN_HORIZON_S — pinning all
+        # three recovery arms (fault-free, no-recovery, resilient) at once.
+        "serve_resilience_small.csv": lambda: render(serve_resilience.golden_rows),
         # Perfetto span-event trace of the small serve run — pins every
         # lifecycle edge (arrival through completion), not just aggregates.
         "serve_trace_small.json": serve.golden_trace,

@@ -22,7 +22,11 @@ and then runs this checker over the file. The job fails when
   ``state`` args, an unknown state, a repeated state for one alert id,
   or a lifecycle order violation (``firing`` only after ``pending``,
   ``resolved`` only after ``firing``, ``cancelled`` only after a
-  ``pending`` that never fired, nothing after a terminal state).
+  ``pending`` that never fired, nothing after a terminal state),
+* a fault-lifecycle instant (``crash``/``slow``/``retry``/
+  ``request_failed``/``hedge_launched``/``hedge_resolved``/
+  ``shard_recovered``) lacks its required args, a ``retry`` overruns its
+  own declared budget, or a ``hedge_resolved`` reports negative waste.
 
 This is a *format* gate, not a semantic one: it proves any bench trace
 opens cleanly in ``ui.perfetto.dev``, not that the spans mean the right
@@ -48,6 +52,41 @@ METADATA_PHASES = frozenset("M")
 ALERT_STATES = frozenset({"pending", "firing", "resolved", "cancelled"})
 #: states after which an alert id must never emit again.
 ALERT_TERMINAL = frozenset({"resolved", "cancelled"})
+
+#: fault-lifecycle instants and the args each must carry (values may be 0,
+#: so presence is checked with ``in``, not truthiness).
+FAULT_INSTANT_ARGS = {
+    "crash": ("worker", "device", "lost_batches", "lost_requests"),
+    "slow": ("worker", "device", "factor"),
+    "retry": ("rid", "attempt", "budget"),
+    "request_failed": ("rid", "reason"),
+    "hedge_launched": ("bid", "primary", "hedge"),
+    "hedge_resolved": ("bid", "winner", "wasted_ms"),
+    "shard_recovered": ("bid", "shard", "from", "to"),
+}
+
+
+def _check_fault(where: str, name: str, args: object) -> list[str]:
+    """One fault-lifecycle instant against its required-args table."""
+    if not isinstance(args, dict):
+        return [f"{where}: fault instant needs an 'args' object"]
+    missing = [k for k in FAULT_INSTANT_ARGS[name] if k not in args]
+    if missing:
+        return [f"{where}: fault instant missing args {missing}"]
+    problems: list[str] = []
+    if name == "retry":
+        attempt, budget = args["attempt"], args["budget"]
+        if not isinstance(attempt, int) or attempt < 1:
+            problems.append(f"{where}: retry attempt must be a positive int, got {attempt!r}")
+        elif isinstance(budget, int) and attempt > budget:
+            problems.append(f"{where}: retry attempt {attempt} overruns budget {budget}")
+    if name == "hedge_resolved":
+        wasted = args["wasted_ms"]
+        if not isinstance(wasted, (int, float)) or isinstance(wasted, bool) or wasted < 0:
+            problems.append(
+                f"{where}: hedge_resolved wasted_ms must be non-negative, got {wasted!r}"
+            )
+    return problems
 
 
 def _check_alert(
@@ -147,6 +186,8 @@ def check(trace_path: str) -> list[str]:
                     )
         if ph == "i" and event.get("name") == "alert":
             problems += _check_alert(where, event.get("args"), alert_states)
+        if ph == "i" and event.get("name") in FAULT_INSTANT_ARGS:
+            problems += _check_fault(where, event["name"], event.get("args"))
 
     unclosed = sorted(str(key) for key, depth in open_async.items() if depth > 0)
     if unclosed:

@@ -127,6 +127,8 @@ def main(argv: list[str] | None = None) -> int:
             entry["metrics"] = result.metrics
         if result.alerts is not None:
             entry["alerts"] = result.alerts
+        if result.availability is not None:
+            entry["availability"] = result.availability
         if args.dashboard:
             dashboard_html = result.dashboard_html
         json_report.append(entry)

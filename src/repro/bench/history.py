@@ -93,6 +93,15 @@ SPECS: tuple[MetricSpec, ...] = (
         "serve_autoscale.reactive_shed_pct", higher_is_better=False,
         rel_tol=0.10, abs_tol=0.5,
     ),
+    MetricSpec(
+        "serve-resilience", "arms", "resilient", "availability (%)",
+        "serve_resilience.resilient_availability_pct", higher_is_better=True,
+        rel_tol=0.0, abs_tol=0.05,
+    ),
+    MetricSpec(
+        "serve-resilience", "arms", "resilient", "p99 (ms)",
+        "serve_resilience.resilient_p99_ms", higher_is_better=False, rel_tol=0.15,
+    ),
 )
 
 
@@ -160,11 +169,18 @@ def check(rows: list[dict], window: int = DEFAULT_WINDOW) -> list[str]:
         return []
     problems: list[str] = []
     for spec in SPECS:
-        value = newest.get("metrics", {}).get(spec.name)
+        # ``or {}`` twice: a row may carry ``"metrics": null`` (a partial
+        # or hand-edited append), which must read as "tracks nothing",
+        # not raise. Likewise a metric newly added to SPECS appears in
+        # the newest row only — zero comparable priors skips the metric
+        # (nothing to drift from), the same vacuous pass as a new bench.
+        value = (newest.get("metrics") or {}).get(spec.name)
         if value is None:
             continue
         baseline_values = [
-            r["metrics"][spec.name] for r in prior if spec.name in r.get("metrics", {})
+            (r.get("metrics") or {})[spec.name]
+            for r in prior
+            if spec.name in (r.get("metrics") or {})
         ]
         if not baseline_values:
             continue

@@ -18,6 +18,7 @@ from repro.bench import (
     serve_autoscale,
     serve_hetero,
     serve_priority,
+    serve_resilience,
     table1,
     table3,
 )
@@ -40,6 +41,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "serve-priority": serve_priority.run,
     "serve-hetero": serve_hetero.run,
     "serve-autoscale": serve_autoscale.run,
+    "serve-resilience": serve_resilience.run,
 }
 
 

@@ -35,6 +35,10 @@ class ExperimentResult:
     #: JSON-ready :meth:`AlertEngine.snapshot` of the headline run's
     #: burn-rate alerting (``None`` for unmonitored experiments).
     alerts: dict[str, object] | None = None
+    #: completed fraction of admitted requests in the headline run — the
+    #: resilience axis every serving experiment reports (``None`` for
+    #: experiments that serve no traffic).
+    availability: float | None = None
     #: rendered monitoring dashboard HTML of the headline run
     #: (``repro-bench --dashboard PATH`` writes it; ``None`` when the
     #: runner does not monitor).

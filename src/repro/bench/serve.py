@@ -313,6 +313,7 @@ def run(quick: bool = False, recorder: NullRecorder | None = None) -> Experiment
         findings=findings,
         metrics=batched.metrics.snapshot() if batched.metrics is not None else None,
         alerts=monitor.engine.snapshot(),
+        availability=batched.availability,
         dashboard_html=render_dashboard(
             batched, title=f"serve: batched LOFAR overload on one {GPU}"
         ),

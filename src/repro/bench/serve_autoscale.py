@@ -445,6 +445,7 @@ def run(quick: bool = False, recorder: NullRecorder | None = None) -> Experiment
         findings=findings,
         metrics=reactive.metrics.snapshot() if reactive.metrics is not None else None,
         alerts=monitor.engine.snapshot(),
+        availability=reactive.availability,
         dashboard_html=render_dashboard(
             reactive,
             title="serve-autoscale: reactive policy, two compressed diurnal days",

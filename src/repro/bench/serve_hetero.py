@@ -350,6 +350,7 @@ def run(quick: bool = False, recorder: NullRecorder | None = None) -> Experiment
         findings=findings,
         metrics=mixed.metrics.snapshot() if mixed.metrics is not None else None,
         alerts=monitor.engine.snapshot(),
+        availability=mixed.availability,
         dashboard_html=render_dashboard(
             mixed, title="serve-hetero: int1 imaging + float16 LOFAR on GH200 + MI300X"
         ),

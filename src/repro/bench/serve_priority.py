@@ -274,6 +274,7 @@ def run(quick: bool = False, recorder: NullRecorder | None = None) -> Experiment
         findings=findings,
         metrics=report.metrics.snapshot() if report.metrics is not None else None,
         alerts=monitor.engine.snapshot(),
+        availability=report.availability,
         dashboard_html=render_dashboard(
             report,
             title=f"serve-priority: clinic vs pulsar campaigns on one {GPU}",

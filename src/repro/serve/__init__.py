@@ -30,6 +30,11 @@ discrete-event simulation:
 * :mod:`~repro.serve.dispatch` — per-device queues with copy/compute
   overlap; placer-routed (least-loaded is the homogeneous special case),
   heterogeneous-fleet-aware, with multi-worker shard dispatch;
+* :mod:`~repro.serve.faults` — seeded deterministic fault injection
+  (:class:`FaultPlan`: worker crashes, transient slowdowns, replacements)
+  and the :class:`ResiliencePolicy` recovery knobs — per-class retry
+  budgets, hedged dispatch against stragglers, shard-failure recovery,
+  plan-cache re-warm on replacement workers;
 * :mod:`~repro.serve.slo` — SLO targets, deterministic percentiles,
   front-door admission control (lowest-class-first load shedding), and the
   per-class / per-tenant :class:`SLOTracker`;
@@ -67,6 +72,13 @@ from repro.serve.autoscale import (
 from repro.serve.batching import Batch, BatchingPolicy, MicroBatcher
 from repro.serve.cache import CachedPlan, PlanCache
 from repro.serve.dispatch import BatchExecution, DeviceWorker, FleetDispatcher
+from repro.serve.faults import (
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    ResiliencePolicy,
+    crash_storm,
+)
 from repro.serve.obs import (
     NULL_RECORDER,
     Alert,
@@ -133,6 +145,11 @@ __all__ = [
     "ScaleAction",
     "ScaleEvent",
     "ScaleKind",
+    "FaultKind",
+    "FaultEvent",
+    "FaultPlan",
+    "crash_storm",
+    "ResiliencePolicy",
     "SLO",
     "AdmissionController",
     "ClassStats",

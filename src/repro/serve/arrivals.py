@@ -46,8 +46,8 @@ class RateForecast:
     phase_s: float = 0.0
 
     def __post_init__(self) -> None:
-        if self.base_rate_hz <= 0:
-            raise ShapeError(f"base rate must be positive, got {self.base_rate_hz}")
+        if self.base_rate_hz < 0:
+            raise ShapeError(f"base rate must be >= 0, got {self.base_rate_hz}")
         if not 0.0 <= self.amplitude <= 1.0:
             raise ShapeError(f"amplitude must be in [0, 1], got {self.amplitude}")
         if self.period_s <= 0:
@@ -206,23 +206,34 @@ def fit_rate_forecast(
     and unbiased in expectation, so fitted parameters converge on the
     generator's true profile as traffic grows (see the regression test
     pinning the fit against the oracle forecast).
+
+    Degenerate observations clamp to a *flat* forecast (amplitude 0)
+    instead of raising — a just-started deployment has not seen a day of
+    traffic yet, and the caller's fallback is exactly "assume the mean":
+
+    * no arrivals at all -> flat zero-rate forecast;
+    * a window shorter than one whole period -> flat at the mean observed
+      rate over ``horizon_s``;
+    * fewer than two arrivals inside the fitting window -> flat at the
+      window's mean rate (one point carries no phase information; the
+      single-term Fourier sum would always claim amplitude 1).
     """
     if period_s <= 0:
         raise ShapeError(f"period_s must be positive, got {period_s}")
     if not arrivals_s:
-        raise ShapeError("cannot fit a forecast from zero arrivals")
+        return RateForecast(base_rate_hz=0.0, amplitude=0.0, period_s=period_s)
     if horizon_s is None:
         horizon_s = max(arrivals_s)
     n_periods = math.floor(horizon_s / period_s + 1e-9)
     if n_periods < 1:
-        raise ShapeError(
-            f"need at least one whole period to fit (horizon {horizon_s}, "
-            f"period {period_s})"
-        )
+        base = len(arrivals_s) / horizon_s if horizon_s > 0 else 0.0
+        return RateForecast(base_rate_hz=base, amplitude=0.0, period_s=period_s)
     window_s = n_periods * period_s
     used = [t for t in arrivals_s if 0.0 <= t < window_s]
-    if not used:
-        raise ShapeError(f"no arrivals inside the fitting window [0, {window_s})")
+    if len(used) < 2:
+        return RateForecast(
+            base_rate_hz=len(used) / window_s, amplitude=0.0, period_s=period_s
+        )
     omega = 2.0 * math.pi / period_s
     re = sum(math.cos(omega * t) for t in used)
     im = -sum(math.sin(omega * t) for t in used)

@@ -120,6 +120,11 @@ class DeviceWorker:
         self.n_requests = 0
         #: when this worker was provisioned (0.0 for the seed fleet).
         self.joined_s = joined_s
+        #: transient compute-rate multiplier (fault injection): batches
+        #: scheduled while > 1.0 run that many times slower on both
+        #: engines. Exactly 1.0 (the default) takes the untouched
+        #: fast path, so fault-free runs stay bit-identical.
+        self.slow_factor = 1.0
         #: marked for scale-down: no new placements, drains what it has.
         self.draining = False
         #: when the drain began (retirement never predates this instant).
@@ -167,14 +172,21 @@ class DeviceWorker:
         ``n_requests`` overrides the request count attributed to this
         worker (a split batch touches several workers at once).
         """
+        stage_in_s, gemm_s = entry.stage_in_s, entry.gemm_s
+        if self.slow_factor != 1.0:
+            # Straggler window: both engines run degraded. Guarded so the
+            # healthy path multiplies by nothing — float-identical to the
+            # pre-fault-injection arithmetic.
+            stage_in_s *= self.slow_factor
+            gemm_s *= self.slow_factor
         start = max(batch.formed_s, self._copy_free_s, now)
-        copy_end = start + build_s + entry.stage_in_s
+        copy_end = start + build_s + stage_in_s
         compute_start = max(copy_end, self._compute_free_s)
-        completion = compute_start + entry.gemm_s
+        completion = compute_start + gemm_s
         self._copy_free_s = copy_end
         self._compute_free_s = completion
         self._accept_s = compute_start
-        self.busy_s += entry.gemm_s
+        self.busy_s += gemm_s
         self.n_batches += 1
         self.n_requests += batch.n_requests if n_requests is None else n_requests
         return BatchExecution(
@@ -185,10 +197,37 @@ class DeviceWorker:
             start_s=start,
             compute_start_s=compute_start,
             completion_s=completion,
-            stage_in_s=entry.stage_in_s,
-            gemm_s=entry.gemm_s,
+            stage_in_s=stage_in_s,
+            gemm_s=gemm_s,
             build_s=build_s,
         )
+
+    def cancel_tail(self, execution: BatchExecution, now: float) -> float:
+        """Cancel one of this worker's executions at ``now`` (hedge loser).
+
+        Returns the compute seconds actually burned — the wasted bill the
+        report charges. Only the *tail* reservation can be refunded (work
+        scheduled behind it already timed against its completion); a
+        non-tail cancellation runs to completion and bills its full GEMM.
+        """
+        burned = max(0.0, min(execution.completion_s, now) - execution.compute_start_s)
+        if self._compute_free_s == execution.completion_s:
+            freed_from = max(execution.compute_start_s, min(now, execution.completion_s))
+            self.busy_s -= execution.completion_s - freed_from
+            self._compute_free_s = freed_from
+            return burned
+        return execution.completion_s - execution.compute_start_s
+
+    def revoke(self, execution: BatchExecution, now: float) -> float:
+        """Account one in-flight execution lost to this worker's crash.
+
+        The GEMM time :meth:`schedule` charged to ``busy_s`` is trimmed
+        back to what actually burned before the crash instant; returns the
+        burned compute seconds (the crash's wasted bill).
+        """
+        burned = max(0.0, min(execution.completion_s, now) - execution.compute_start_s)
+        self.busy_s -= (execution.completion_s - execution.compute_start_s) - burned
+        return burned
 
     def utilization(self, makespan_s: float) -> float:
         """Compute-engine busy fraction over the simulated horizon."""
@@ -220,6 +259,9 @@ class FleetDispatcher:
                 "got a mix of functional and dry-run"
             )
         self.workers = [DeviceWorker(d, i) for i, d in enumerate(devices)]
+        #: the fleet's execution mode, captured at construction — the
+        #: live worker list can transiently empty out under crash faults.
+        self._functional = devices[0].is_functional
         self.cache = cache if cache is not None else PlanCache()
         self.scheduler = scheduler if scheduler is not None else PriorityScheduler()
         self.placer = placer if placer is not None else Placer()
@@ -260,7 +302,7 @@ class FleetDispatcher:
 
     @property
     def is_functional(self) -> bool:
-        return self.workers[0].device.is_functional
+        return self._functional
 
     @staticmethod
     def _routing_key(worker: DeviceWorker, now: float) -> tuple[float, int]:
@@ -348,6 +390,90 @@ class FleetDispatcher:
         worker._drain_s = now
         self.refresh_candidates()
         return worker
+
+    def crash(self, index: int, now: float) -> tuple[DeviceWorker, list[Batch]]:
+        """Non-graceful removal: the worker leaves the fleet *now*.
+
+        The destructive cousin of :meth:`begin_drain` — nothing finishes.
+        The worker is retired immediately, its plan-cache segment is
+        released, and every queued/held batch that can no longer dispatch
+        is pulled out and returned for the service's recovery layer to
+        retry or fail: split batches whose committed shard set names the
+        dead worker, plus any batch left with no capable worker at all.
+        Surviving batches are re-stamped onto the remaining fleet, the
+        same :meth:`refresh_candidates` path a drain takes.
+        """
+        worker = self.worker_by_index(index)
+        worker.draining = False
+        worker.retired_s = now
+        self.workers.remove(worker)
+        self._retired.append(worker)
+        self.cache.release(worker.device)
+
+        def doomed(batch: Batch) -> bool:
+            decision = batch.decision
+            if (
+                decision is not None
+                and decision.kind is PlacementKind.SPLIT
+                and index in decision.shard_worker_indices
+            ):
+                return True
+            return not self.placer.capable_workers(batch.workload, include_draining=True)
+
+        displaced: list[Batch] = []
+        for batch in list(self.scheduler.queued_batches()):
+            if doomed(batch):
+                self.scheduler.remove(batch)
+                displaced.append(batch)
+        kept: list[Batch] = []
+        for batch in self._held:
+            (displaced if doomed(batch) else kept).append(batch)
+        self._held = kept
+        self.refresh_candidates()
+        return worker, displaced
+
+    def hedge(self, execution: BatchExecution, worker: DeviceWorker, now: float) -> BatchExecution:
+        """Duplicate one placed batch on a second worker (hedged dispatch).
+
+        The duplicate occupies the hedge worker's engines for real — its
+        cost is never modelled away — but is *not* appended to
+        :attr:`executions`: the service resolves the race at first
+        completion and swaps the winner in. Outputs are shared with the
+        primary (the simulated computation is worker-independent).
+        """
+        batch = execution.batch
+        entry, build_s = self.cache.get(worker.device, batch.workload, batch.n_requests)
+        self._record_lookup(worker, batch.workload, batch.n_requests, build_s, now)
+        duplicate = worker.schedule(batch, entry, build_s, now=now, n_requests=0)
+        self._record_execution(duplicate)
+        duplicate.outputs = execution.outputs
+        return duplicate
+
+    def recover_shard(
+        self,
+        execution: BatchExecution,
+        shard_index: int,
+        worker: DeviceWorker,
+        now: float,
+    ) -> BatchExecution:
+        """Re-execute one lost shard of a split placement on a survivor.
+
+        Only the lost shard re-runs — the surviving shards' results stand
+        — and the parent's completion (the slowest shard) is re-derived.
+        The request count stays attributed to the first shard's worker.
+        """
+        batch = execution.batch
+        extent = batch.decision.shard_extents[shard_index]
+        shard_workload = batch.workload.shard(extent)
+        entry, build_s = self.cache.get(worker.device, shard_workload, 1)
+        self._record_lookup(worker, shard_workload, 1, build_s, now)
+        redo = worker.schedule(batch, entry, build_s, now=now, n_requests=0)
+        self._record_execution(redo, shard_index=shard_index)
+        execution.shards[shard_index] = redo
+        execution.completion_s = max(e.completion_s for e in execution.shards)
+        execution.device_name = "+".join(e.device_name for e in execution.shards)
+        execution.worker_index = execution.shards[0].worker_index
+        return redo
 
     def _referenced(self, index: int) -> bool:
         """Whether admitted-but-undispatched work still needs this worker.

@@ -246,6 +246,104 @@ class AlertStateChanged(SpanEvent):
     burn_slow: float
 
 
+@dataclass(frozen=True)
+class WorkerCrashed(SpanEvent):
+    """A worker left the fleet *non-gracefully* (fault injection).
+
+    The opposite of a drain: nothing in flight finishes. ``lost_batches``
+    counts the executions revoked mid-flight and ``lost_requests`` the
+    requests they carried — the work the recovery layer must now retry,
+    hedge-promote, or fail.
+    """
+
+    worker_index: int
+    device: str
+    lost_batches: int
+    lost_requests: int
+
+
+@dataclass(frozen=True)
+class WorkerSlowed(SpanEvent):
+    """A worker's compute rate changed (straggler onset or recovery).
+
+    ``factor`` is the new slowdown multiplier: > 1 marks the onset of a
+    transient slowdown, exactly 1.0 marks recovery to full rate.
+    """
+
+    worker_index: int
+    device: str
+    factor: float
+
+
+@dataclass(frozen=True)
+class RequestRetried(SpanEvent):
+    """A request lost to a crash was re-placed and re-submitted.
+
+    ``attempt`` counts retries for this request so far (1 = first retry);
+    ``budget`` is its class's total allowance.
+    """
+
+    rid: int
+    attempt: int
+    budget: int
+    priority: int
+    tenant: str
+
+
+@dataclass(frozen=True)
+class RequestFailed(SpanEvent):
+    """An admitted request was abandoned: the failure end of its span.
+
+    ``reason`` is ``"retries_exhausted"``, ``"deadline"`` (a retry could
+    not finish inside the deadline budget), or ``"no_capable_worker"``
+    (a lost shard with no surviving capable device).
+    """
+
+    rid: int
+    reason: str
+    priority: int
+    tenant: str
+
+
+@dataclass(frozen=True)
+class HedgeLaunched(SpanEvent):
+    """A duplicate launch of one batch on a healthier worker.
+
+    ``primary_index`` is the straggler the batch first landed on,
+    ``hedge_index`` the worker running the duplicate.
+    """
+
+    bid: int
+    primary_index: int
+    hedge_index: int
+    primary_completion_s: float
+    hedge_completion_s: float
+
+
+@dataclass(frozen=True)
+class HedgeResolved(SpanEvent):
+    """A hedged batch settled: one launch won, the other is waste.
+
+    ``winner`` is ``"primary"`` or ``"hedge"``; ``wasted_s`` is the losing
+    launch's compute time, charged to the report's wasted-device-seconds.
+    """
+
+    bid: int
+    winner: str
+    wasted_s: float
+
+
+@dataclass(frozen=True)
+class ShardRecovered(SpanEvent):
+    """A split request's lost shard re-executed on a surviving worker."""
+
+    bid: int
+    shard_index: int
+    from_index: int
+    to_index: int
+    completion_s: float
+
+
 #: event-type name -> class, for exporters that dispatch on type.
 EVENT_TYPES: dict[str, type] = {
     cls.__name__: cls
@@ -263,5 +361,12 @@ EVENT_TYPES: dict[str, type] = {
         RequestCompleted,
         ScaleApplied,
         AlertStateChanged,
+        WorkerCrashed,
+        WorkerSlowed,
+        RequestRetried,
+        RequestFailed,
+        HedgeLaunched,
+        HedgeResolved,
+        ShardRecovered,
     )
 }

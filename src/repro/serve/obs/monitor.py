@@ -322,6 +322,14 @@ class ServiceMonitor:
         self.engine.observe(t_s, self._scopes(priority, tenant), good=good)
         self.sampler.note_completion(t_s)
 
+    def observe_failure(self, t_s: float, priority: int, tenant: str) -> None:
+        """One admitted request lost (crash, retries exhausted): budget-bad.
+
+        Failures burn the error budget exactly like sheds, so a crash
+        storm drives the same burn-rate alerts an overload does.
+        """
+        self.engine.observe(t_s, self._scopes(priority, tenant), good=False)
+
     @property
     def alerts(self) -> list:
         """Every alert the engine ever raised, creation order."""

@@ -41,10 +41,17 @@ from repro.serve.obs.events import (
     BatchPreempted,
     BatchQueued,
     CacheLookup,
+    HedgeLaunched,
+    HedgeResolved,
     PlacementDecided,
     RequestArrived,
     RequestCompleted,
+    RequestFailed,
+    RequestRetried,
     ScaleApplied,
+    ShardRecovered,
+    WorkerCrashed,
+    WorkerSlowed,
 )
 from repro.serve.obs.trace import TraceRecorder
 
@@ -207,6 +214,47 @@ def trace_to_dict(recorder: TraceRecorder) -> dict:
                     {"id": event.alert_id, "scope": event.scope, "rule": event.rule,
                      "state": event.state, "burn_fast": event.burn_fast,
                      "burn_slow": event.burn_slow})
+        elif isinstance(event, WorkerCrashed):
+            instant(event, "crash",
+                    {"worker": event.worker_index, "device": event.device,
+                     "lost_batches": event.lost_batches,
+                     "lost_requests": event.lost_requests})
+        elif isinstance(event, WorkerSlowed):
+            instant(event, "slow",
+                    {"worker": event.worker_index, "device": event.device,
+                     "factor": event.factor})
+        elif isinstance(event, RequestRetried):
+            instant(event, "retry",
+                    {"rid": event.rid, "attempt": event.attempt,
+                     "budget": event.budget, "priority": event.priority,
+                     "tenant": event.tenant})
+        elif isinstance(event, RequestFailed):
+            instant(event, "request_failed",
+                    {"rid": event.rid, "reason": event.reason,
+                     "priority": event.priority, "tenant": event.tenant})
+            # A failed request never reaches RequestCompleted; close its
+            # async span here so every "b" has a balancing "e".
+            tid = tenant_tid.get(event.tenant, 0)
+            timed.append(
+                {"ph": "e", "pid": PID_TENANTS, "tid": tid, "ts": event.t_s * _US,
+                 "cat": "request", "id": event.rid, "name": "request",
+                 "args": {"failed": True, "reason": event.reason}}
+            )
+        elif isinstance(event, HedgeLaunched):
+            instant(event, "hedge_launched",
+                    {"bid": event.bid, "primary": event.primary_index,
+                     "hedge": event.hedge_index,
+                     "primary_completion_ms": event.primary_completion_s * 1e3,
+                     "hedge_completion_ms": event.hedge_completion_s * 1e3})
+        elif isinstance(event, HedgeResolved):
+            instant(event, "hedge_resolved",
+                    {"bid": event.bid, "winner": event.winner,
+                     "wasted_ms": event.wasted_s * 1e3})
+        elif isinstance(event, ShardRecovered):
+            instant(event, "shard_recovered",
+                    {"bid": event.bid, "shard": event.shard_index,
+                     "from": event.from_index, "to": event.to_index,
+                     "completion_ms": event.completion_s * 1e3})
         elif isinstance(event, BatchExecuted):
             if event.bid not in started_bids:
                 started_bids.add(event.bid)

@@ -118,6 +118,28 @@ class _ClassQueue:
             self._deficit[tenant] = 0.0
         queue.append(batch)
 
+    def remove(self, batch: Batch) -> bool:
+        """Remove one queued batch by identity (crash recovery path).
+
+        Keeps the DRR structures consistent: a tenant whose queue empties
+        leaves the ring and forfeits its credit, exactly as it would after
+        serving its last batch. Returns whether the batch was found.
+        """
+        queue = self._queues.get(batch.tenant)
+        if queue is None:
+            return False
+        try:
+            queue.remove(batch)
+        except ValueError:
+            return False
+        if not queue:
+            if self._ring and self._ring[0] == batch.tenant:
+                self._credited = False
+            del self._queues[batch.tenant]
+            del self._deficit[batch.tenant]
+            self._ring.remove(batch.tenant)
+        return True
+
     def next(self) -> Batch:
         """Pop the next batch by deficit round robin over the tenant ring."""
         while True:
@@ -269,6 +291,29 @@ class PriorityScheduler:
                 counts[b.priority] = counts.get(b.priority, 0) + 1
             return dict(sorted(counts.items()))
         return {p: len(c) for p in sorted(self._classes) if len(c := self._classes[p])}
+
+    def remove(self, batch: Batch) -> bool:
+        """Remove one queued batch by identity; returns whether it was found.
+
+        The crash-recovery hook: a queued split batch whose committed shard
+        set references a crashed worker can never dispatch and must leave
+        the queue (its requests are retried or failed by the service).
+        Ordinary batches stay — a fleet change only re-stamps their
+        candidates.
+        """
+        if not self.preemptive:
+            try:
+                self._fifo.remove(batch)
+            except ValueError:
+                return False
+            return True
+        class_queue = self._classes.get(batch.priority)
+        if class_queue is None:
+            return False
+        removed = class_queue.remove(batch)
+        if removed and len(class_queue) == 0:
+            del self._classes[batch.priority]
+        return removed
 
     def enqueue(self, batch: Batch) -> None:
         if self.metrics is not None:

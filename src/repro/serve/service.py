@@ -32,6 +32,7 @@ also broken out per priority class and per tenant via
 from __future__ import annotations
 
 import heapq
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -41,14 +42,22 @@ from repro.gpusim.device import Device
 from repro.serve.autoscale import Autoscaler, FleetSignals, ScaleEvent
 from repro.serve.batching import BatchingPolicy, MicroBatcher
 from repro.serve.cache import PlanCache
-from repro.serve.dispatch import BatchExecution, FleetDispatcher
+from repro.serve.dispatch import BatchExecution, DeviceWorker, FleetDispatcher
+from repro.serve.faults import FaultEvent, FaultKind, FaultPlan, ResiliencePolicy
 from repro.serve.obs.critical_path import BlameReport, RequestPath, attribute, blame
 from repro.serve.obs.events import (
     AdmissionDecided,
+    HedgeLaunched,
+    HedgeResolved,
     PlacementDecided,
     RequestArrived,
     RequestCompleted,
+    RequestFailed,
+    RequestRetried,
     ScaleApplied,
+    ShardRecovered,
+    WorkerCrashed,
+    WorkerSlowed,
 )
 from repro.serve.obs.alerts import Alert
 from repro.serve.obs.metrics import MetricsRegistry
@@ -85,6 +94,29 @@ class RequestOutcome:
 
 
 @dataclass
+class _PendingExecution:
+    """One dispatched-but-unconfirmed launch (fault-injected runs only).
+
+    Under fault injection the service defers completion bookkeeping until
+    the simulation clock actually reaches the launch's completion — a
+    crash in between revokes the work. ``hedge`` is the optional duplicate
+    launch racing the primary; the effective completion is whichever
+    finishes first.
+    """
+
+    execution: BatchExecution
+    seq: int
+    hedge: BatchExecution | None = None
+
+    @property
+    def completion_s(self) -> float:
+        t = self.execution.completion_s
+        if self.hedge is not None and self.hedge.completion_s < t:
+            t = self.hedge.completion_s
+        return t
+
+
+@dataclass
 class ServiceReport:
     """Aggregate outcome of one simulated service run."""
 
@@ -114,6 +146,18 @@ class ServiceReport:
     #: per-worker provisioned windows ``(joined_s, end_s)``, worker-index
     #: order; ``end_s`` is retirement or the run's makespan.
     worker_spans: list[tuple[float, float]] = field(default_factory=list)
+    #: injected worker crashes the run absorbed (0 for fault-free runs).
+    n_crashes: int = 0
+    #: lost requests re-placed and re-submitted by the recovery layer.
+    n_retries: int = 0
+    #: duplicate launches hedged against stragglers (and how many won).
+    n_hedges: int = 0
+    n_hedge_wins: int = 0
+    #: lost shards of split requests re-executed on surviving workers.
+    n_shard_recoveries: int = 0
+    #: compute seconds that served no completed request: hedge losers plus
+    #: work burned on crashed workers — the honest bill of resilience.
+    wasted_device_seconds: float = 0.0
 
     # -- request-level metrics ----------------------------------------------
 
@@ -128,6 +172,21 @@ class ServiceReport:
     @property
     def n_completed(self) -> int:
         return sum(1 for o in self.outcomes if o.completion_s is not None)
+
+    @property
+    def n_failed(self) -> int:
+        """Admitted requests the service lost (crash, retries exhausted)."""
+        return self.n_admitted - self.n_completed
+
+    @property
+    def availability(self) -> float:
+        """Completed fraction of admitted requests (1.0 when none offered).
+
+        The resilience headline: admission already charged the shed rate,
+        so this isolates what the service *accepted and then lost* — a
+        fault-free run is 100% available by construction.
+        """
+        return self.n_completed / self.n_admitted if self.n_admitted else 1.0
 
     @property
     def latencies_s(self) -> list[float]:
@@ -431,6 +490,15 @@ class ServiceReport:
                 f"{self.device_seconds * 1e3:.2f} device-ms, "
                 f"{self.cold_start_requests} cold-start requests)"
             )
+        if self.n_crashes or self.n_retries or self.n_hedges or self.n_failed:
+            lines.append(
+                f"faults:   {self.availability:.3%} available "
+                f"({self.n_failed} lost), {self.n_crashes} crashes, "
+                f"{self.n_retries} retries, {self.n_hedges} hedges "
+                f"({self.n_hedge_wins} won), "
+                f"{self.n_shard_recoveries} shard recoveries, "
+                f"{self.wasted_device_seconds * 1e3:.3f} wasted device-ms"
+            )
         if self.placements:
             parts = [f"{kind} {n}" for kind, n in sorted(self.placements.items())]
             extras = []
@@ -532,6 +600,20 @@ class BeamformingService:
         its alert engine is fed every shed/completion verdict. ``None``
         (default) does no monitoring work at all, the same zero-overhead
         discipline as the trace recorder.
+    faults:
+        Optional :class:`~repro.serve.faults.FaultPlan`: a deterministic
+        schedule of worker crashes, transient slowdowns, and replacements
+        merged into the loop as one more event source. A crash is a
+        non-graceful drain — in-flight work on the worker is *lost* and
+        handed to the recovery layer. ``None`` (or an empty plan) keeps
+        the legacy code paths exactly: completion bookkeeping stays
+        eager, and every golden replays byte-identically.
+    resilience:
+        The :class:`~repro.serve.faults.ResiliencePolicy` absorbing the
+        fault plan: per-class retry budgets with deadline-aware
+        re-placement, hedged dispatch past the straggler threshold, shard
+        recovery, and plan-cache re-warm on replacements. Defaults to the
+        policy's defaults; only consulted when ``faults`` is active.
     """
 
     def __init__(
@@ -549,6 +631,8 @@ class BeamformingService:
         recorder: NullRecorder | None = None,
         metrics: MetricsRegistry | None = None,
         monitor: ServiceMonitor | None = None,
+        faults: FaultPlan | None = None,
+        resilience: ResiliencePolicy | None = None,
     ):
         self.policy = policy if policy is not None else BatchingPolicy()
         self.slo = slo if slo is not None else SLO(p99_latency_s=10e-3)
@@ -592,6 +676,26 @@ class BeamformingService:
         #: (rids may collide across independently generated streams; see
         #: :func:`repro.serve.arrivals.merge_arrivals` for renumbering).
         self._pending_outcomes: dict[int, RequestOutcome] = {}
+        #: the fault schedule; ``None`` (also for empty plans) keeps every
+        #: legacy code path — the zero-overhead-when-disabled discipline.
+        self._faults = faults if faults is not None and len(faults.events) > 0 else None
+        self._resilience = resilience if resilience is not None else ResiliencePolicy()
+        self._fault_idx = 0
+        #: dispatched-but-unconfirmed launches (fault-injected runs only).
+        self._pending: list[_PendingExecution] = []
+        self._pending_seq = 0
+        #: retry attempts so far, keyed by request identity.
+        self._attempts: dict[int, int] = {}
+        #: most recent workloads, for plan re-warm on replacement workers.
+        self._recent_workloads: OrderedDict[str, tuple] = OrderedDict()
+        #: the fleet's execution mode, for constructing replacement devices.
+        self._device_mode = devices[0].mode
+        self._n_crashes = 0
+        self._n_retries = 0
+        self._n_hedges = 0
+        self._n_hedge_wins = 0
+        self._n_shard_recoveries = 0
+        self._wasted_s = 0.0
 
     # -- the event loop ------------------------------------------------------
 
@@ -635,9 +739,12 @@ class BeamformingService:
                 if self._autoscaler is not None and self._scaling_live(idx, trace)
                 else None
             )
+            t_confirm = self._next_confirm_s() if self._faults is not None else None
+            t_fault = self._next_fault_s(idx, trace) if self._faults is not None else None
             times = [
                 t
-                for t in (t_arrival, t_deadline, t_worker, t_retire, t_scale)
+                for t in (t_arrival, t_deadline, t_worker, t_retire, t_scale,
+                          t_confirm, t_fault)
                 if t is not None
             ]
             if not times:
@@ -652,7 +759,14 @@ class BeamformingService:
                 # one, and ticks only advance while real events remain, so
                 # the loop still terminates.
                 self._monitor.advance(now, self)
-            if t_deadline is not None and t_deadline <= now:
+            if t_confirm is not None and t_confirm <= now:
+                # Confirm completions *before* a simultaneous fault: work
+                # whose completion instant has been reached survives a
+                # crash at the same instant.
+                self._confirm(now)
+            elif t_fault is not None and t_fault <= now:
+                self._handle_fault(now)
+            elif t_deadline is not None and t_deadline <= now:
                 for batch in self._batcher.due(now):
                     self.fleet.submit(batch)
             elif t_retire is not None and t_retire <= now:
@@ -716,7 +830,10 @@ class BeamformingService:
             # A worker-availability event needs no handler of its own: the
             # drain below dispatches everything placeable at this instant.
             for execution in self.fleet.drain(now):
-                self._settle(execution)
+                if self._faults is None:
+                    self._settle(execution)
+                else:
+                    self._register(execution, now)
         makespan = max((e.completion_s for e in self.fleet.executions), default=0.0)
         if self._monitor is not None:
             # Sample the drain tail too: arrivals have stopped but in-flight
@@ -751,6 +868,12 @@ class BeamformingService:
                 (w.joined_s, w.retired_s if w.retired_s is not None else makespan)
                 for w in self.fleet.all_workers
             ],
+            n_crashes=self._n_crashes,
+            n_retries=self._n_retries,
+            n_hedges=self._n_hedges,
+            n_hedge_wins=self._n_hedge_wins,
+            n_shard_recoveries=self._n_shard_recoveries,
+            wasted_device_seconds=self._wasted_s,
         )
 
     # -- the fourth event source: autoscaling --------------------------------
@@ -831,10 +954,21 @@ class BeamformingService:
     # -- internals -----------------------------------------------------------
 
     def _settle(self, execution: BatchExecution) -> None:
-        """Bookkeeping for one placed batch: outcomes and in-flight depth."""
+        """Bookkeeping for one placed batch: outcomes and in-flight depth.
+
+        The fault-free fast path: completion is *eager* (the execution's
+        future completion instant is trusted at dispatch), which is exact
+        when nothing can revoke in-flight work. Fault-injected runs go
+        through :meth:`_register`/:meth:`_confirm` instead.
+        """
         batch = execution.batch
         heapq.heappush(self._in_flight, (execution.completion_s, batch.n_requests))
         self._in_flight_requests += batch.n_requests
+        self._complete(execution)
+
+    def _complete(self, execution: BatchExecution) -> None:
+        """Stamp every request of one finished launch: the completion edge."""
+        batch = execution.batch
         for i, req in enumerate(batch.requests):
             outcome = self._pending_outcomes.pop(id(req))
             outcome.batch_id = batch.bid
@@ -903,7 +1037,409 @@ class BeamformingService:
     @property
     def in_flight(self) -> list[tuple[float, int]]:
         """Scheduled-but-uncompleted ``(completion_s, n_requests)`` pairs."""
+        if self._faults is not None:
+            return sorted(
+                (p.completion_s, p.execution.batch.n_requests) for p in self._pending
+            )
         return self._in_flight
+
+    # -- fault injection and recovery ----------------------------------------
+
+    def _next_confirm_s(self) -> float | None:
+        """Earliest effective completion among unconfirmed launches."""
+        return min((p.completion_s for p in self._pending), default=None)
+
+    def _next_fault_s(self, idx: int, trace: list[Request]) -> float | None:
+        """The fault plan's next event instant, while the run is live.
+
+        Faults stop firing once arrivals, queued work, and in-flight work
+        are all exhausted — injecting into a finished run would only
+        produce phantom replacements and keep the loop from terminating.
+        """
+        if self._fault_idx >= len(self._faults.events):
+            return None
+        if idx >= len(trace) and not self._pending and not self.fleet.has_queued():
+            return None
+        return self._faults.events[self._fault_idx].t_s
+
+    def _register(self, execution: BatchExecution, now: float) -> None:
+        """Track one placed launch until the clock confirms its completion.
+
+        The fault-mode replacement for eager :meth:`_settle`: outcomes are
+        only stamped when the completion instant is actually reached
+        (:meth:`_confirm`), because a crash in between revokes the work.
+        Also the hedged-dispatch hook: a batch landing on a worker at or
+        past the straggler threshold gets a duplicate launch on the best
+        healthy candidate, first completion wins.
+        """
+        batch = execution.batch
+        pending = _PendingExecution(execution=execution, seq=self._pending_seq)
+        self._pending_seq += 1
+        self._pending.append(pending)
+        self._in_flight_requests += batch.n_requests
+        self._note_recent(batch)
+        threshold = self._resilience.hedge_slow_threshold
+        if not execution.is_split and threshold != float("inf"):
+            primary = self.fleet.worker_by_index(execution.worker_index)
+            if primary.slow_factor >= threshold:
+                alt = self._hedge_worker(batch, execution.worker_index, now)
+                if alt is not None:
+                    pending.hedge = self.fleet.hedge(execution, alt, now)
+                    self._n_hedges += 1
+                    self.metrics.inc("service.hedges")
+                    if self.recorder.enabled:
+                        self.recorder.emit(
+                            HedgeLaunched(
+                                t_s=now,
+                                bid=batch.bid,
+                                primary_index=execution.worker_index,
+                                hedge_index=alt.index,
+                                primary_completion_s=execution.completion_s,
+                                hedge_completion_s=pending.hedge.completion_s,
+                            )
+                        )
+
+    def _hedge_worker(self, batch, primary_index: int, now: float) -> DeviceWorker | None:
+        """Best healthy candidate to duplicate one batch on, or ``None``."""
+        threshold = self._resilience.hedge_slow_threshold
+        best = None
+        for index in batch.candidate_indices or ():
+            if index == primary_index:
+                continue
+            try:
+                worker = self.fleet.worker_by_index(index)
+            except StopIteration:
+                continue  # crashed since the candidates were stamped
+            if worker.retired_s is not None or worker.slow_factor >= threshold:
+                continue
+            key = (worker.backlog_s(now), worker.index)
+            if best is None or key < best[0]:
+                best = (key, worker)
+        return None if best is None else best[1]
+
+    def _confirm(self, now: float) -> None:
+        """Finalize every pending launch whose completion the clock reached.
+
+        Hedged launches resolve here: the earlier completion wins (ties go
+        to the primary), the loser is cancelled on its worker and its
+        burned compute billed to wasted-device-seconds.
+        """
+        due = [p for p in self._pending if p.completion_s <= now]
+        due.sort(key=lambda p: (p.completion_s, p.seq))
+        for pending in due:
+            self._pending.remove(pending)
+            winner = pending.execution
+            self._in_flight_requests -= winner.batch.n_requests
+            if pending.hedge is not None:
+                hedge = pending.hedge
+                if hedge.completion_s < winner.completion_s:
+                    slot = self.fleet.executions.index(winner)
+                    self.fleet.executions[slot] = hedge
+                    winner, loser, who = hedge, winner, "hedge"
+                    self._n_hedge_wins += 1
+                else:
+                    loser, who = hedge, "primary"
+                wasted = self.fleet.worker_by_index(loser.worker_index).cancel_tail(
+                    loser, now
+                )
+                self._wasted_s += wasted
+                self.metrics.inc("service.hedge_resolved")
+                if self.recorder.enabled:
+                    self.recorder.emit(
+                        HedgeResolved(
+                            t_s=now, bid=winner.batch.bid, winner=who, wasted_s=wasted
+                        )
+                    )
+            self._complete(winner)
+
+    def _handle_fault(self, now: float) -> None:
+        """Apply the fault plan's next event (exactly one per loop turn)."""
+        event = self._faults.events[self._fault_idx]
+        self._fault_idx += 1
+        if event.kind is FaultKind.CRASH:
+            self._crash(event, now)
+        elif event.kind is FaultKind.SLOW_START:
+            self._slow(event, now, event.factor)
+        elif event.kind is FaultKind.SLOW_END:
+            self._slow(event, now, 1.0)
+        elif event.kind is FaultKind.REPLACE:
+            self._replace(event, now)
+
+    def _slow(self, event: FaultEvent, now: float, factor: float) -> None:
+        """Set (or reset) one worker's straggler factor."""
+        try:
+            worker = self.fleet.worker_by_index(event.worker_index)
+        except StopIteration:
+            return  # the target crashed or retired before this window
+        worker.slow_factor = factor
+        if factor != 1.0:
+            self.metrics.inc("service.slowdowns")
+        if self.recorder.enabled:
+            self.recorder.emit(
+                WorkerSlowed(
+                    t_s=now,
+                    worker_index=worker.index,
+                    device=worker.device.name,
+                    factor=factor,
+                )
+            )
+
+    def _crash(self, event: FaultEvent, now: float) -> None:
+        """One worker leaves non-gracefully; recover or fail its work.
+
+        In-flight work on the dead worker is revoked: split shards
+        re-execute on surviving capable workers (the rest of the split
+        stands), hedged batches promote their surviving duplicate, and
+        everything else goes through the per-request retry/fail path.
+        Queued batches the crash stranded (committed splits, workloads
+        with no capable worker left) are displaced and retried too.
+        """
+        try:
+            self.fleet.worker_by_index(event.worker_index)
+        except StopIteration:
+            return  # already gone (flapping plans may name a worker twice)
+        dead, displaced = self.fleet.crash(event.worker_index, now)
+        index = dead.index
+        self._n_crashes += 1
+        self.metrics.inc("service.crashes")
+        lost_batches = 0
+        lost_requests = 0
+        keep: list[_PendingExecution] = []
+        for pending in self._pending:
+            execution = pending.execution
+            if pending.hedge is not None and pending.hedge.worker_index == index:
+                # The duplicate died with the worker; the primary carries on.
+                self._wasted_s += dead.revoke(pending.hedge, now)
+                pending.hedge = None
+            if execution.is_split:
+                lost = [
+                    i
+                    for i, s in enumerate(execution.shards)
+                    if s.worker_index == index and s.completion_s > now
+                ]
+                if lost and not self._recover_shards(execution, lost, dead, now):
+                    lost_batches += 1
+                    lost_requests += execution.batch.n_requests
+                    self._in_flight_requests -= execution.batch.n_requests
+                    self.fleet.executions.remove(execution)
+                    for shard in execution.shards:
+                        if shard.worker_index == index:
+                            self._wasted_s += dead.revoke(shard, now)
+                        elif shard.completion_s > now:
+                            self._wasted_s += shard.gemm_s
+                    self._abandon(execution.batch, now)
+                    continue
+                keep.append(pending)
+            elif execution.worker_index == index:
+                self._wasted_s += dead.revoke(execution, now)
+                if pending.hedge is not None:
+                    # The race resolves by force majeure: the hedge wins.
+                    slot = self.fleet.executions.index(execution)
+                    self.fleet.executions[slot] = pending.hedge
+                    pending.execution = pending.hedge
+                    pending.hedge = None
+                    self._n_hedge_wins += 1
+                    if self.recorder.enabled:
+                        self.recorder.emit(
+                            HedgeResolved(
+                                t_s=now,
+                                bid=execution.batch.bid,
+                                winner="hedge",
+                                wasted_s=0.0,
+                            )
+                        )
+                    keep.append(pending)
+                else:
+                    lost_batches += 1
+                    lost_requests += execution.batch.n_requests
+                    self._in_flight_requests -= execution.batch.n_requests
+                    self.fleet.executions.remove(execution)
+                    self._abandon(execution.batch, now)
+            else:
+                keep.append(pending)
+        self._pending = keep
+        for batch in displaced:
+            lost_batches += 1
+            lost_requests += batch.n_requests
+            self._abandon(batch, now)
+        scale_event = ScaleEvent(
+            t_s=now,
+            kind="crash",
+            worker_index=index,
+            device_name=dead.device.name,
+            accepting=len(self.fleet.accepting_workers),
+            provisioned=len(self.fleet.workers),
+            reason="injected crash",
+        )
+        self._scale_events.append(scale_event)
+        if self.recorder.enabled:
+            self.recorder.emit(self._scale_span(scale_event))
+            self.recorder.emit(
+                WorkerCrashed(
+                    t_s=now,
+                    worker_index=index,
+                    device=dead.device.name,
+                    lost_batches=lost_batches,
+                    lost_requests=lost_requests,
+                )
+            )
+        self._record_fleet(now)
+
+    def _recover_shards(
+        self,
+        execution: BatchExecution,
+        lost: list[int],
+        dead: DeviceWorker,
+        now: float,
+    ) -> bool:
+        """Re-execute the lost shards of one split; ``False`` = unrecoverable."""
+        if not self._resilience.recover_shards:
+            return False
+        batch = execution.batch
+        for shard_index in lost:
+            extent = batch.decision.shard_extents[shard_index]
+            shard_workload = batch.workload.shard(extent)
+            candidates = [
+                w
+                for w in self.fleet.workers
+                if shard_workload.supported_by(w.device.spec)
+            ]
+            if not candidates:
+                return False
+            self._wasted_s += dead.revoke(execution.shards[shard_index], now)
+            worker = min(candidates, key=lambda w: (w.backlog_s(now), w.index))
+            redo = self.fleet.recover_shard(execution, shard_index, worker, now)
+            self._n_shard_recoveries += 1
+            self.metrics.inc("service.shard_recoveries")
+            if self.recorder.enabled:
+                self.recorder.emit(
+                    ShardRecovered(
+                        t_s=now,
+                        bid=batch.bid,
+                        shard_index=shard_index,
+                        from_index=dead.index,
+                        to_index=worker.index,
+                        completion_s=redo.completion_s,
+                    )
+                )
+        return True
+
+    def _replace(self, event: FaultEvent, now: float) -> None:
+        """A replacement worker joins the fleet (cold cache, startup delay).
+
+        With ``rewarm_plans`` enabled, the most recent workloads' plans
+        build *before* the worker takes traffic — serialized onto its copy
+        engine, so the warm-up is paid by the replacement's own timeline
+        rather than by its first unlucky batches.
+        """
+        device = Device(event.device_name, mode=self._device_mode)
+        worker = self.fleet.add_worker(device, now, ready_s=now + event.startup_s)
+        if self._resilience.rewarm_plans and self._recent_workloads:
+            build_total = 0.0
+            for workload, n_requests in self._recent_workloads.values():
+                if not workload.supported_by(device.spec):
+                    continue
+                _, build_s = self.fleet.cache.get(device, workload, n_requests)
+                build_total += build_s
+            worker._copy_free_s += build_total
+        scale_event = ScaleEvent(
+            t_s=now,
+            kind="replace",
+            worker_index=worker.index,
+            device_name=device.name,
+            accepting=len(self.fleet.accepting_workers),
+            provisioned=len(self.fleet.workers),
+            reason="crash replacement",
+        )
+        self._scale_events.append(scale_event)
+        self.metrics.inc("service.replacements")
+        if self.recorder.enabled:
+            self.recorder.emit(self._scale_span(scale_event))
+        self._record_fleet(now)
+
+    def _note_recent(self, batch) -> None:
+        """Track the trailing workload mix, for replacement-worker re-warm."""
+        limit = self._resilience.rewarm_limit
+        if not self._resilience.rewarm_plans or limit <= 0:
+            return
+        key = batch.workload.name
+        self._recent_workloads[key] = (batch.workload, batch.n_requests)
+        self._recent_workloads.move_to_end(key)
+        while len(self._recent_workloads) > limit:
+            self._recent_workloads.popitem(last=False)
+
+    def _abandon(self, batch, now: float) -> None:
+        """Send every request of one revoked batch through retry-or-fail."""
+        for req in batch.requests:
+            self._retry_or_fail(req, now)
+
+    def _retry_or_fail(self, req: Request, now: float) -> None:
+        """Deadline-aware re-placement of one lost request, or failure.
+
+        A retry re-enters the placer for a *fresh* decision on the
+        post-crash fleet (the original route may name a dead worker) and
+        is only submitted when the projected finish fits inside
+        ``retry_deadline_factor`` times the admission deadline — a doomed
+        launch wastes capacity the surviving fleet needs.
+        """
+        policy = self._resilience
+        priority = req.workload.priority
+        attempts = self._attempts.get(id(req), 0)
+        budget = policy.budget(priority)
+        if attempts >= budget:
+            self._fail(req, now, "retries_exhausted")
+            return
+        decision = self.fleet.placer.place(
+            req.workload, self._batcher.policy_for(priority)
+        )
+        if decision.is_shed:
+            self._fail(req, now, "no_capable_worker")
+            return
+        projected = self._estimate_latency(now, decision)
+        elapsed = now - req.arrival_s
+        deadline = policy.retry_deadline_factor * self.slo.admission_deadline_s
+        if elapsed + projected > deadline:
+            self._fail(req, now, "deadline")
+            return
+        self._attempts[id(req)] = attempts + 1
+        self._n_retries += 1
+        self.metrics.inc("service.retries")
+        if self.recorder.enabled:
+            self.recorder.emit(
+                RequestRetried(
+                    t_s=now,
+                    rid=req.rid,
+                    attempt=attempts + 1,
+                    budget=budget,
+                    priority=priority,
+                    tenant=req.workload.tenant,
+                )
+            )
+        self.fleet.submit(self._batcher.singleton(req, now, decision=decision))
+
+    def _fail(self, req: Request, now: float, reason: str) -> None:
+        """Abandon one admitted request: the failure end of its lifecycle.
+
+        The outcome stays admitted with no completion — the report's
+        availability denominator counts it against the service. Failures
+        feed the monitor as budget-bad verdicts, so crash storms drive
+        burn-rate alerts exactly like shed storms do.
+        """
+        self._pending_outcomes.pop(id(req), None)
+        self.metrics.inc("service.failed")
+        priority = req.workload.priority
+        if self._monitor is not None:
+            self._monitor.observe_failure(now, priority, req.workload.tenant)
+        if self.recorder.enabled:
+            self.recorder.emit(
+                RequestFailed(
+                    t_s=now,
+                    rid=req.rid,
+                    reason=reason,
+                    priority=priority,
+                    tenant=req.workload.tenant,
+                )
+            )
 
     def queued_requests(self) -> int:
         """Admitted requests waiting to dispatch (batcher + scheduler + held)."""

@@ -51,13 +51,16 @@ class SLO:
 def percentile(values: list[float], q: float) -> float:
     """Deterministic percentile with linear interpolation.
 
-    ``q`` in [0, 100]; raises on an empty sample (a service report with no
-    completions has no tail to state).
+    ``q`` in [0, 100]. An empty sample yields 0.0: a report with zero
+    completions (every request shed, or lost to a crash storm) has no
+    tail, and the latency axes read as zero rather than crashing the
+    summary path. A single sample is every percentile; q=0 and q=100 are
+    the exact minimum and maximum.
     """
-    if not values:
-        raise ShapeError("cannot take a percentile of an empty sample")
     if not 0.0 <= q <= 100.0:
         raise ShapeError(f"percentile must be in [0, 100], got {q}")
+    if not values:
+        return 0.0
     ordered = sorted(values)
     if len(ordered) == 1:
         return ordered[0]

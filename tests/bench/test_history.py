@@ -51,12 +51,13 @@ def _payload(thr: float = 100_000.0, p99: float = 0.5) -> dict:
 
 
 class TestSpecs:
-    def test_tracked_specs_cover_all_four_serving_experiments(self):
+    def test_tracked_specs_cover_all_serving_experiments(self):
         assert {s.experiment for s in SPECS} == {
             "serve",
             "serve-priority",
             "serve-hetero",
             "serve-autoscale",
+            "serve-resilience",
         }
         assert len({s.name for s in SPECS}) == len(SPECS)
 
@@ -135,6 +136,26 @@ class TestCheck:
 
     def test_empty_history_is_a_problem(self):
         assert check([]) != []
+
+    def test_new_bench_first_row_skips_not_raises(self):
+        # Regression: the first row carrying a newly registered bench's
+        # metric has no comparable prior with that metric — it must pass
+        # vacuously (nothing to drift from), never raise or flag.
+        old = summarize(_payload(), quick=True)
+        new = summarize(_payload(), quick=True)
+        new["metrics"]["serve_resilience.resilient_availability_pct"] = 99.95
+        new["metrics"]["serve_resilience.resilient_p99_ms"] = 1.25
+        assert check([old, new]) == []
+
+    def test_null_metrics_rows_skip_not_raise(self):
+        # Regression: a row with ``"metrics": null`` (partial or
+        # hand-edited append) used to raise — AttributeError when newest,
+        # TypeError when a prior — instead of reading as "tracks nothing".
+        good = summarize(_payload(), quick=True)
+        null_row = {"label": "partial", "quick": True, "metrics": None}
+        assert check([good, null_row]) == []
+        assert check([null_row, good]) == []
+        assert check([good, null_row, good]) == []
 
 
 class TestFileRoundTrip:

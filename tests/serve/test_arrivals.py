@@ -154,8 +154,43 @@ class TestFitRateForecast:
 
     def test_validation(self):
         with pytest.raises(ShapeError):
-            fit_rate_forecast([], 0.5)
-        with pytest.raises(ShapeError):
             fit_rate_forecast([0.1], 0.0)
-        with pytest.raises(ShapeError):
-            fit_rate_forecast([0.1], 0.5, horizon_s=0.25)  # under one period
+
+    # Regressions: each degenerate observation set used to raise; all now
+    # clamp to a flat (amplitude 0) forecast a caller can size against.
+
+    def test_empty_arrivals_fit_flat_zero(self):
+        fit = fit_rate_forecast([], 0.5)
+        assert fit.base_rate_hz == 0.0
+        assert fit.amplitude == 0.0
+        assert fit.period_s == 0.5
+        assert fit.peak_rate_hz == 0.0
+
+    def test_window_under_one_period_fits_flat_mean(self):
+        fit = fit_rate_forecast([0.05, 0.1, 0.15, 0.2], 0.5, horizon_s=0.25)
+        assert fit.amplitude == 0.0
+        assert fit.base_rate_hz == pytest.approx(4 / 0.25)
+
+    def test_single_arrival_fits_flat(self):
+        # One point carries no phase information: the raw Fourier sum
+        # would always claim amplitude 1.
+        fit = fit_rate_forecast([0.1], 0.5, horizon_s=0.5)
+        assert fit.amplitude == 0.0
+        assert fit.base_rate_hz == pytest.approx(1 / 0.5)
+        # Default horizon (= the lone arrival) is under one period: the
+        # flat clamp sizes by the observed horizon instead.
+        fit = fit_rate_forecast([0.1], 0.5)
+        assert fit.amplitude == 0.0
+        assert fit.base_rate_hz == pytest.approx(1 / 0.1)
+
+    def test_no_arrivals_inside_window_fits_flat_zero(self):
+        # All observations past the whole-period cut: nothing usable.
+        fit = fit_rate_forecast([0.55, 0.6], 0.5, horizon_s=0.5)
+        assert fit.base_rate_hz == 0.0
+        assert fit.amplitude == 0.0
+
+    def test_healthy_fit_unchanged_by_the_clamps(self):
+        times = [r.arrival_s for r in self._arrivals()]
+        fit = fit_rate_forecast(times, 0.5)
+        assert fit.amplitude > 0.0
+        assert fit.base_rate_hz > 0.0

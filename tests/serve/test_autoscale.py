@@ -95,7 +95,10 @@ class TestRateForecast:
 
     def test_validation(self):
         with pytest.raises(ShapeError):
-            RateForecast(base_rate_hz=0.0, amplitude=0.5, period_s=1.0)
+            RateForecast(base_rate_hz=-1.0, amplitude=0.5, period_s=1.0)
+        # Zero base rate is legal: a degenerate fit clamps to a flat
+        # zero-rate forecast (see fit_rate_forecast).
+        assert RateForecast(base_rate_hz=0.0, amplitude=0.5, period_s=1.0).peak_rate_hz == 0.0
         with pytest.raises(ShapeError):
             RateForecast(base_rate_hz=1.0, amplitude=1.5, period_s=1.0)
         with pytest.raises(ShapeError):

@@ -230,3 +230,70 @@ class TestSharedCache:
         assert {e.worker_index for e in fleet.executions} == {0, 1}
         assert len(devices[0].timeline) > 0
         assert len(devices[1].timeline) > 0
+
+
+class TestDrainFallbackOnlyCapableWorker:
+    """A draining worker that is the sole capable one must still serve.
+
+    Direct unit coverage of the ``_candidates`` fallback behind
+    ``refresh_candidates``/``begin_drain``: a batch admitted before the
+    drain began, whose every capable worker is now draining, re-stamps
+    onto the draining pool instead of stranding with zero candidates.
+    """
+
+    def _mixed_fleet(self):
+        # Worker 0 (A100) is the only one capable of int1; worker 1
+        # (MI300X) lacks the precision entirely.
+        return FleetDispatcher(
+            [Device("A100", ExecutionMode.DRY_RUN),
+             Device("MI300X", ExecutionMode.DRY_RUN)]
+        )
+
+    def _int1(self):
+        from repro.ccglib.precision import Precision
+
+        return workload(name="bits", precision=Precision.INT1)
+
+    def test_refresh_candidates_falls_back_to_draining_worker(self):
+        fleet = self._mixed_fleet()
+        batch = make_batch(0, self._int1(), 2, 0.0)
+        fleet.submit(batch)
+        assert batch.candidate_indices == (0,)
+        fleet.begin_drain(0, now=0.0)
+        # refresh_candidates ran inside begin_drain: the draining worker
+        # stays stamped because nothing accepting is capable.
+        assert batch.candidate_indices == (0,)
+
+    def test_held_batch_keeps_draining_worker_after_refresh(self):
+        fleet = self._mixed_fleet()
+        wl = self._int1()
+        first = make_batch(0, wl, 2, 0.0)
+        second = make_batch(1, wl, 2, 0.0)
+        fleet.submit(first)
+        fleet.submit(second)
+        placed = fleet.drain(0.0)
+        assert [e.batch.bid for e in placed] == [0]
+        assert fleet._held and fleet._held[0].bid == 1  # worker 0 busy
+        fleet.begin_drain(0, now=0.0)
+        assert second.candidate_indices == (0,)
+
+    def test_committed_batch_dispatches_on_the_draining_worker(self):
+        fleet = self._mixed_fleet()
+        batch = make_batch(0, self._int1(), 2, 0.0)
+        fleet.submit(batch)
+        fleet.begin_drain(0, now=0.0)
+        [execution] = fleet.drain(0.0)
+        assert execution.worker_index == 0
+        assert execution.completion_s > 0.0
+
+    def test_draining_worker_not_reaped_while_referenced(self):
+        fleet = self._mixed_fleet()
+        batch = make_batch(0, self._int1(), 2, 0.0)
+        fleet.submit(batch)
+        fleet.begin_drain(0, now=0.0)
+        # Still referenced by the queued batch: retirement must wait.
+        assert fleet.next_retire_s() is None
+        assert fleet.reap(10.0) == []
+        [execution] = fleet.drain(0.0)
+        retired = fleet.reap(execution.completion_s)
+        assert [w.index for w in retired] == [0]

@@ -1,0 +1,349 @@
+"""Fault injection and recovery: crashes, stragglers, hedging, shards.
+
+The contract under test, in three layers:
+
+* **plan layer** — :class:`FaultEvent` / :class:`FaultPlan` /
+  :func:`crash_storm` validation and bit-determinism;
+* **zero-overhead** — a service handed ``faults=None`` or an *empty* plan
+  replays the legacy paths byte-identically (every golden stays valid);
+* **recovery layer** — a crash loses admitted work without recovery and
+  loses nothing with the default :class:`ResiliencePolicy`; hedging bounds
+  the straggler tail and bills its waste; a lost shard of a split request
+  re-executes on a survivor; a replacement worker joins re-warmed.
+"""
+
+from __future__ import annotations
+
+from functools import cache
+
+import pytest
+
+from repro.apps.radioastronomy.beamformer import service_workload as lofar_workload
+from repro.errors import ShapeError
+from repro.gpusim.device import Device, ExecutionMode
+from repro.serve import (
+    SLO,
+    BatchingPolicy,
+    BeamformingService,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    ResiliencePolicy,
+    crash_storm,
+    poisson_arrivals,
+)
+from repro.serve.workload import Request
+
+POLICY = BatchingPolicy(max_batch=32, max_wait_s=0.5e-3)
+HORIZON_S = 4e-3
+CRASH_T_S = 2e-3
+
+
+def _service(n_workers: int = 2, gpu: str = "A100", **kwargs) -> BeamformingService:
+    return BeamformingService(
+        [Device(gpu, ExecutionMode.DRY_RUN) for _ in range(n_workers)],
+        policy=POLICY,
+        slo=SLO(p99_latency_s=3e-3, deadline_s=2e-3),
+        **kwargs,
+    )
+
+
+@cache
+def _trace() -> tuple[Request, ...]:
+    """A fixed overload trace: ~70% of the two-worker batched capacity,
+    heavy enough that a mid-run crash always finds batches in flight."""
+    workload = lofar_workload(n_samples=2048)
+    plan = workload.make_plan(Device("A100", ExecutionMode.DRY_RUN), POLICY.max_batch)
+    rate = 0.7 * 2 * POLICY.max_batch / plan.predict_gemm_cost().time_s
+    return tuple(poisson_arrivals(workload, rate, HORIZON_S, seed=5))
+
+
+def _run(**kwargs):
+    return _service(**kwargs).run(list(_trace()))
+
+
+_CRASH = FaultPlan((FaultEvent(t_s=CRASH_T_S, kind=FaultKind.CRASH, worker_index=0),))
+_SLOW = FaultPlan(
+    (
+        FaultEvent(t_s=0.0, kind=FaultKind.SLOW_START, worker_index=0, factor=4.0),
+        FaultEvent(t_s=3e-3, kind=FaultKind.SLOW_END, worker_index=0),
+    )
+)
+_CRASH_REPLACE = FaultPlan(
+    (
+        FaultEvent(t_s=CRASH_T_S, kind=FaultKind.CRASH, worker_index=0),
+        FaultEvent(
+            t_s=CRASH_T_S,
+            kind=FaultKind.REPLACE,
+            device_name="A100",
+            startup_s=100e-6,
+        ),
+    )
+)
+
+
+class TestFaultPlanValidation:
+    def test_event_rejects_bad_fields(self):
+        with pytest.raises(ShapeError):
+            FaultEvent(t_s=-1.0, kind=FaultKind.CRASH, worker_index=0)
+        with pytest.raises(ShapeError):
+            FaultEvent(t_s=0.0, kind=FaultKind.SLOW_START, worker_index=0, factor=0.5)
+        with pytest.raises(ShapeError):
+            FaultEvent(t_s=0.0, kind=FaultKind.CRASH)  # no worker_index
+        with pytest.raises(ShapeError):
+            FaultEvent(t_s=0.0, kind=FaultKind.REPLACE)  # no device_name
+
+    def test_plan_must_be_time_sorted(self):
+        a = FaultEvent(t_s=1.0, kind=FaultKind.CRASH, worker_index=0)
+        b = FaultEvent(t_s=0.5, kind=FaultKind.CRASH, worker_index=1)
+        with pytest.raises(ShapeError):
+            FaultPlan((a, b))
+        assert len(FaultPlan((b, a))) == 2
+
+    def test_empty_plan_counts_nothing(self):
+        assert len(FaultPlan()) == 0
+        assert FaultPlan().n_crashes == 0
+
+
+class TestCrashStorm:
+    def test_deterministic_for_fixed_seed(self):
+        a = crash_storm(1.0, [0, 1, 2], seed=3)
+        b = crash_storm(1.0, [0, 1, 2], seed=3)
+        assert a == b
+        assert a != crash_storm(1.0, [0, 1, 2], seed=4)
+
+    def test_shape_and_bounds(self):
+        plan = crash_storm(
+            1.0, [0, 1, 2, 3], n_crashes=2, n_slow_windows=3, replace_device="A100"
+        )
+        assert plan.n_crashes == 2
+        assert all(0.0 <= e.t_s <= 1.0 + 0.1 for e in plan.events)
+        kinds = [e.kind for e in plan.events]
+        assert kinds.count(FaultKind.REPLACE) == 2
+        assert kinds.count(FaultKind.SLOW_START) == 3
+        assert kinds.count(FaultKind.SLOW_END) == 3
+        # Crashed workers are distinct (drawn without replacement).
+        crashed = [e.worker_index for e in plan.events if e.kind is FaultKind.CRASH]
+        assert len(set(crashed)) == 2
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            crash_storm(0.0, [0])
+        with pytest.raises(ShapeError):
+            crash_storm(1.0, [])
+        with pytest.raises(ShapeError):
+            crash_storm(1.0, [0], n_crashes=2)
+
+
+class TestResiliencePolicy:
+    def test_class_budget_overrides_default(self):
+        policy = ResiliencePolicy(max_retries=2, class_retries={0: 5})
+        assert policy.budget(0) == 5
+        assert policy.budget(1) == 2
+
+    def test_disabled_turns_everything_off(self):
+        policy = ResiliencePolicy.disabled()
+        assert policy.budget(0) == 0
+        assert policy.hedge_slow_threshold == float("inf")
+        assert not policy.recover_shards
+        assert not policy.rewarm_plans
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            ResiliencePolicy(max_retries=-1)
+        with pytest.raises(ShapeError):
+            ResiliencePolicy(retry_deadline_factor=0.0)
+        with pytest.raises(ShapeError):
+            ResiliencePolicy(hedge_slow_threshold=0.5)
+        with pytest.raises(ShapeError):
+            ResiliencePolicy(rewarm_limit=-1)
+
+
+class TestZeroFaultIdentity:
+    def test_empty_plan_is_byte_identical_to_no_plan(self):
+        plain = _run()
+        empty = _run(faults=FaultPlan())
+        assert empty.latencies_s == plain.latencies_s
+        assert empty.summary() == plain.summary()
+        assert empty.n_crashes == 0 and empty.n_retries == 0
+        assert empty.wasted_device_seconds == 0.0
+
+    def test_fault_free_report_is_fully_available(self):
+        report = _run()
+        assert report.availability == 1.0
+        assert report.n_failed == 0
+
+
+@cache
+def _no_recovery():
+    return _run(faults=_CRASH, resilience=ResiliencePolicy.disabled())
+
+
+@cache
+def _resilient():
+    return _run(faults=_CRASH)
+
+
+@cache
+def _hedged():
+    return _run(faults=_SLOW)
+
+
+@cache
+def _replaced():
+    return _run(faults=_CRASH_REPLACE)
+
+
+class TestCrashRecovery:
+    def test_crash_loses_admitted_work_without_recovery(self):
+        report = _no_recovery()
+        assert report.n_crashes == 1
+        assert report.n_failed > 0
+        assert report.availability < 1.0
+        assert report.n_retries == 0
+        # Lost requests stay admitted: the failure is charged to the
+        # service, not laundered through the shed counter.
+        assert report.n_admitted == report.n_offered
+
+    def test_default_policy_recovers_every_request(self):
+        report = _resilient()
+        assert report.n_crashes == 1
+        assert report.n_retries > 0
+        assert report.n_failed == 0
+        assert report.availability == 1.0
+
+    def test_crash_emits_a_scale_event_and_wastes_burned_work(self):
+        report = _resilient()
+        kinds = [e.kind for e in report.scale_events]
+        assert kinds.count("crash") == 1
+        crash = next(e for e in report.scale_events if e.kind == "crash")
+        assert crash.t_s == CRASH_T_S
+        assert crash.provisioned == 1  # one worker left
+        assert report.wasted_device_seconds > 0.0
+
+    def test_faulted_replay_is_bit_deterministic(self):
+        a = _resilient()
+        b = _run(faults=_CRASH)
+        assert b.latencies_s == a.latencies_s
+        assert b.n_retries == a.n_retries
+        assert b.wasted_device_seconds == a.wasted_device_seconds
+        assert b.summary() == a.summary()
+
+    def test_exhausted_retry_budget_fails_the_request(self):
+        # Budget 0 with recovery otherwise on: every displaced request
+        # fails as retries_exhausted instead of re-entering the placer.
+        report = _run(faults=_CRASH, resilience=ResiliencePolicy(max_retries=0))
+        assert report.n_retries == 0
+        assert report.n_failed > 0
+
+    def test_hopeless_deadline_fails_fast_instead_of_retrying(self):
+        # A retry whose projected finish cannot fit inside the scaled
+        # admission deadline is a doomed launch; fail fast instead.
+        report = _run(
+            faults=_CRASH, resilience=ResiliencePolicy(retry_deadline_factor=1e-6)
+        )
+        assert report.n_retries == 0
+        assert report.n_failed > 0
+
+
+class TestStragglersAndHedging:
+    def test_slow_worker_triggers_hedges_that_win(self):
+        report = _hedged()
+        assert report.n_hedges > 0
+        assert report.n_hedge_wins > 0
+        # The losing duplicate's compute is billed, never hidden.
+        assert report.wasted_device_seconds > 0.0
+        assert report.n_failed == 0
+
+    def test_hedging_off_means_no_hedges_and_a_worse_tail(self):
+        unhedged = _run(
+            faults=_SLOW,
+            resilience=ResiliencePolicy(hedge_slow_threshold=float("inf")),
+        )
+        assert unhedged.n_hedges == 0
+        assert unhedged.wasted_device_seconds == 0.0
+        assert unhedged.p99_latency_s >= _hedged().p99_latency_s
+
+    def test_slow_window_alone_loses_nothing(self):
+        assert _hedged().availability == 1.0
+
+
+class TestShardRecovery:
+    """An oversized survey request split across a 3-GH200 fleet, with one
+    shard holder crashing mid-execution."""
+
+    @staticmethod
+    def _survey_service(**kwargs):
+        return BeamformingService(
+            [Device("GH200", ExecutionMode.DRY_RUN) for _ in range(3)],
+            policy=POLICY,
+            slo=SLO(p99_latency_s=120.0),
+            **kwargs,
+        )
+
+    @classmethod
+    def _run_survey(cls, **kwargs):
+        survey = lofar_workload(n_samples=256, n_channels=350_000)
+        return cls._survey_service(**kwargs).run(
+            [Request(rid=0, workload=survey, arrival_s=0.0)]
+        )
+
+    @classmethod
+    @cache
+    def _crash_mid_split(cls) -> FaultPlan:
+        baseline = cls._run_survey()
+        execution = baseline.executions[0]
+        assert execution.is_split
+        victim = execution.shards[0].worker_index
+        mid = (execution.start_s + execution.completion_s) / 2.0
+        return FaultPlan((FaultEvent(t_s=mid, kind=FaultKind.CRASH, worker_index=victim),))
+
+    def test_lost_shard_reexecutes_on_a_survivor(self):
+        report = self._run_survey(faults=self._crash_mid_split())
+        assert report.n_shard_recoveries == 1
+        assert report.n_completed == 1
+        assert report.availability == 1.0
+        # The dead shard's burned compute is waste; the survivors' is not.
+        assert report.wasted_device_seconds > 0.0
+
+    def test_without_shard_recovery_the_split_is_lost(self):
+        # Two surviving GH200s cannot hold the survey at all, so the
+        # whole-request retry path finds no capable placement either:
+        # shard recovery is the only way this request completes.
+        report = self._run_survey(
+            faults=self._crash_mid_split(),
+            resilience=ResiliencePolicy(recover_shards=False),
+        )
+        assert report.n_shard_recoveries == 0
+        assert report.n_retries == 0
+        assert report.n_failed == 1
+
+
+class TestReplacement:
+    def test_replacement_joins_and_the_fleet_recovers(self):
+        report = _replaced()
+        kinds = [e.kind for e in report.scale_events]
+        assert kinds.count("crash") == 1
+        assert kinds.count("replace") == 1
+        replace = next(e for e in report.scale_events if e.kind == "replace")
+        assert replace.device_name == "A100"
+        assert replace.provisioned == 2  # back to full strength
+        assert report.availability == 1.0
+
+    def test_replacement_serves_traffic(self):
+        report = _replaced()
+        # Worker indices 0/1 are the seed fleet; the replacement takes 2.
+        assert any(e.worker_index == 2 for e in report.executions)
+
+    def test_rewarm_spares_the_replacement_cold_builds(self):
+        cold = _run(
+            faults=_CRASH_REPLACE, resilience=ResiliencePolicy(rewarm_plans=False)
+        )
+        warm = _replaced()
+        warm_builds = sum(
+            1 for e in warm.executions if e.worker_index == 2 and e.build_s > 0
+        )
+        cold_builds = sum(
+            1 for e in cold.executions if e.worker_index == 2 and e.build_s > 0
+        )
+        assert warm_builds < cold_builds

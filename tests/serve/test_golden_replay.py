@@ -20,6 +20,7 @@ from pathlib import Path
 from repro.bench.registry import run_experiment
 from repro.bench.serve_autoscale import golden_rows as autoscale_golden_rows
 from repro.bench.serve_priority import golden_rows
+from repro.bench.serve_resilience import golden_rows as resilience_golden_rows
 from repro.util.formatting import render_csv
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
@@ -73,3 +74,30 @@ class TestAutoscaleGoldenFile:
         assert first_column[:2] == ["reactive", "predictive"]
         assert all(label.startswith("fixed-") for label in first_column[2:])
         assert len(first_column) == 4
+
+
+class TestResilienceGoldenFile:
+    def test_small_scenario_matches_checked_in_golden(self):
+        # golden_rows defaults to serve_resilience.GOLDEN_HORIZON_S — the
+        # same single source scripts/check_golden.py regenerates from.
+        headers, rows = resilience_golden_rows()
+        rendered = render_csv(headers, rows)
+        golden = (GOLDEN_DIR / "serve_resilience_small.csv").read_text()
+        assert rendered == golden
+
+    def test_golden_covers_every_recovery_arm(self):
+        golden = (GOLDEN_DIR / "serve_resilience_small.csv").read_text()
+        first_column = [line.split(",")[0] for line in golden.splitlines()[1:]]
+        assert first_column == ["fault-free", "no-recovery", "resilient"]
+
+    def test_golden_pins_the_recovery_story(self):
+        # The pinned bytes must keep telling the story the bench claims:
+        # the crash costs the no-recovery arm admitted requests, and the
+        # resilient arm recovers every one of them.
+        golden = (GOLDEN_DIR / "serve_resilience_small.csv").read_text()
+        header, *rows = [line.split(",") for line in golden.splitlines()]
+        availability = header.index("availability (%)")
+        by_label = {row[0]: row for row in rows}
+        assert float(by_label["fault-free"][availability]) == 100.0
+        assert float(by_label["no-recovery"][availability]) < 100.0
+        assert float(by_label["resilient"][availability]) >= 99.9

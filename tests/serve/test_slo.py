@@ -11,9 +11,23 @@ SLO_1MS = SLO(p99_latency_s=1e-3)
 
 
 class TestPercentile:
-    def test_empty_sample_raises(self):
-        with pytest.raises(ShapeError, match="empty"):
-            percentile([], 99.0)
+    def test_empty_sample_is_zero(self):
+        # Regression: an empty sample used to raise ShapeError, which a
+        # zero-completion report (total shed, or a crash storm that loses
+        # everything) could hit through its summary path.
+        assert percentile([], 0.0) == 0.0
+        assert percentile([], 50.0) == 0.0
+        assert percentile([], 99.0) == 0.0
+        assert percentile([], 100.0) == 0.0
+
+    def test_empty_sample_still_validates_quantile(self):
+        with pytest.raises(ShapeError, match="percentile"):
+            percentile([], 101.0)
+
+    def test_extreme_quantiles_are_min_and_max(self):
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 100.0) == 5.0
 
     def test_out_of_range_quantile_raises(self):
         with pytest.raises(ShapeError, match="percentile"):
