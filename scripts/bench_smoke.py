@@ -9,7 +9,10 @@ and then runs this checker over the report. The job fails when
 * an experiment registered in :mod:`repro.bench.registry` is missing
   from the report (a module that silently stopped running),
 * an experiment's entry lacks its required keys or has an empty title,
-  findings list, or tables dict (a module that runs but reports nothing).
+  findings list, or tables dict (a module that runs but reports nothing),
+* the top-level ``backends`` block is missing, omits the always-present
+  numpy backend, carries an empty version string, or disagrees with what
+  :func:`repro.backend.available_backends` detects on this host.
 
 This is deliberately a *smoke* gate: it checks that every experiment
 still runs end to end and reports in the expected shape, not that the
@@ -90,6 +93,34 @@ def check(report_path: str) -> list[str]:
     unknown = sorted(set(entries) - set(EXPERIMENTS))
     if unknown:
         problems.append(f"report names unknown experiments: {', '.join(unknown)}")
+    problems.extend(check_backends_block(payload))
+    return problems
+
+
+def check_backends_block(payload: dict) -> list[str]:
+    """Problems with the report's top-level ``backends`` block.
+
+    The block must list every array backend detected on this host (numpy
+    always among them) with a non-empty version string — an absent or
+    stale block means the backend registry wiring regressed.
+    """
+    from repro.backend import available_backends
+
+    block = payload.get("backends")
+    if not isinstance(block, dict) or not block:
+        return ["missing or empty top-level 'backends' block"]
+    problems: list[str] = []
+    if "numpy" not in block:
+        problems.append("'backends' block omits the always-present numpy backend")
+    for name, version in block.items():
+        if not isinstance(version, str) or not version.strip():
+            problems.append(f"'backends' block has no version string for {name!r}")
+    detected = set(available_backends())
+    if set(block) != detected:
+        problems.append(
+            f"'backends' block lists {sorted(block)} but this host detects "
+            f"{sorted(detected)}"
+        )
     return problems
 
 

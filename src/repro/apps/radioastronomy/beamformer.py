@@ -58,6 +58,7 @@ class LOFARBeamformer:
         n_polarizations: int = 1,
         precision: Precision = Precision.FLOAT16,
         params: TuneParams | None = None,
+        backend=None,
     ):
         self.device = device
         self.n_beams = n_beams
@@ -78,6 +79,7 @@ class LOFARBeamformer:
             include_transpose=False,
             include_packing=False,
             restore_output_scale=True,
+            backend=backend,
             name="lofar_beamform",
         )
 

@@ -100,6 +100,7 @@ class UltrasoundBeamformer:
         precision: Precision = Precision.INT1,
         params: TuneParams | None = None,
         fused_transpose: bool = False,
+        backend=None,
     ):
         """``fused_transpose`` prototypes the paper's §VI future-work item:
         a GEMM that consumes interleaved data directly, removing the
@@ -130,6 +131,7 @@ class UltrasoundBeamformer:
             include_transpose=not fused_transpose,
             include_packing=precision is Precision.INT1,
             restore_output_scale=False,
+            backend=backend,
             name="ultrasound_reconstruction",
         )
         self._matched_filter: np.ndarray | None = None

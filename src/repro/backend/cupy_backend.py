@@ -1,0 +1,65 @@
+"""CuPy array backend: the functional data path on a CUDA/ROCm GPU.
+
+Imported lazily by :mod:`repro.backend` — this module must never be
+imported unless the user asked for the ``cupy`` backend or probed
+availability. Construction fails with :class:`~repro.errors.BackendError`
+when CuPy is absent *or* present without a usable device (CuPy imports
+fine on GPU-less machines but every allocation fails), so CI machines
+without GPUs report it unavailable instead of crashing mid-run.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.backend import ArrayBackend
+from repro.errors import BackendError
+
+
+class CupyBackend(ArrayBackend):
+    """GPU execution through the ``cupy`` drop-in NumPy namespace."""
+
+    name = "cupy"
+
+    def __init__(self) -> None:
+        try:
+            import cupy
+        except ImportError as exc:
+            raise BackendError(f"cupy is not importable: {exc}") from exc
+        try:
+            if cupy.cuda.runtime.getDeviceCount() < 1:
+                raise BackendError("cupy is installed but no CUDA device is visible")
+            # One tiny allocation proves the runtime actually works.
+            cupy.zeros(1, dtype=cupy.uint32)
+        except BackendError:
+            raise
+        except Exception as exc:  # CUDARuntimeError and friends
+            raise BackendError(f"cupy is installed but unusable: {exc}") from exc
+        self._cupy = cupy
+
+    @property
+    def xp(self) -> Any:
+        return self._cupy
+
+    @property
+    def version(self) -> str:
+        return self._cupy.__version__
+
+    @property
+    def device_kind(self) -> str:
+        return "gpu"
+
+    def to_numpy(self, values: Any) -> np.ndarray:
+        return self._cupy.asnumpy(values)
+
+    def astype(self, values: Any, dtype: Any) -> Any:
+        return self._cupy.asarray(values).astype(dtype, copy=False)
+
+    def device_of(self, values: Any) -> str:
+        device = getattr(values, "device", None)
+        return f"cuda:{device.id}" if device is not None else self.device_kind
+
+    def synchronize(self) -> None:
+        self._cupy.cuda.runtime.deviceSynchronize()

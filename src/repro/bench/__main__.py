@@ -12,8 +12,12 @@ Usage::
 Exits non-zero on unknown experiment names. ``--output`` additionally
 writes one machine-readable JSON report covering every experiment run
 (name, title, findings, raw table series, and — for serving experiments —
-a ``metrics`` block with the registry snapshot of the headline run) — the
-per-experiment ``.txt`` / ``.csv`` files still land in ``--outdir``.
+a ``metrics`` block with the registry snapshot of the headline run), plus
+a top-level ``backends`` block listing every detected array backend with
+its version string — the per-experiment ``.txt`` / ``.csv`` files still
+land in ``--outdir``. ``--backend NAME`` routes the functional runners
+through a :mod:`repro.backend` array backend (default numpy); unknown or
+unimportable names exit non-zero listing what is available.
 ``--trace PATH`` records the headline run's span events and writes
 Chrome/Perfetto ``trace_event`` JSON to PATH (open it at
 ``ui.perfetto.dev``); it applies to exactly one experiment per invocation.
@@ -30,7 +34,14 @@ import json
 import sys
 import time
 
-from repro.bench.registry import EXPERIMENTS, describe, run_experiment, supports_tracing
+from repro.backend import available_backends, backend_versions
+from repro.bench.registry import (
+    EXPERIMENTS,
+    describe,
+    run_experiment,
+    supports_backend,
+    supports_tracing,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -54,6 +65,15 @@ def main(argv: list[str] | None = None) -> int:
         "--output",
         metavar="PATH",
         help="also write one combined JSON report of the run to PATH",
+    )
+    parser.add_argument(
+        "--backend",
+        metavar="NAME",
+        help=(
+            "array backend for functional runners (default: numpy); "
+            "unknown or unavailable names exit non-zero listing what is "
+            "importable here"
+        ),
     )
     parser.add_argument(
         "--trace",
@@ -84,6 +104,20 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         parser.error(f"unknown experiments: {', '.join(unknown)}")
 
+    if args.backend is not None:
+        if args.backend not in available_backends():
+            parser.error(
+                f"backend {args.backend!r} is not available here; "
+                f"available: {', '.join(available_backends())}"
+            )
+        unsupported = [n for n in names if not supports_backend(n)]
+        if unsupported:
+            backend_aware = [n for n in EXPERIMENTS if supports_backend(n)]
+            parser.error(
+                f"--backend is not supported by: {', '.join(unsupported)}; "
+                f"backend-aware: {', '.join(backend_aware)}"
+            )
+
     recorder = None
     if args.trace:
         if len(names) != 1:
@@ -107,7 +141,9 @@ def main(argv: list[str] | None = None) -> int:
     dashboard_html: str | None = None
     for name in names:
         t0 = time.perf_counter()
-        result = run_experiment(name, quick=args.quick, recorder=recorder)
+        result = run_experiment(
+            name, quick=args.quick, recorder=recorder, backend=args.backend
+        )
         elapsed = time.perf_counter() - t0
         print(result.full_text())
         written = result.write(args.outdir)
@@ -147,8 +183,12 @@ def main(argv: list[str] | None = None) -> int:
             fh.write(dashboard_html)
         print(f"wrote monitoring dashboard to {args.dashboard}")
     if args.output:
+        report = {
+            "backends": backend_versions(),
+            "experiments": json_report,
+        }
         with open(args.output, "w") as fh:
-            json.dump({"experiments": json_report}, fh, indent=2, default=str)
+            json.dump(report, fh, indent=2, default=str)
         print(f"wrote JSON report to {args.output}")
     return 0
 

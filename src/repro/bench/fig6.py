@@ -57,7 +57,7 @@ REALTIME_BUDGET_SECONDS = 8.0
 PROJECTION_AXIS = {"axial": 0, "coronal": 1, "sagittal": 2}
 
 
-def run() -> ExperimentResult:
+def run(backend: str | None = None) -> ExperimentResult:
     sections: list[str] = []
     findings: list[str] = []
 
@@ -75,11 +75,15 @@ def run() -> ExperimentResult:
     device = Device("GH200")
     images: dict[str, np.ndarray] = {}
     for precision in (Precision.INT1, Precision.FLOAT16):
-        bf = UltrasoundBeamformer(device, model, n_frames=64, precision=precision)
+        bf = UltrasoundBeamformer(
+            device, model, n_frames=64, precision=precision, backend=backend
+        )
         rec = bf.reconstruct(filtered)
         images[precision.value] = power_doppler(rec.frames)
     unfiltered = power_doppler(
-        UltrasoundBeamformer(device, model, n_frames=64, precision=Precision.INT1)
+        UltrasoundBeamformer(
+            device, model, n_frames=64, precision=Precision.INT1, backend=backend
+        )
         .reconstruct(frames)
         .frames
     )

@@ -102,6 +102,18 @@ SPECS: tuple[MetricSpec, ...] = (
         "serve-resilience", "arms", "resilient", "p99 (ms)",
         "serve_resilience.resilient_p99_ms", higher_is_better=False, rel_tol=0.15,
     ),
+    # Wall-clock micro throughput of the vectorized hot paths. Real (not
+    # modelled) time on a shared CI host is noisy, so the tolerance is wide
+    # — the gate exists to catch a de-vectorization cliff (10-100x), not
+    # scheduler jitter.
+    MetricSpec(
+        "backend-micro", "micro", "numpy/pack", "GB/s",
+        "backend_micro.numpy_pack_gbps", higher_is_better=True, rel_tol=0.5,
+    ),
+    MetricSpec(
+        "backend-micro", "micro", "numpy/transpose", "GB/s",
+        "backend_micro.numpy_transpose_gbps", higher_is_better=True, rel_tol=0.5,
+    ),
 )
 
 

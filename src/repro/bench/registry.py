@@ -7,6 +7,7 @@ from collections.abc import Callable
 
 from repro.bench import (
     ablations,
+    backend_micro,
     claims,
     fig2,
     fig3,
@@ -36,6 +37,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fig6": fig6.run,
     "fig7": fig7.run,
     "ablations": ablations.run,
+    "backend-micro": backend_micro.run,
     "claims": claims.run,
     "serve": serve.run,
     "serve-priority": serve_priority.run,
@@ -63,10 +65,19 @@ def supports_tracing(name: str) -> bool:
     return "recorder" in inspect.signature(EXPERIMENTS[name]).parameters
 
 
-def run_experiment(name: str, quick: bool = False, recorder=None) -> ExperimentResult:
-    """Run one experiment by name; passes ``quick`` and ``recorder`` where
-    supported (``recorder`` collects the headline run's span events for
-    Perfetto export — see :mod:`repro.serve.obs`)."""
+def supports_backend(name: str) -> bool:
+    """Whether an experiment's runner accepts an array ``backend`` name."""
+    return "backend" in inspect.signature(EXPERIMENTS[name]).parameters
+
+
+def run_experiment(
+    name: str, quick: bool = False, recorder=None, backend: str | None = None
+) -> ExperimentResult:
+    """Run one experiment by name; passes ``quick``, ``recorder``, and
+    ``backend`` where supported (``recorder`` collects the headline run's
+    span events for Perfetto export — see :mod:`repro.serve.obs`;
+    ``backend`` selects the array-execution backend of functional runners
+    — see :mod:`repro.backend`)."""
     try:
         runner = EXPERIMENTS[name]
     except KeyError as exc:
@@ -84,6 +95,13 @@ def run_experiment(name: str, quick: bool = False, recorder=None) -> ExperimentR
                 f"{', '.join(n for n in EXPERIMENTS if supports_tracing(n))}"
             )
         kwargs["recorder"] = recorder
+    if backend is not None:
+        if "backend" not in params:
+            raise ReproError(
+                f"experiment {name!r} does not support backend selection; "
+                f"backend-aware: {', '.join(n for n in EXPERIMENTS if supports_backend(n))}"
+            )
+        kwargs["backend"] = backend
     return runner(**kwargs)
 
 

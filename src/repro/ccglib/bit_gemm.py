@@ -16,16 +16,22 @@ Implements the arithmetic of paper §III-D and §III-E:
   formulation ``2*(popc(A&B) + popc(~A&~B)) - K`` (Eq. 6) is used, costing
   twice the instructions but running ~4x faster than emulated XOR.
 
-Operand convention: packed planar matrices ``A``: (2, M, W) and
-``B``: (2, N, W) uint32 words, W = Kfull/32, K packed along the last axis.
-Note B rows are indexed by N here (both operands are "K-major"): the
-transpose kernel produces this layout from a (2, K, N) host matrix.
+Operand convention: packed planar matrices ``A``: (..., 2, M, W) and
+``B``: (..., 2, N, W) uint32 words, W = Kfull/32, K packed along the last
+axis, with identical (possibly empty) leading batch dims. Note B rows are
+indexed by N here (both operands are "K-major"): the transpose kernel
+produces this layout from a (2, K, N) host matrix. All arithmetic is exact
+integer work, so it runs unchanged — and bit-identically — on every
+:class:`~repro.backend.ArrayBackend`; the blocked accumulation builds each
+N-chunk functionally (no in-place slice writes) so immutable-array
+backends such as JAX work too.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import ArrayBackend, get_backend
 from repro.ccglib.layouts import IMAG, REAL
 from repro.errors import ShapeError
 from repro.gpusim.arch import BitOp
@@ -36,98 +42,118 @@ from repro.util.bits import PACK_WORD_BITS, bits_to_sign, popcount, unpack_bits
 DEFAULT_N_BLOCK = 128
 
 
-def _validate_packed(a_words: np.ndarray, b_words: np.ndarray) -> tuple[int, int, int]:
-    if a_words.ndim != 3 or a_words.shape[0] != 2:
-        raise ShapeError(f"packed A must be (2, M, W), got {a_words.shape}")
-    if b_words.ndim != 3 or b_words.shape[0] != 2:
-        raise ShapeError(f"packed B must be (2, N, W), got {b_words.shape}")
-    if a_words.dtype != np.uint32 or b_words.dtype != np.uint32:
+def _validate_packed(a_words, b_words) -> tuple[int, int, int]:
+    if a_words.ndim < 3 or a_words.shape[-3] != 2:
+        raise ShapeError(f"packed A must be (..., 2, M, W), got {a_words.shape}")
+    if b_words.ndim < 3 or b_words.shape[-3] != 2:
+        raise ShapeError(f"packed B must be (..., 2, N, W), got {b_words.shape}")
+    if np.dtype(a_words.dtype) != np.uint32 or np.dtype(b_words.dtype) != np.uint32:
         raise ShapeError("packed operands must be uint32")
-    if a_words.shape[2] != b_words.shape[2]:
+    if a_words.shape[-1] != b_words.shape[-1]:
         raise ShapeError(
-            f"packed word-count mismatch: A has W={a_words.shape[2]}, B has W={b_words.shape[2]}"
+            f"packed word-count mismatch: A has W={a_words.shape[-1]}, B has W={b_words.shape[-1]}"
         )
-    return a_words.shape[1], b_words.shape[1], a_words.shape[2]
+    if a_words.shape[:-3] != b_words.shape[:-3]:
+        raise ShapeError(
+            f"batch mismatch: A has leading dims {a_words.shape[:-3]}, "
+            f"B has {b_words.shape[:-3]}"
+        )
+    return a_words.shape[-2], b_words.shape[-2], a_words.shape[-1]
 
 
-def _popc_gemm(a: np.ndarray, b: np.ndarray, op: BitOp, n_block: int) -> np.ndarray:
-    """sum_w popc(a[m, w] OP b[n, w]) for all (m, n), blocked over n."""
-    m, w = a.shape
-    n = b.shape[0]
-    out = np.empty((m, n), dtype=np.int64)
+def _popc_gemm(a, b, op: BitOp, n_block: int, be: ArrayBackend):
+    """sum_w popc(a[..., m, w] OP b[..., n, w]) for all (m, n), blocked over n.
+
+    Chunks are accumulated into a list and concatenated once — equivalent to
+    the historical preallocate-and-slice-assign formulation on NumPy, and
+    the only formulation possible on immutable-array backends.
+    """
+    xp = be.xp
+    n = b.shape[-2]
+    chunks = []
     for n0 in range(0, n, n_block):
-        chunk = b[n0 : n0 + n_block]
+        chunk = b[..., n0 : n0 + n_block, :]
         if op is BitOp.XOR:
-            mixed = a[:, None, :] ^ chunk[None, :, :]
+            mixed = a[..., :, None, :] ^ chunk[..., None, :, :]
         else:
-            mixed = a[:, None, :] & chunk[None, :, :]
-        out[:, n0 : n0 + n_block] = popcount(mixed).sum(axis=-1)
-    return out
+            mixed = a[..., :, None, :] & chunk[..., None, :, :]
+        chunks.append(be.popcount(mixed).sum(axis=-1))
+    if len(chunks) == 1:
+        return chunks[0]
+    return xp.concatenate(chunks, axis=-1)
 
 
 def complex_bit_gemm(
-    a_words: np.ndarray,
-    b_words: np.ndarray,
+    a_words,
+    b_words,
     k_valid: int,
     bit_op: BitOp = BitOp.XOR,
     n_block: int = DEFAULT_N_BLOCK,
-) -> np.ndarray:
+    backend: ArrayBackend | None = None,
+):
     """Complex 1-bit GEMM on packed operands.
 
     Parameters
     ----------
     a_words, b_words:
-        Packed planar operands (2, M, W) and (2, N, W); padding bits (if
-        any) must be binary 0 (decimal -1).
+        Packed planar operands (..., 2, M, W) and (..., 2, N, W) with
+        matching leading batch dims; padding bits (if any) must be binary 0
+        (decimal -1).
     k_valid:
         The true K before padding; ``Kpad = 32*W - k_valid`` drives the
         imaginary-part correction of Eq. 5.
     bit_op:
         ``BitOp.XOR`` uses Eq. 5 directly; ``BitOp.AND`` uses the Hopper
         formulation of Eq. 6 (two AND-popc passes emulating each XOR-popc).
+    backend:
+        Optional :class:`~repro.backend.ArrayBackend`; default NumPy.
 
     Returns
     -------
-    (2, M, N) int32 planar result, exact over the valid K region.
+    (..., 2, M, N) int32 planar result, exact over the valid K region.
     """
-    m, n, w = _validate_packed(a_words, b_words)
+    be = get_backend(backend)
+    xp = be.xp
+    a_words = be.asarray(a_words)
+    b_words = be.asarray(b_words)
+    _validate_packed(a_words, b_words)
+    w = a_words.shape[-1]
     k_full = w * PACK_WORD_BITS
     if not 0 < k_valid <= k_full:
         raise ShapeError(f"k_valid {k_valid} outside (0, {k_full}]")
     k_pad = k_full - k_valid
 
-    a_re, a_im = a_words[REAL], a_words[IMAG]
-    b_re, b_im = b_words[REAL], b_words[IMAG]
+    a_re, a_im = a_words[..., REAL, :, :], a_words[..., IMAG, :, :]
+    b_re, b_im = b_words[..., REAL, :, :], b_words[..., IMAG, :, :]
     # Register-level negation of Im(B): bitwise NOT flips every ±1 sign,
     # including the padded region (pad bit 0 = -1 becomes +1 there, which is
     # exactly what makes the real-part padding self-cancel).
     b_im_neg = ~b_im
 
     if bit_op is BitOp.XOR:
-        p_rr = _popc_gemm(a_re, b_re, BitOp.XOR, n_block)
-        p_ii = _popc_gemm(a_im, b_im_neg, BitOp.XOR, n_block)
-        p_ri = _popc_gemm(a_re, b_im, BitOp.XOR, n_block)
-        p_ir = _popc_gemm(a_im, b_re, BitOp.XOR, n_block)
+        p_rr = _popc_gemm(a_re, b_re, BitOp.XOR, n_block, be)
+        p_ii = _popc_gemm(a_im, b_im_neg, BitOp.XOR, n_block, be)
+        p_ri = _popc_gemm(a_re, b_im, BitOp.XOR, n_block, be)
+        p_ir = _popc_gemm(a_im, b_re, BitOp.XOR, n_block, be)
     elif bit_op is BitOp.AND:
         # Eq. 6: popc(A^B) == K - (popc(A&B) + popc(~A&~B)); substitute into
         # the XOR-based expressions below. Issued as two AND-MMAs per term.
-        p_rr = k_full - _and_same_count(a_re, b_re, n_block)
-        p_ii = k_full - _and_same_count(a_im, b_im_neg, n_block)
-        p_ri = k_full - _and_same_count(a_re, b_im, n_block)
-        p_ir = k_full - _and_same_count(a_im, b_re, n_block)
+        p_rr = k_full - _and_same_count(a_re, b_re, n_block, be)
+        p_ii = k_full - _and_same_count(a_im, b_im_neg, n_block, be)
+        p_ri = k_full - _and_same_count(a_re, b_im, n_block, be)
+        p_ir = k_full - _and_same_count(a_im, b_re, n_block, be)
     else:  # pragma: no cover - enum is exhaustive
         raise ShapeError(f"unknown bit op {bit_op}")
 
     # Eq. 5 of the paper (with p_ii computed against the negated Im(B)):
     real = 2 * (k_full - (p_rr + p_ii))
     imag = 2 * (k_full - k_pad - (p_ri + p_ir))
-    out = np.stack([real, imag]).astype(np.int32)
-    return out
+    return xp.stack([real, imag], axis=-3).astype(xp.int32)
 
 
-def _and_same_count(a: np.ndarray, b: np.ndarray, n_block: int) -> np.ndarray:
+def _and_same_count(a, b, n_block: int, be: ArrayBackend):
     """Count of equal bit positions via two AND-popc passes (Eq. 6)."""
-    return _popc_gemm(a, b, BitOp.AND, n_block) + _popc_gemm(~a, ~b, BitOp.AND, n_block)
+    return _popc_gemm(a, b, BitOp.AND, n_block, be) + _popc_gemm(~a, ~b, BitOp.AND, n_block, be)
 
 
 def real_bit_dot(a_words: np.ndarray, b_words: np.ndarray, k: int) -> int:
@@ -157,10 +183,11 @@ def bit_gemm_reference(a_bits: np.ndarray, b_bits: np.ndarray) -> np.ndarray:
     ``a_bits``: (2, M, K) and ``b_bits``: (2, N, K) arrays of {0, 1}.
     Returns the exact (2, M, N) int64 planar complex product of the ±1
     interpretations. This is the ground truth the packed kernels must match
-    on the valid K region.
+    on the valid K region. Deliberately NumPy-only: every backend's packed
+    kernel is checked against this single host-side oracle.
     """
-    a_sign = bits_to_sign(a_bits, dtype=np.int64)
-    b_sign = bits_to_sign(b_bits, dtype=np.int64)
+    a_sign = np.asarray(bits_to_sign(a_bits, dtype=np.int64))
+    b_sign = np.asarray(bits_to_sign(b_bits, dtype=np.int64))
     a_re, a_im = a_sign[REAL], a_sign[IMAG]
     b_re, b_im = b_sign[REAL], b_sign[IMAG]
     real = a_re @ b_re.T - a_im @ b_im.T
@@ -168,6 +195,6 @@ def bit_gemm_reference(a_bits: np.ndarray, b_bits: np.ndarray) -> np.ndarray:
     return np.stack([real, imag])
 
 
-def unpack_planar(words: np.ndarray, k_valid: int) -> np.ndarray:
-    """Unpack a planar packed matrix (2, R, W) to bits (2, R, k_valid)."""
-    return unpack_bits(words, axis=-1, count=k_valid)
+def unpack_planar(words, k_valid: int, backend: ArrayBackend | None = None):
+    """Unpack a planar packed matrix (..., 2, R, W) to bits (..., 2, R, k_valid)."""
+    return unpack_bits(words, axis=-1, count=k_valid, backend=backend)

@@ -15,12 +15,26 @@ This module implements that exact 5-step schedule functionally (on the
 fragment model of :mod:`repro.gpusim.tensorcore`) so tests can verify it
 against a straightforward complex reference, including the float16
 quantization the hardware applies to the inputs.
+
+Two tiers of entry point exist:
+
+* the single-tile functions (:func:`complex_mma_f16`,
+  :func:`complex_mma_tf32`) — NumPy-only, one (2, m, k) tile at a time,
+  mirroring one warp's fragment schedule;
+* the batched functions (:func:`complex_mma_f16_batched`,
+  :func:`complex_mma_tf32_batched`) — the production hot path: one fused
+  batched ``matmul`` per schedule step over (..., 2, m, k) operands, on
+  any :class:`~repro.backend.ArrayBackend`. On NumPy a batched ``matmul``
+  is bit-identical to the per-item loop (verified; ``einsum`` is *not*,
+  which is why the schedule uses ``matmul`` exclusively), so replacing
+  the loop changes no golden output.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import ArrayBackend, get_backend
 from repro.ccglib.layouts import IMAG, REAL
 from repro.errors import ShapeError
 from repro.gpusim.tensorcore import mma_f16, mma_tf32, quantize_f16, quantize_tf32
@@ -124,3 +138,120 @@ def complex_mma_tf32(
     c_re = mma_tf32(a_im, -b_im, c_re)
     c_im = mma_tf32(a_im, b_re, c_im)
     return np.stack([c_re, c_im])
+
+
+def _validate_batched_planar(a_planar, b_planar) -> None:
+    if a_planar.ndim < 3 or a_planar.shape[-3] != 2:
+        raise ShapeError(f"a_planar must be (..., 2, m, k), got {a_planar.shape}")
+    if b_planar.ndim < 3 or b_planar.shape[-3] != 2:
+        raise ShapeError(f"b_planar must be (..., 2, k, n), got {b_planar.shape}")
+    if a_planar.shape[:-3] != b_planar.shape[:-3]:
+        raise ShapeError(
+            f"batch mismatch: A has leading dims {a_planar.shape[:-3]}, "
+            f"B has {b_planar.shape[:-3]}"
+        )
+    if a_planar.shape[-1] != b_planar.shape[-2]:
+        raise ShapeError(f"K mismatch: A has K={a_planar.shape[-1]}, B has K={b_planar.shape[-2]}")
+
+
+def _mma_step(a_quant, b_quant, c, be: ArrayBackend):
+    """One schedule step: float32 accumulate of a quantized batched product."""
+    xp = be.xp
+    prod = be.matmul(a_quant.astype(xp.float32), b_quant.astype(xp.float32))
+    return c + prod
+
+
+def quantize_tf32_backend(values, backend: ArrayBackend | None = None):
+    """Backend-generic TensorFloat-32 quantization (round to 10 mantissa bits).
+
+    Same arithmetic as :func:`repro.gpusim.tensorcore.quantize_tf32` —
+    round-to-nearest of the low 13 mantissa bits via the IEEE-754 encoding —
+    expressed through the backend's :meth:`~repro.backend.ArrayBackend.bitcast`
+    instead of a NumPy ``view`` so it runs on immutable/device arrays too.
+    """
+    be = get_backend(backend)
+    xp = be.xp
+    v = be.astype(be.asarray(values), xp.float32)
+    bits = be.bitcast(v, xp.uint32)
+    rounded = (bits + xp.uint32(0x1000)) & xp.uint32(0xFFFFE000)
+    return be.bitcast(rounded, xp.float32)
+
+
+def complex_mma_f16_batched(
+    a_planar,
+    b_planar,
+    c_planar=None,
+    backend: ArrayBackend | None = None,
+):
+    """Batched 5-step complex MMA: (..., 2, m, k) x (..., 2, k, n) -> (..., 2, m, n).
+
+    Executes the identical schedule as :func:`complex_mma_f16` — quantize to
+    float16, four float32-accumulated products with the Im(B) register
+    negation — but with each step a single batched ``matmul`` over all
+    leading dims, which is the vectorized hot path of the float16 GEMM.
+    """
+    be = get_backend(backend)
+    xp = be.xp
+    a_planar = be.asarray(a_planar)
+    b_planar = be.asarray(b_planar)
+    _validate_batched_planar(a_planar, b_planar)
+    a_re = be.astype(a_planar[..., REAL, :, :], xp.float16)
+    a_im = be.astype(a_planar[..., IMAG, :, :], xp.float16)
+    b_re = be.astype(b_planar[..., REAL, :, :], xp.float16)
+    b_im = be.astype(b_planar[..., IMAG, :, :], xp.float16)
+
+    m, n = a_re.shape[-2], b_re.shape[-1]
+    out_shape = a_re.shape[:-2] + (m, n)
+    if c_planar is None:
+        c_re = xp.zeros(out_shape, dtype=xp.float32)
+        c_im = xp.zeros(out_shape, dtype=xp.float32)
+    else:
+        c_planar = be.asarray(c_planar)
+        if c_planar.shape != a_re.shape[:-2] + (2, m, n):
+            raise ShapeError(
+                f"c_planar must be {a_re.shape[:-2] + (2, m, n)}, got {c_planar.shape}"
+            )
+        c_re = be.astype(c_planar[..., REAL, :, :], xp.float32)
+        c_im = be.astype(c_planar[..., IMAG, :, :], xp.float32)
+
+    c_re = _mma_step(a_re, b_re, c_re, be)      # step 1
+    c_im = _mma_step(a_re, b_im, c_im, be)      # step 2
+    b_im_neg = -b_im                            # step 3 (registers only)
+    c_re = _mma_step(a_im, b_im_neg, c_re, be)  # step 4
+    c_im = _mma_step(a_im, b_re, c_im, be)      # step 5
+    return xp.stack([c_re, c_im], axis=-3)
+
+
+def complex_mma_tf32_batched(
+    a_planar,
+    b_planar,
+    c_planar=None,
+    backend: ArrayBackend | None = None,
+):
+    """Batched 5-step schedule with TensorFloat-32 fragments (experimental §VI)."""
+    be = get_backend(backend)
+    xp = be.xp
+    a_planar = be.asarray(a_planar)
+    b_planar = be.asarray(b_planar)
+    _validate_batched_planar(a_planar, b_planar)
+    a_re = quantize_tf32_backend(a_planar[..., REAL, :, :], backend=be)
+    a_im = quantize_tf32_backend(a_planar[..., IMAG, :, :], backend=be)
+    b_re = quantize_tf32_backend(b_planar[..., REAL, :, :], backend=be)
+    b_im = quantize_tf32_backend(b_planar[..., IMAG, :, :], backend=be)
+
+    m, n = a_re.shape[-2], b_re.shape[-1]
+    out_shape = a_re.shape[:-2] + (m, n)
+    if c_planar is None:
+        c_re = xp.zeros(out_shape, dtype=xp.float32)
+        c_im = xp.zeros(out_shape, dtype=xp.float32)
+    else:
+        c_planar = be.asarray(c_planar)
+        c_re = be.astype(c_planar[..., REAL, :, :], xp.float32)
+        c_im = be.astype(c_planar[..., IMAG, :, :], xp.float32)
+
+    # TF32 multiplicands are rounded copies; products accumulate in float32.
+    c_re = _mma_step(a_re, b_re, c_re, be)
+    c_im = _mma_step(a_re, b_im, c_im, be)
+    c_re = _mma_step(a_im, -b_im, c_re, be)
+    c_im = _mma_step(a_im, b_re, c_im, be)
+    return xp.stack([c_re, c_im], axis=-3)

@@ -9,6 +9,12 @@ shapes and types the matrices have", paper §III). Plans are specialized at
 creation time for the device and problem shape, the moral equivalent of
 ccglib's runtime kernel compilation.
 
+Plans optionally bind an :class:`~repro.backend.ArrayBackend`; the default
+is the NumPy reference and is bit-identical to the historical per-item
+implementation. The functional paths are fully batched — one fused
+pack/transpose/GEMM pipeline over the whole batch instead of a Python loop
+per item — which is what lets a CuPy or JAX backend run them efficiently.
+
 >>> from repro.gpusim import Device
 >>> from repro.ccglib import Gemm, Precision
 >>> import numpy as np
@@ -24,12 +30,16 @@ True
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
+from repro.backend import ArrayBackend, get_backend
 from repro.ccglib.bit_gemm import complex_bit_gemm
-from repro.ccglib.complex_mma import complex_mma_f16
+from repro.ccglib.complex_mma import complex_mma_f16_batched, complex_mma_tf32_batched
 from repro.ccglib.layouts import (
+    IMAG,
+    REAL,
     ComplexLayout,
     ensure_batched,
     to_planar,
@@ -53,10 +63,12 @@ class GemmResult:
 
     ``output`` is a complex64 array (batch, M, N) in functional mode (for
     int1 precision the values are exact small integers stored as complex)
-    and ``None`` in dry-run mode. ``cost`` is always populated.
+    and ``None`` in dry-run mode; on a non-NumPy backend it stays a device
+    array of that backend (convert with ``backend.to_numpy``). ``cost`` is
+    always populated.
     """
 
-    output: np.ndarray | None
+    output: Any | None
     cost: KernelCost
 
 
@@ -79,6 +91,9 @@ class Gemm:
     bit_op:
         1-bit multiply op override; by default XOR, or AND on Hopper-class
         devices where XOR is software-emulated (§III-E).
+    backend:
+        Array-execution backend for the functional path (name, instance, or
+        ``None`` for the NumPy reference).
     """
 
     def __init__(
@@ -94,6 +109,7 @@ class Gemm:
         bit_op: BitOp | None = None,
         fragment: FragmentShape | None = None,
         experimental_ok: bool = False,
+        backend: ArrayBackend | str | None = None,
     ):
         require_positive_int(batch, "batch")
         require_positive_int(m, "m")
@@ -102,6 +118,7 @@ class Gemm:
         require_supported(device.spec, precision, experimental_ok=experimental_ok)
         self.device = device
         self.precision = precision
+        self.backend = get_backend(backend)
         self.problem = GemmProblem(batch=batch, m=m, n=n, k=k)
         self.params = select_params(device.spec, precision, m, n, params)
         self.fragment = fragment or traits(precision).default_fragment
@@ -130,7 +147,7 @@ class Gemm:
 
     # -- execution -------------------------------------------------------------
 
-    def run(self, a: np.ndarray | None = None, b: np.ndarray | None = None) -> GemmResult:
+    def run(self, a: Any | None = None, b: Any | None = None) -> GemmResult:
         """Execute the plan.
 
         Functional devices require interleaved complex operands ``a`` of
@@ -154,15 +171,16 @@ class Gemm:
 
     # -- internals ----------------------------------------------------------
 
-    def _prepare_operands(self, a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        a = np.asarray(a)
-        b = np.asarray(b)
-        if not np.iscomplexobj(a) or not np.iscomplexobj(b):
+    def _prepare_operands(self, a: Any, b: Any) -> tuple[Any, Any]:
+        be = self.backend
+        a = be.asarray(a)
+        b = be.asarray(b)
+        if not _is_complex_dtype(a) or not _is_complex_dtype(b):
             raise ShapeError("operands must be complex arrays (interleaved layout)")
-        a, _ = ensure_batched(a, 3)
-        b, _ = ensure_batched(b, 3)
-        a_planar = to_planar(a)
-        b_planar = to_planar(b)
+        a, _ = ensure_batched(a, 3, backend=be)
+        b, _ = ensure_batched(b, 3, backend=be)
+        a_planar = to_planar(a, backend=be)
+        b_planar = to_planar(b, backend=be)
         batch, m, n, k = validate_planar_pair(a_planar, b_planar)
         expected = (self.problem.batch, self.problem.m, self.problem.n, self.problem.k)
         if (batch, m, n, k) != expected:
@@ -173,45 +191,63 @@ class Gemm:
             )
         return a_planar, b_planar
 
-    def _run_float(self, a_planar: np.ndarray, b_planar: np.ndarray) -> np.ndarray:
-        """float16 (and experimental tf32) functional path."""
-        from repro.ccglib.complex_mma import complex_mma_tf32
+    def _run_float(self, a_planar: Any, b_planar: Any) -> Any:
+        """float16 (and experimental tf32) functional path.
 
-        mma = complex_mma_tf32 if self.precision is Precision.TF32 else complex_mma_f16
-        batch = self.problem.batch
-        out = np.empty((batch, self.problem.m, self.problem.n), dtype=np.complex64)
-        for i in range(batch):
-            planar = mma(a_planar[i], b_planar[i])
-            out[i] = planar[0] + 1j * planar[1]
-        return out
+        One batched 5-step complex MMA over all batch items; on NumPy this
+        is bit-identical to the historical per-item loop (batched ``matmul``
+        matches looped 2D ``matmul`` exactly).
+        """
+        be = self.backend
+        mma = complex_mma_tf32_batched if self.precision is Precision.TF32 else complex_mma_f16_batched
+        planar = mma(a_planar, b_planar, backend=be)
+        out = planar[..., REAL, :, :] + 1j * planar[..., IMAG, :, :]
+        return be.astype(out, be.xp.complex64)
 
-    def _run_int1(self, a_planar: np.ndarray, b_planar: np.ndarray) -> np.ndarray:
-        """1-bit functional path: sign-quantize, pack, binary GEMM (Eq. 5/6)."""
-        batch = self.problem.batch
+    def _run_int1(self, a_planar: Any, b_planar: Any) -> Any:
+        """1-bit functional path: sign-quantize, pack, binary GEMM (Eq. 5/6).
+
+        Exact integer arithmetic throughout, so batching the packed GEMM over
+        all items is trivially bit-identical to the historical loop.
+        """
+        be = self.backend
+        xp = be.xp
         k_pad_to = self.padded_k
-        out = np.empty((batch, self.problem.m, self.problem.n), dtype=np.complex64)
-        for i in range(batch):
-            a_words = pack_sign_planar(a_planar[i], k_pad_to=k_pad_to)
-            b_kmajor = planar_to_kmajor(b_planar[i])
-            b_words = pack_sign_planar(b_kmajor, k_pad_to=k_pad_to)
-            planar = complex_bit_gemm(
-                a_words, b_words, k_valid=self.problem.k, bit_op=self.bit_op or BitOp.XOR
-            )
-            out[i] = planar[0].astype(np.float32) + 1j * planar[1].astype(np.float32)
-        return out
+        a_words = pack_sign_planar(a_planar, k_pad_to=k_pad_to, backend=be)
+        b_kmajor = planar_to_kmajor(b_planar, backend=be)
+        b_words = pack_sign_planar(b_kmajor, k_pad_to=k_pad_to, backend=be)
+        planar = complex_bit_gemm(
+            a_words,
+            b_words,
+            k_valid=self.problem.k,
+            bit_op=self.bit_op or BitOp.XOR,
+            backend=be,
+        )
+        out = planar[..., REAL, :, :].astype(xp.float32) + 1j * planar[..., IMAG, :, :].astype(
+            xp.float32
+        )
+        return be.astype(out, xp.complex64)
+
+
+def _is_complex_dtype(array: Any) -> bool:
+    """Complex-dtype test that never copies the array off its device."""
+    return np.issubdtype(np.dtype(array.dtype), np.complexfloating)
 
 
 def gemm_once(
     device: Device,
     precision: Precision,
-    a: np.ndarray,
-    b: np.ndarray,
+    a: Any,
+    b: Any,
+    *,
+    backend: ArrayBackend | str | None = None,
     **kwargs,
 ) -> GemmResult:
     """One-shot convenience wrapper: plan from operand shapes and run."""
-    a_arr, _ = ensure_batched(np.asarray(a), 3)
-    b_arr, _ = ensure_batched(np.asarray(b), 3)
+    be = get_backend(backend)
+    a_arr, _ = ensure_batched(be.asarray(a), 3, backend=be)
+    b_arr, _ = ensure_batched(be.asarray(b), 3, backend=be)
     batch, m, k = a_arr.shape
     n = b_arr.shape[2]
-    plan = Gemm(device, precision, batch=batch, m=m, n=n, k=k, **kwargs)
+    plan = Gemm(device, precision, batch=batch, m=m, n=n, k=k, backend=be, **kwargs)
     return plan.run(a_arr, b_arr)

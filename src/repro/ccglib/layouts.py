@@ -15,6 +15,12 @@ Host-side (user-facing) formats:
 Device-side the GEMM consumes planar data, optionally tiled into
 block-tile-major order by the transpose kernel (see
 :mod:`repro.ccglib.transpose`).
+
+Every conversion accepts an optional :class:`~repro.backend.ArrayBackend`
+and runs in that backend's namespace; the default is the NumPy reference,
+bit-identical to the pre-backend implementation. The planar/interleaved
+conversions are single fused vectorized expressions (one ``stack`` /
+one complex combine), never per-element loops.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ import enum
 
 import numpy as np
 
+from repro.backend import ArrayBackend, get_backend
 from repro.errors import ShapeError
 
 #: index of the real plane along the complex axis.
@@ -46,43 +53,53 @@ class MatrixSide(enum.Enum):
     C = "c"  # (batch, M, N): beamformed output
 
 
-def to_planar(array: np.ndarray, dtype=None) -> np.ndarray:
+def _is_complex(array, xp) -> bool:
+    """Complex-dtype test that never copies the array off its device."""
+    return np.issubdtype(np.dtype(array.dtype), np.complexfloating)
+
+
+def to_planar(array, dtype=None, backend: ArrayBackend | None = None):
     """Convert an interleaved complex array to planar layout.
 
     Input shape ``(..., R, C)`` complex; output shape ``(..., 2, R, C)``
     real with ``out[..., REAL, :, :]`` the real part. ``dtype`` optionally
     quantizes the planes (e.g. ``np.float16`` for the 16-bit data path).
     """
-    array = np.asarray(array)
-    if not np.iscomplexobj(array):
+    be = get_backend(backend)
+    xp = be.xp
+    array = be.asarray(array)
+    if not _is_complex(array, xp):
         raise ShapeError(f"to_planar expects a complex array, got {array.dtype}")
-    planar = np.stack([array.real, array.imag], axis=-3)
+    planar = xp.stack([array.real, array.imag], axis=-3)
     if dtype is not None:
         planar = planar.astype(dtype)
     return planar
 
 
-def to_interleaved(planar: np.ndarray) -> np.ndarray:
+def to_interleaved(planar, backend: ArrayBackend | None = None):
     """Convert a planar array ``(..., 2, R, C)`` back to complex64/128."""
-    planar = np.asarray(planar)
+    be = get_backend(backend)
+    xp = be.xp
+    planar = be.asarray(planar)
     if planar.ndim < 3 or planar.shape[-3] != 2:
         raise ShapeError(
             f"planar array must have a complex axis of length 2 third-from-last, "
             f"got shape {planar.shape}"
         )
-    out_dtype = np.complex128 if planar.dtype == np.float64 else np.complex64
-    imag_dtype = np.float64 if out_dtype == np.complex128 else np.float32
+    out_dtype = xp.complex128 if planar.dtype == xp.float64 else xp.complex64
+    imag_dtype = xp.float64 if out_dtype == xp.complex128 else xp.float32
     return (
         planar[..., REAL, :, :] + 1j * planar[..., IMAG, :, :].astype(imag_dtype)
     ).astype(out_dtype)
 
 
-def ensure_batched(array: np.ndarray, expected_ndim: int) -> tuple[np.ndarray, bool]:
+def ensure_batched(array, expected_ndim: int, backend: ArrayBackend | None = None):
     """Add a singleton batch axis if ``array`` is one batch item.
 
     Returns ``(batched_array, had_batch)`` so results can be un-batched.
     """
-    array = np.asarray(array)
+    be = get_backend(backend)
+    array = be.asarray(array)
     if array.ndim == expected_ndim:
         return array, True
     if array.ndim == expected_ndim - 1:
@@ -93,10 +110,11 @@ def ensure_batched(array: np.ndarray, expected_ndim: int) -> tuple[np.ndarray, b
     )
 
 
-def validate_planar_pair(a: np.ndarray, b: np.ndarray) -> tuple[int, int, int, int]:
+def validate_planar_pair(a, b) -> tuple[int, int, int, int]:
     """Validate planar GEMM operands and return ``(batch, M, N, K)``.
 
-    ``a``: (batch, 2, M, K); ``b``: (batch, 2, K, N).
+    ``a``: (batch, 2, M, K); ``b``: (batch, 2, K, N). Shape-only checks,
+    so arrays of any backend pass through untouched.
     """
     if a.ndim != 4 or b.ndim != 4:
         raise ShapeError(f"expected 4D planar operands, got {a.shape} and {b.shape}")

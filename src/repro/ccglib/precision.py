@@ -98,6 +98,43 @@ def traits(precision: Precision) -> PrecisionTraits:
     return _TRAITS[precision]
 
 
+@dataclass(frozen=True)
+class ParityTolerance:
+    """Allowed deviation from the NumPy reference for one precision.
+
+    Different array backends may fuse, reorder, or widen the float
+    arithmetic differently (e.g. JAX's XLA emits FMA contractions; CuPy
+    dispatches to cuBLAS), so cross-backend comparisons use per-precision
+    relative/absolute tolerances instead of bit equality. int1 is exact
+    integer arithmetic — every conformant backend must match it bit-for-bit.
+    """
+
+    rtol: float
+    atol: float
+
+    @property
+    def exact(self) -> bool:
+        return self.rtol == 0.0 and self.atol == 0.0
+
+
+#: Cross-backend parity tolerances per precision, used by
+#: :mod:`repro.backend.validate` and the parity test-suite.
+PARITY_TOLERANCES: dict[Precision, ParityTolerance] = {
+    # float16 multiplicands, float32 accumulation: one reassociated sum over
+    # K can differ by a few ULP per term.
+    Precision.FLOAT16: ParityTolerance(rtol=1e-3, atol=1e-3),
+    # 10-bit mantissa inputs; accumulation in float32.
+    Precision.TF32: ParityTolerance(rtol=1e-3, atol=1e-3),
+    # Exact ±1 integer arithmetic: no deviation is ever legitimate.
+    Precision.INT1: ParityTolerance(rtol=0.0, atol=0.0),
+}
+
+
+def parity_tolerance(precision: Precision) -> ParityTolerance:
+    """Cross-backend comparison tolerance for a precision."""
+    return PARITY_TOLERANCES[precision]
+
+
 def tensor_peak_ops(spec: GPUSpec, precision: Precision) -> float:
     """Theoretical tensor peak for a precision on a device, ops/s.
 

@@ -7,9 +7,13 @@ separation of complex components the MMA kernels expect (§VI), and — for
 the B operand — the K-major reordering that turns a (K, N) matrix into
 rows of N with K contiguous, so 1-bit packing can run along K.
 
-The functional implementation is a pure reindexing (reshape + moveaxis +
-pad); the cost model charges one read + one write of the matrix at DRAM
-bandwidth (the paper: transpose is "bound by memory bandwidth").
+The functional implementation is a pure reindexing (strided views:
+reshape + swapaxes/moveaxis + pad, materialized contiguously once at the
+end); the cost model charges one read + one write of the matrix at DRAM
+bandwidth (the paper: transpose is "bound by memory bandwidth"). All
+entry points accept an optional :class:`~repro.backend.ArrayBackend` and
+run in its namespace; the NumPy default is bit-identical to the
+pre-backend implementation.
 """
 
 from __future__ import annotations
@@ -18,10 +22,18 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend import ArrayBackend, get_backend
 from repro.errors import ShapeError
 from repro.gpusim.device import Device
 from repro.gpusim.timing import Bound, KernelCost
 from repro.util.validation import ceil_div, round_up
+
+
+def _ascontiguous(array, xp):
+    """Materialize a strided view contiguously (no-op where unsupported)."""
+    if hasattr(xp, "ascontiguousarray"):
+        return xp.ascontiguousarray(array)
+    return array
 
 
 @dataclass(frozen=True)
@@ -49,7 +61,11 @@ class TiledMatrix:
 
 
 def tile_planar(
-    planar: np.ndarray, tile_r: int, tile_c: int, pad_value: float = 0.0
+    planar,
+    tile_r: int,
+    tile_c: int,
+    pad_value: float = 0.0,
+    backend: ArrayBackend | None = None,
 ) -> TiledMatrix:
     """Tile a planar (2, R, C) matrix into (2, rt, ct, tile_r, tile_c).
 
@@ -57,39 +73,48 @@ def tile_planar(
     float16 — tensor cores can represent it; the 1-bit path pads *bits*
     separately because zero is unrepresentable there).
     """
-    planar = np.asarray(planar)
+    be = get_backend(backend)
+    xp = be.xp
+    planar = be.asarray(planar)
     if planar.ndim != 3 or planar.shape[0] != 2:
         raise ShapeError(f"expected planar (2, R, C), got {planar.shape}")
     _, r, c = planar.shape
     rp, cp = round_up(r, tile_r), round_up(c, tile_c)
     if (rp, cp) != (r, c):
-        planar = np.pad(planar, ((0, 0), (0, rp - r), (0, cp - c)), constant_values=pad_value)
+        planar = xp.pad(planar, ((0, 0), (0, rp - r), (0, cp - c)), constant_values=pad_value)
     tiles = planar.reshape(2, rp // tile_r, tile_r, cp // tile_c, tile_c)
     tiles = tiles.transpose(0, 1, 3, 2, 4)
     return TiledMatrix(
-        tiles=np.ascontiguousarray(tiles), rows=r, cols=c, tile_r=tile_r, tile_c=tile_c
+        tiles=_ascontiguous(tiles, xp), rows=r, cols=c, tile_r=tile_r, tile_c=tile_c
     )
 
 
-def untile_planar(tiled: TiledMatrix) -> np.ndarray:
+def untile_planar(tiled: TiledMatrix, backend: ArrayBackend | None = None):
     """Exact inverse of :func:`tile_planar`, cropped to the valid extent."""
-    t = tiled.tiles
+    be = get_backend(backend)
+    xp = be.xp
+    t = be.asarray(tiled.tiles)
     _, rt, ct, tr, tc = t.shape
     planar = t.transpose(0, 1, 3, 2, 4).reshape(2, rt * tr, ct * tc)
-    return np.ascontiguousarray(planar[:, : tiled.rows, : tiled.cols])
+    return _ascontiguous(planar[:, : tiled.rows, : tiled.cols], xp)
 
 
-def planar_to_kmajor(planar_kn: np.ndarray) -> np.ndarray:
-    """Reorder a planar B operand (2, K, N) into K-major rows (2, N, K).
+def planar_to_kmajor(planar_kn, backend: ArrayBackend | None = None):
+    """Reorder a planar B operand (..., 2, K, N) into K-major rows (..., 2, N, K).
 
     The GEMM and the 1-bit packing both consume B with K contiguous per
     output column; this is the "transpose" half of ccglib's transpose
-    kernel (the tiling half is :func:`tile_planar`).
+    kernel (the tiling half is :func:`tile_planar`). Accepts one matrix
+    ``(2, K, N)`` or a batch ``(batch, 2, K, N)`` — the reorder is a
+    strided view (``swapaxes``) over the last two axes either way,
+    materialized contiguously once.
     """
-    planar_kn = np.asarray(planar_kn)
-    if planar_kn.ndim != 3 or planar_kn.shape[0] != 2:
-        raise ShapeError(f"expected planar (2, K, N), got {planar_kn.shape}")
-    return np.ascontiguousarray(planar_kn.transpose(0, 2, 1))
+    be = get_backend(backend)
+    xp = be.xp
+    planar_kn = be.asarray(planar_kn)
+    if planar_kn.ndim < 3 or planar_kn.shape[-3] != 2:
+        raise ShapeError(f"expected planar (..., 2, K, N), got {planar_kn.shape}")
+    return _ascontiguous(xp.swapaxes(planar_kn, -1, -2), xp)
 
 
 def transpose_cost(device: Device, n_values: int, bytes_per_value: float) -> KernelCost:
@@ -120,10 +145,11 @@ def transpose_cost(device: Device, n_values: int, bytes_per_value: float) -> Ker
 
 def run_transpose_kernel(
     device: Device,
-    planar_kn: np.ndarray | None,
+    planar_kn,
     n_values: int,
     bytes_per_value: float,
-) -> tuple[np.ndarray | None, KernelCost]:
+    backend: ArrayBackend | None = None,
+):
     """Execute the B-operand transpose on a device; records the launch.
 
     Passing ``planar_kn=None`` records the launch cost without producing
@@ -134,7 +160,7 @@ def run_transpose_kernel(
     cost = transpose_cost(device, n_values, bytes_per_value)
     device.record_kernel(cost)
     if device.is_functional and planar_kn is not None:
-        return planar_to_kmajor(planar_kn), cost
+        return planar_to_kmajor(planar_kn, backend=backend), cost
     return None, cost
 
 

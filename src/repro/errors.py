@@ -43,6 +43,16 @@ class ShapeError(ReproError):
     """Matrix shapes or layouts passed to the library are inconsistent."""
 
 
+class BackendError(ReproError):
+    """An array-execution backend is unknown, unavailable, or non-conformant.
+
+    Raised by :func:`repro.backend.get_backend` for names that are not
+    registered or whose import-time probe failed (e.g. CuPy without a GPU),
+    and by the conformance checker for backends that violate the
+    :class:`~repro.backend.ArrayBackend` protocol.
+    """
+
+
 class MemoryError_(DeviceError):
     """Simulated device memory exhausted (named to avoid shadowing builtin)."""
 

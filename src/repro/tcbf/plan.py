@@ -20,8 +20,11 @@ collapses to the GEMM cost alone.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
+from repro.backend import ArrayBackend, get_backend
 from repro.ccglib.gemm import Gemm
 from repro.ccglib.layouts import ensure_batched
 from repro.ccglib.packing import packing_cost, run_pack_kernel
@@ -67,6 +70,11 @@ class BeamformerPlan:
         Multiply the output by the operand RMS again after the GEMM. On for
         absolute-calibrated pipelines (LOFAR); off for scale-invariant
         imaging (ultrasound power Doppler).
+    backend:
+        Array-execution backend for the functional path (name, instance, or
+        ``None`` for the NumPy reference). The whole pipeline — RMS
+        normalization, pack, transpose, GEMM, scale restore — runs in this
+        backend's namespace; outputs stay on its device.
     name:
         Label of the combined multi-stage cost record.
     """
@@ -87,9 +95,11 @@ class BeamformerPlan:
         include_transpose: bool = True,
         include_packing: bool | None = None,
         restore_output_scale: bool = False,
+        backend: ArrayBackend | str | None = None,
         name: str = "beamform_block",
     ):
         self.device = device
+        self.backend = get_backend(backend)
         self.n_beams = n_beams
         self.n_receivers = n_receivers
         self.n_samples = n_samples
@@ -112,6 +122,7 @@ class BeamformerPlan:
             bit_op=bit_op,
             fragment=fragment,
             experimental_ok=experimental_ok,
+            backend=self.backend,
         )
         #: one-time weight/filter preparation cost (set by prepare_weights).
         self.weight_prep_cost: KernelCost | None = None
@@ -147,6 +158,7 @@ class BeamformerPlan:
             self.include_transpose,
             self.include_packing,
             self.restore_output_scale,
+            self.backend.name,
         )
 
     @property
@@ -261,6 +273,7 @@ class BeamformerPlan:
                 n_values,
                 input_bytes_per_value=_HOST_BYTES_PER_VALUE,
                 k_pad_to=self.padded_k,
+                backend=self.backend,
             )
             costs.append(p_cost)
         self.weight_prep_cost = combine_costs(name, costs)
@@ -298,14 +311,15 @@ class BeamformerPlan:
             self.device.record_kernel(stage)
         output = None
         if self.device.is_functional:
+            be = self.backend
             if self.needs_scale and scale is None:
-                scale = rms(data)
+                scale = rms(data, backend=be)
             # Skip the divide for pre-normalized data (scale 1.0) and the
             # cast for complex64 inputs: no hidden full-block copies.
             normalized = (
                 data if not self.needs_scale or scale == 1.0 else data / scale
             )
-            gemm_result = self._gemm.run(weights, normalized.astype(np.complex64, copy=False))
+            gemm_result = self._gemm.run(weights, be.astype(normalized, be.xp.complex64))
             output = gemm_result.output
             if self.restore_output_scale and scale != 1.0:
                 output = output * scale
@@ -313,11 +327,17 @@ class BeamformerPlan:
             gemm_result = self._gemm.run()
         costs.append(gemm_result.cost)
         total = costs[0] if len(costs) == 1 else combine_costs(self.name, costs)
-        return BeamformResult(output=output, costs=costs, total=total, n_frames=self.n_samples)
+        return BeamformResult(
+            output=output,
+            costs=costs,
+            total=total,
+            n_frames=self.n_samples,
+            backend=self.backend,
+        )
 
     # -- internals -----------------------------------------------------------
 
-    def _prepared_weights(self, weights: np.ndarray | None) -> np.ndarray:
+    def _prepared_weights(self, weights: Any | None) -> Any:
         """Validate and convert the A operand.
 
         ``copy=False`` makes the conversion free for complex64 inputs (the
@@ -327,17 +347,18 @@ class BeamformerPlan:
         """
         if weights is None:
             raise ShapeError("functional beamforming requires weights and data")
-        batched, _ = ensure_batched(np.asarray(weights), 3)
+        be = self.backend
+        batched, _ = ensure_batched(be.asarray(weights), 3, backend=be)
         expect_w = (self.batch, self.n_beams, self.n_receivers)
         if batched.shape != expect_w:
             raise ShapeError(f"weights must be {expect_w}, got {batched.shape}")
-        return batched.astype(np.complex64, copy=False)
+        return be.astype(batched, be.xp.complex64)
 
-    def _validated_data(self, data: np.ndarray | None) -> np.ndarray:
+    def _validated_data(self, data: Any | None) -> Any:
         """Shape-check the streaming operand before any cost is recorded."""
         if data is None:
             raise ShapeError("functional beamforming requires weights and data")
-        data, _ = ensure_batched(np.asarray(data), 3)
+        data, _ = ensure_batched(self.backend.asarray(data), 3, backend=self.backend)
         expect_d = (self.batch, self.n_receivers, self.n_samples)
         if data.shape != expect_d:
             raise ShapeError(f"data must be {expect_d}, got {data.shape}")

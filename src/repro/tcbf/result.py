@@ -12,9 +12,11 @@ in a single place.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
+from repro.backend import ArrayBackend
 from repro.gpusim.timing import KernelCost
 from repro.util.units import tera
 
@@ -37,22 +39,35 @@ class BeamformResult:
     n_frames:
         Samples/frames produced by this block — the denominator of the
         throughput accessors.
+    backend:
+        The :class:`~repro.backend.ArrayBackend` that produced ``output``
+        (``None`` for legacy/dry-run records). On a non-NumPy backend the
+        output stays a device array; use :meth:`output_numpy` to fetch it.
     """
 
-    output: np.ndarray | None
+    output: Any | None
     costs: list[KernelCost]
     total: KernelCost
     n_frames: int | None = None
+    backend: ArrayBackend | None = None
+
+    def output_numpy(self) -> np.ndarray | None:
+        """The output as a host NumPy array (``None`` in dry-run mode)."""
+        if self.output is None:
+            return None
+        if self.backend is not None:
+            return self.backend.to_numpy(self.output)
+        return np.asarray(self.output)
 
     # -- domain aliases ------------------------------------------------------
 
     @property
-    def beams(self) -> np.ndarray | None:
+    def beams(self) -> Any | None:
         """Radio-astronomy view of :attr:`output`."""
         return self.output
 
     @property
-    def frames(self) -> np.ndarray | None:
+    def frames(self) -> Any | None:
         """Ultrasound view of :attr:`output`."""
         return self.output
 

@@ -20,10 +20,11 @@ maximum.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
+from repro.backend import ArrayBackend, get_backend
 from repro.ccglib.layouts import ensure_batched
 from repro.ccglib.precision import Precision
 from repro.ccglib.tuning import TuneParams
@@ -104,6 +105,7 @@ def build_shard_plans(
     include_transpose: bool = True,
     include_packing: bool | None = None,
     restore_output_scale: bool = False,
+    backend: ArrayBackend | str | None = None,
     name: str = "beamform_block",
 ) -> list[BeamformerPlan]:
     """One :class:`BeamformerPlan` per device for a sharded problem.
@@ -136,6 +138,7 @@ def build_shard_plans(
                 include_transpose=include_transpose,
                 include_packing=include_packing,
                 restore_output_scale=restore_output_scale,
+                backend=backend,
                 name=name,
             )
         )
@@ -143,8 +146,10 @@ def build_shard_plans(
 
 
 def merge_batch_operands(
-    weights: np.ndarray, data_blocks: Sequence[np.ndarray]
-) -> tuple[np.ndarray, np.ndarray]:
+    weights: Any,
+    data_blocks: Sequence[Any],
+    backend: ArrayBackend | None = None,
+) -> tuple[Any, Any]:
     """Stack compatible per-request operands into one batched GEMM block.
 
     The inverse direction of sharding: several small requests that share one
@@ -158,10 +163,11 @@ def merge_batch_operands(
     """
     if not data_blocks:
         raise ShapeError("cannot merge an empty request list")
-    weights, _ = ensure_batched(np.asarray(weights), 3)
+    be = get_backend(backend)
+    weights, _ = ensure_batched(be.asarray(weights), 3, backend=be)
     blocks = []
     for block in data_blocks:
-        block, _ = ensure_batched(np.asarray(block), 3)
+        block, _ = ensure_batched(be.asarray(block), 3, backend=be)
         if block.shape[0] != weights.shape[0] or block.shape[1] != weights.shape[2]:
             raise ShapeError(
                 f"request block {block.shape} incompatible with weights "
@@ -170,14 +176,17 @@ def merge_batch_operands(
         blocks.append(block)
     if len({b.shape for b in blocks}) > 1:
         raise ShapeError(f"cannot merge blocks of differing shapes: {[b.shape for b in blocks]}")
-    merged_weights = np.concatenate([weights] * len(blocks), axis=0)
-    merged_data = np.concatenate(blocks, axis=0)
+    merged_weights = be.xp.concatenate([weights] * len(blocks), axis=0)
+    merged_data = be.xp.concatenate(blocks, axis=0)
     return merged_weights, merged_data
 
 
 def split_batched_output(
-    output: np.ndarray, extents: Sequence[int], axis: int = 0
-) -> list[np.ndarray]:
+    output: Any,
+    extents: Sequence[int],
+    axis: int = 0,
+    backend: ArrayBackend | None = None,
+) -> list[Any]:
     """Scatter a merged batch output back into per-request slices.
 
     ``extents`` are the batch extents of the coalesced requests in merge
@@ -195,8 +204,9 @@ def split_batched_output(
             f"extents sum to {total} but output has {output.shape[axis]} "
             f"along axis {axis}"
         )
-    bounds = np.cumsum(list(extents))[:-1]
-    return np.split(output, bounds, axis=axis)
+    be = get_backend(backend)
+    bounds = [int(b) for b in np.cumsum(list(extents))[:-1]]
+    return be.xp.split(output, bounds, axis=axis)
 
 
 @dataclass
@@ -209,7 +219,7 @@ class ShardResult:
     of every aggregate throughput accessor.
     """
 
-    output: np.ndarray | None
+    output: Any | None
     shards: list[BeamformResult]
     shard_dim: str
     shard_sizes: list[int]
@@ -274,6 +284,7 @@ class ShardedBeamformer:
         include_transpose: bool = True,
         include_packing: bool | None = None,
         restore_output_scale: bool = False,
+        backend: ArrayBackend | str | None = None,
         name: str = "beamform_block",
     ):
         if not devices:
@@ -288,6 +299,7 @@ class ShardedBeamformer:
                 "got a mix of functional and dry-run"
             )
         self.devices = list(devices)
+        self.backend = get_backend(backend)
         self.shard_dim = shard_dim
         self.restore_output_scale = restore_output_scale
         self.n_beams = n_beams
@@ -313,6 +325,7 @@ class ShardedBeamformer:
             include_transpose=include_transpose,
             include_packing=include_packing,
             restore_output_scale=restore_output_scale,
+            backend=self.backend,
             name=name,
         )
 
@@ -334,9 +347,7 @@ class ShardedBeamformer:
 
     # -- execution -----------------------------------------------------------
 
-    def execute(
-        self, weights: np.ndarray | None = None, data: np.ndarray | None = None
-    ) -> ShardResult:
+    def execute(self, weights: Any | None = None, data: Any | None = None) -> ShardResult:
         """Beamform one block across all devices and merge the outputs.
 
         Functional mode slices the operands per shard — disjoint batch
@@ -346,6 +357,7 @@ class ShardedBeamformer:
         axis. Dry-run devices record their shard's timeline only.
         """
         shards: list[BeamformResult] = []
+        be = self.backend
         offset = 0
         scale = None
         shared_data = None
@@ -359,8 +371,8 @@ class ShardedBeamformer:
             # per-shard plans only see their slice, so without this an
             # oversized operand would be silently truncated instead of
             # rejected like the single-device plan does.
-            weights, _ = ensure_batched(np.asarray(weights), 3)
-            data, _ = ensure_batched(np.asarray(data), 3)
+            weights, _ = ensure_batched(be.asarray(weights), 3, backend=be)
+            data, _ = ensure_batched(be.asarray(data), 3, backend=be)
             expect_w = (self.batch, self.n_beams, self.n_receivers)
             expect_d = (self.batch, self.n_receivers, self.n_samples)
             if weights.shape != expect_w:
@@ -373,13 +385,13 @@ class ShardedBeamformer:
             # plans skip it too (int1 without output-scale restore).
             needs_scale = self.plans[0].needs_scale
             if needs_scale:
-                scale = rms(data)
+                scale = rms(data, backend=be)
             if self.shard_dim == "beams":
                 # Every shard consumes the identical full data block, so
                 # normalize it once instead of once per device.
                 shared_data = data
                 if needs_scale:
-                    shared_data = (data / scale).astype(np.complex64, copy=False)
+                    shared_data = be.astype(data / scale, be.xp.complex64)
         for plan, size in zip(self.plans, self.shard_sizes):
             w_shard = d_shard = None
             shard_scale = None
@@ -408,7 +420,7 @@ class ShardedBeamformer:
         output = None
         if all(s.output is not None for s in shards):
             axis = 0 if self.shard_dim == "batch" else 1
-            output = np.concatenate([s.output for s in shards], axis=axis)
+            output = be.xp.concatenate([s.output for s in shards], axis=axis)
         return ShardResult(
             output=output,
             shards=shards,

@@ -20,8 +20,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-
-import numpy as np
+from typing import Any
 
 from repro.ccglib.pipeline import MultiStageBuffer
 from repro.errors import KernelConfigError
@@ -91,7 +90,7 @@ class BlockExecutor:
         self.plan = plan
         self.num_buffers = num_buffers
         self._pipe = MultiStageBuffer(num_buffers)
-        self._staged: deque[tuple[int, np.ndarray | None, np.ndarray | None]] = deque()
+        self._staged: deque[tuple[int, Any | None, Any | None]] = deque()
         self._next_id = 0
         #: block ids in consumption order (a test invariant: equals submission order).
         self.consumed: list[int] = []
@@ -103,7 +102,7 @@ class BlockExecutor:
     def blocks_in_flight(self) -> int:
         return self._pipe.stages_in_flight
 
-    def submit(self, weights: np.ndarray | None = None, data: np.ndarray | None = None) -> int:
+    def submit(self, weights: Any | None = None, data: Any | None = None) -> int:
         """Stage one block for execution; returns its sequence id."""
         idx = self._pipe.producer_acquire(self._next_id)
         self._pipe.producer_commit(idx)
@@ -135,8 +134,8 @@ class BlockExecutor:
 
     def run_stream(
         self,
-        blocks: list[np.ndarray | None],
-        weights: np.ndarray | None = None,
+        blocks: list[Any | None],
+        weights: Any | None = None,
     ) -> tuple[list[BeamformResult], StreamStats]:
         """Software-pipeline a whole block sequence.
 

@@ -12,12 +12,22 @@ occupies bit position ``31 - (i % 32)``: the first sample lands in the most
 significant bit. This matches the big-endian bit order used by the CUDA
 ``b1`` fragments and keeps lexicographic sample order equal to numeric word
 order, which the transpose kernel relies on.
+
+Backends
+--------
+Every helper accepts an optional :class:`~repro.backend.ArrayBackend`
+(default: the NumPy reference). The NumPy path keeps its historical
+``np.packbits`` / big-endian-view implementation — bit-identical to the
+pre-backend code — while other backends use a vectorized shift-and-or
+formulation built only from universal ufuncs, so CuPy and JAX need neither
+``packbits`` nor byte-order views.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import ArrayBackend, get_backend, numpy_backend
 from repro.errors import ShapeError
 
 #: Number of 1-bit samples stored per packed 32-bit word.
@@ -35,6 +45,8 @@ def popcount(words: np.ndarray) -> np.ndarray:
     Uses :func:`numpy.bitwise_count` when available (NumPy >= 2.0) and an
     8-bit lookup table otherwise. The return dtype is ``int64`` so that
     accumulating popcounts over the K axis of a large GEMM cannot overflow.
+    (This is the NumPy reference; other backends provide
+    :meth:`~repro.backend.ArrayBackend.popcount`.)
     """
     words = np.asarray(words)
     if not np.issubdtype(words.dtype, np.unsignedinteger):
@@ -46,62 +58,93 @@ def popcount(words: np.ndarray) -> np.ndarray:
     return counts.sum(axis=-1, dtype=np.int64)
 
 
-def sign_to_bits(values: np.ndarray) -> np.ndarray:
+def sign_to_bits(values, backend: ArrayBackend | None = None):
     """Map real values to the 1-bit encoding: >= 0 -> 1 (i.e. +1), < 0 -> 0 (-1).
 
     The paper quantizes by "only keeping the sign of the signal" (§V-A). The
     convention for exact zero follows the hardware comparison used in the
     CUDA packing kernel: ``x >= 0`` maps to binary one.
     """
-    return (np.asarray(values) >= 0).astype(np.uint8)
+    be = get_backend(backend)
+    return (be.asarray(values) >= 0).astype(be.xp.uint8)
 
 
-def bits_to_sign(bits: np.ndarray, dtype=np.int8) -> np.ndarray:
+def bits_to_sign(bits, dtype=np.int8, backend: ArrayBackend | None = None):
     """Map the 1-bit encoding back to ±1 values (1 -> +1, 0 -> -1)."""
-    bits = np.asarray(bits)
-    return (bits.astype(np.int8) * 2 - 1).astype(dtype)
+    be = get_backend(backend)
+    bits = be.asarray(bits)
+    return (bits.astype(be.xp.int8) * 2 - 1).astype(dtype)
 
 
-def pack_bits(bits: np.ndarray, axis: int = -1) -> np.ndarray:
+def _pack_words_shift_or(grouped, xp):
+    """Combine a (..., W, 32) {0,1} array into (..., W) uint32 words.
+
+    Pure shift-and-or: sample ``i`` of each 32-group contributes
+    ``bit << (31 - i)``; the contributions occupy disjoint bit positions,
+    so an integer sum equals the bitwise OR. Only universal ufuncs are
+    used, which makes this path work on every backend — and on NumPy it
+    produces words bit-identical to the historical packbits/view path.
+    """
+    shifts = xp.arange(PACK_WORD_BITS - 1, -1, -1, dtype=xp.uint32)
+    contributions = grouped.astype(xp.uint32) << shifts
+    return contributions.sum(axis=-1, dtype=xp.uint32)
+
+
+def pack_bits(bits, axis: int = -1, backend: ArrayBackend | None = None):
     """Pack an array of {0,1} samples along ``axis`` into uint32 words.
 
     ``axis`` must have a length that is a multiple of 32; callers pad first
     (the GEMM layer pads with binary 0, i.e. decimal -1, per paper §III-D).
     The first sample of each 32-group becomes the most significant bit.
     """
-    bits = np.asarray(bits)
+    be = get_backend(backend)
+    xp = be.xp
+    bits = be.asarray(bits)
     axis = axis % bits.ndim
     n = bits.shape[axis]
     if n % PACK_WORD_BITS != 0:
         raise ShapeError(f"packed axis length {n} is not a multiple of {PACK_WORD_BITS}; pad first")
-    moved = np.moveaxis(bits, axis, -1)
+    moved = xp.moveaxis(bits, axis, -1)
     grouped = moved.reshape(moved.shape[:-1] + (n // PACK_WORD_BITS, PACK_WORD_BITS))
-    # np.packbits packs 8 bits per byte MSB-first; view 4 consecutive bytes as
-    # one big-endian uint32 so sample order matches bit significance.
-    packed_bytes = np.packbits(grouped.astype(np.uint8), axis=-1, bitorder="big")
-    words = packed_bytes.view(">u4")[..., 0].astype(np.uint32)
-    return np.moveaxis(words, -1, axis)
+    if xp is np:
+        # np.packbits packs 8 bits per byte MSB-first; view 4 consecutive
+        # bytes as one big-endian uint32 so sample order matches bit
+        # significance. Kept as the NumPy fast path (C loop, no 32x
+        # temporary); numerically identical to the shift-and-or fallback.
+        packed_bytes = np.packbits(grouped.astype(np.uint8), axis=-1, bitorder="big")
+        words = packed_bytes.view(">u4")[..., 0].astype(np.uint32)
+    else:
+        words = _pack_words_shift_or(grouped, xp)
+    return xp.moveaxis(words, -1, axis)
 
 
-def unpack_bits(words: np.ndarray, axis: int = -1, count: int | None = None) -> np.ndarray:
+def unpack_bits(
+    words, axis: int = -1, count: int | None = None, backend: ArrayBackend | None = None
+):
     """Inverse of :func:`pack_bits`: expand uint32 words into {0,1} samples.
 
     ``count`` optionally trims the unpacked axis to the original (pre-padding)
     number of samples.
     """
-    words = np.asarray(words)
-    if words.dtype != np.uint32:
+    be = get_backend(backend)
+    xp = be.xp
+    words = be.asarray(words)
+    if words.dtype != xp.uint32:
         raise ShapeError(f"unpack_bits expects uint32 words, got {words.dtype}")
     axis = axis % words.ndim
-    moved = np.moveaxis(words, axis, -1)
-    as_bytes = moved[..., None].astype(">u4").view(np.uint8)
-    bits = np.unpackbits(as_bytes, axis=-1, bitorder="big")
+    moved = xp.moveaxis(words, axis, -1)
+    if xp is np:
+        as_bytes = moved[..., None].astype(">u4").view(np.uint8)
+        bits = np.unpackbits(as_bytes, axis=-1, bitorder="big")
+    else:
+        shifts = xp.arange(PACK_WORD_BITS - 1, -1, -1, dtype=xp.uint32)
+        bits = ((moved[..., None] >> shifts) & xp.uint32(1)).astype(xp.uint8)
     flat = bits.reshape(moved.shape[:-1] + (moved.shape[-1] * PACK_WORD_BITS,))
     if count is not None:
         if count > flat.shape[-1]:
             raise ShapeError(f"count {count} exceeds unpacked length {flat.shape[-1]}")
         flat = flat[..., :count]
-    return np.moveaxis(flat, -1, axis)
+    return xp.moveaxis(flat, -1, axis)
 
 
 def packed_length(n: int) -> int:
@@ -109,14 +152,16 @@ def packed_length(n: int) -> int:
     return -(-n // PACK_WORD_BITS)
 
 
-def pad_to_words(bits: np.ndarray, axis: int = -1, pad_bit: int = 0) -> np.ndarray:
+def pad_to_words(bits, axis: int = -1, pad_bit: int = 0, backend: ArrayBackend | None = None):
     """Pad a {0,1} array along ``axis`` up to a multiple of 32 samples.
 
     The default ``pad_bit=0`` encodes decimal -1, matching the padding
     convention of the 1-bit GEMM (paper §III-D: "we set the padded region to
     binary 0, which corresponds to decimal -1").
     """
-    bits = np.asarray(bits)
+    be = get_backend(backend)
+    xp = be.xp
+    bits = be.asarray(bits)
     axis = axis % bits.ndim
     n = bits.shape[axis]
     target = packed_length(n) * PACK_WORD_BITS
@@ -124,4 +169,18 @@ def pad_to_words(bits: np.ndarray, axis: int = -1, pad_bit: int = 0) -> np.ndarr
         return bits
     pad_width = [(0, 0)] * bits.ndim
     pad_width[axis] = (0, target - n)
-    return np.pad(bits, pad_width, constant_values=pad_bit)
+    return xp.pad(bits, pad_width, constant_values=pad_bit)
+
+
+# re-export for callers that resolve backends through this module
+__all__ = [
+    "PACK_WORD_BITS",
+    "bits_to_sign",
+    "numpy_backend",
+    "pack_bits",
+    "packed_length",
+    "pad_to_words",
+    "popcount",
+    "sign_to_bits",
+    "unpack_bits",
+]

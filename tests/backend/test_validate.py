@@ -1,0 +1,88 @@
+"""The cross-backend validation harness and its CLI."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import available_backends, numpy_backend
+from repro.backend.validate import (
+    CaseResult,
+    ValidationReport,
+    _compare,
+    main,
+    validate_all,
+    validate_backend,
+)
+
+
+class TestValidateNumpy:
+    def test_reference_backend_passes_everything(self):
+        report = validate_backend("numpy")
+        assert report.ok, report.summary()
+        assert report.backend == "numpy"
+        assert report.version == np.__version__
+        assert not report.failures
+        # every shape contributes its full case family
+        cases = {c.case.split("/")[0] for c in report.cases}
+        assert {
+            "conformance", "pack", "unpack", "transpose",
+            "int1-gemm", "f16-gemm", "tf32-gemm", "pack-bits", "unpack-bits", "rms",
+        } <= cases
+
+    def test_quick_mode_runs_fewer_shapes(self):
+        quick = validate_backend("numpy", quick=True)
+        full = validate_backend("numpy", quick=False)
+        assert quick.ok
+        assert len(quick.cases) < len(full.cases)
+
+    def test_validate_all_covers_available(self):
+        reports = validate_all(quick=True)
+        assert set(reports) == set(available_backends())
+        assert all(r.ok for r in reports.values())
+
+    def test_backend_instances_accepted(self):
+        assert validate_backend(numpy_backend(), quick=True).ok
+
+
+class TestCompare:
+    def test_exact_mismatch_reports_error_magnitude(self):
+        got = np.array([1, 2, 4])
+        want = np.array([1, 2, 3])
+        result = _compare("c", got, want, 0.0, 0.0)
+        assert not result.passed
+        assert result.max_abs_err == 1.0
+        assert "exact" in result.detail
+
+    def test_shape_mismatch_is_a_failure(self):
+        result = _compare("c", np.zeros(3), np.zeros(4), 1e-3, 1e-3)
+        assert not result.passed and "shape" in result.detail
+
+    def test_tolerance_pass_records_error(self):
+        result = _compare("c", np.array([1.0001]), np.array([1.0]), 1e-3, 1e-3)
+        assert result.passed and result.max_abs_err > 0
+
+
+class TestReport:
+    def test_summary_marks_failures(self):
+        report = ValidationReport(backend="x", version="1")
+        report.cases.append(CaseResult("good", True))
+        report.cases.append(CaseResult("bad", False, max_abs_err=2.5, detail="boom"))
+        text = report.summary()
+        assert "[FAIL]" in text and "boom" in text and "1/2" in text
+        assert not report.ok and len(report.failures) == 1
+
+
+class TestCli:
+    def test_default_run_passes(self, capsys):
+        assert main(["--quick"]) == 0
+        assert "[PASS] backend numpy" in capsys.readouterr().out
+
+    def test_unknown_backend_exits_nonzero(self, capsys):
+        assert main(["definitely-not-a-backend"]) == 1
+        out = capsys.readouterr().out
+        assert "[SKIP]" in out and "numpy" in out
+
+    @pytest.mark.parametrize("name", list(available_backends()))
+    def test_each_available_backend_passes(self, name):
+        assert validate_backend(name, quick=True).ok

@@ -58,3 +58,35 @@ class TestCliPolish:
         assert table["headers"] and table["rows"]
         # The human-readable files still land in --outdir alongside.
         assert (tmp_path / "table1.txt").exists()
+
+
+class TestCliBackend:
+    def test_backend_numpy_accepted(self, tmp_path, capsys):
+        assert main(
+            ["backend-micro", "--quick", "--backend", "numpy", "--outdir", str(tmp_path)]
+        ) == 0
+        assert "numpy/pack" in capsys.readouterr().out
+
+    def test_unavailable_backend_exits_nonzero_listing_available(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["backend-micro", "--backend", "not-a-backend"])
+        assert excinfo.value.code != 0
+        assert "available: numpy" in capsys.readouterr().err
+
+    def test_backend_on_unsupporting_experiment_exits_nonzero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["table1", "--backend", "numpy"])
+        assert excinfo.value.code != 0
+        assert "backend-aware" in capsys.readouterr().err
+
+    def test_output_report_carries_backends_block(self, tmp_path):
+        import json
+
+        from repro.backend import backend_versions
+
+        out_json = tmp_path / "report.json"
+        assert main(
+            ["backend-micro", "--quick", "--outdir", str(tmp_path), "--output", str(out_json)]
+        ) == 0
+        payload = json.loads(out_json.read_text())
+        assert payload["backends"] == backend_versions()

@@ -101,3 +101,28 @@ class TestOutput:
     def test_full_text_includes_findings(self):
         result = _get("table1")
         assert "Findings vs paper" in result.full_text()
+
+
+class TestBackendMicroFindings:
+    def test_vectorized_pack_beats_pinned_floor(self):
+        from repro.bench.backend_micro import MIN_PACK_SPEEDUP
+
+        result = _get("backend-micro")
+        headers, rows = result.tables["speedup"]
+        by_label = {row[0]: row for row in rows}
+        speedup = by_label["pack vectorized"][headers.index("speedup")]
+        assert speedup >= MIN_PACK_SPEEDUP
+        assert any("PASS" in f and "bit-identical" in f for f in result.findings)
+
+    def test_backends_table_covers_detected_set(self):
+        from repro.backend import available_backends
+
+        result = _get("backend-micro")
+        _, rows = result.tables["backends"]
+        assert {row[0] for row in rows} == set(available_backends())
+
+    def test_micro_table_has_all_numpy_paths(self):
+        result = _get("backend-micro")
+        _, rows = result.tables["micro"]
+        labels = {row[0] for row in rows}
+        assert {"numpy/pack", "numpy/transpose", "numpy/gemm-f16", "numpy/gemm-int1"} <= labels

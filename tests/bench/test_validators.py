@@ -141,3 +141,33 @@ class TestDashboardValidator:
         path.write_text("<!doctype html><html><head><title>d</title></head><body><div></span>")
         problems = validate.check(str(path))
         assert any("misnested" in p or "unclosed" in p for p in problems)
+
+
+class TestBenchSmokeBackends:
+    """The report's top-level ``backends`` block is gated by bench_smoke."""
+
+    def test_matching_block_passes(self):
+        from repro.backend import backend_versions
+
+        smoke = _load("bench_smoke")
+        assert smoke.check_backends_block({"backends": backend_versions()}) == []
+
+    def test_missing_block_fails(self):
+        smoke = _load("bench_smoke")
+        problems = smoke.check_backends_block({})
+        assert problems == ["missing or empty top-level 'backends' block"]
+
+    def test_numpy_omission_and_empty_version_fail(self):
+        smoke = _load("bench_smoke")
+        problems = smoke.check_backends_block({"backends": {"jax": ""}})
+        assert any("numpy" in p for p in problems)
+        assert any("version" in p for p in problems)
+
+    def test_stale_block_fails(self):
+        from repro.backend import backend_versions
+
+        smoke = _load("bench_smoke")
+        block = dict(backend_versions())
+        block["imaginary"] = "9.9"
+        problems = smoke.check_backends_block({"backends": block})
+        assert any("this host detects" in p for p in problems)

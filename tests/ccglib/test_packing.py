@@ -87,3 +87,29 @@ class TestRunPackKernel:
         words, cost = run_pack_kernel(dev, None, 10**6, 2.0)
         assert words is None
         assert len(dev.timeline) == 1
+
+
+class TestScalarReference:
+    """The scalar loop is the executable spec of the bit layout; the
+    vectorized kernel must agree with it word for word."""
+
+    @given(st.integers(1, 3), st.integers(1, 5), st.integers(1, 100), st.integers(0, 2**31))
+    def test_vectorized_matches_scalar_bitwise(self, batch, rows, k, seed):
+        from repro.ccglib.packing import pack_sign_planar_scalar
+
+        rng = np.random.default_rng(seed)
+        values = rng.normal(size=(batch, 2, rows, k)).astype(np.float32)
+        pad = -(-k // 32) * 32
+        vectorized = pack_sign_planar(values, k_pad_to=pad)
+        scalar = pack_sign_planar_scalar(values, k_pad_to=pad)
+        assert vectorized.dtype == scalar.dtype == np.uint32
+        assert np.array_equal(vectorized, scalar)
+
+    def test_known_word(self):
+        from repro.ccglib.packing import pack_sign_planar_scalar
+
+        # sample 0 -> bit 31 (MSB-first): [+, -, -, ...] packs to 0x8000...
+        values = np.full((1, 32), -1.0, dtype=np.float32)
+        values[0, 0] = 1.0
+        assert pack_sign_planar_scalar(values)[0, 0] == np.uint32(0x80000000)
+        assert pack_sign_planar(values)[0, 0] == np.uint32(0x80000000)
