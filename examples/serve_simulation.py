@@ -6,7 +6,9 @@ merged tensor-core launches. This script walks the full tier on simulated
 A100s:
 
 1. builds the two application request classes via their adapters'
-   ``service_workload()`` entry points;
+   ``service_workload()`` entry points — each returns a *single-stage
+   pipeline*; ``.kernel`` unwraps the bare workload wherever a plan or a
+   hand-built request needs one;
 2. replays the same Poisson overload through naive per-request execution
    and through dynamic micro-batching, printing both service reports;
 3. streams a bursty multi-tenant trace (both workloads interleaved) over a
@@ -21,12 +23,17 @@ A100s:
    tenant-blind, so completed-request counts stay near 1:1 — the
    "serve-priority" bench experiment measures the 3:1 service ratio
    properly, with shedding disabled.)
+6. serves the observatory's full three-stage DAG (channelize → beamform →
+   dedisperse) with stage-locality placement on a heterogeneous fleet and
+   prints one request's gating chain — per-stage batching with an
+   end-to-end latency account.
 
 Run:  python examples/serve_simulation.py
 """
 
 import numpy as np
 
+from repro.apps.radioastronomy.beamformer import pipeline_workload as lofar_pipeline
 from repro.apps.radioastronomy.beamformer import service_workload as lofar_workload
 from repro.apps.ultrasound.imaging import service_workload as ultrasound_workload
 from repro.gpusim.device import Device, ExecutionMode
@@ -35,6 +42,7 @@ from repro.serve import (
     AdmissionController,
     BatchingPolicy,
     BeamformingService,
+    Placer,
     Request,
     bursty_arrivals,
     merge_arrivals,
@@ -50,7 +58,9 @@ def fleet(n: int, mode=ExecutionMode.DRY_RUN) -> list[Device]:
 
 
 # --- 1+2. naive vs micro-batched under one Poisson overload -------------------
-beam_block = lofar_workload()  # one GPU-resident LOFAR beam block per request
+# service_workload() returns a single-stage pipeline; .kernel is the bare
+# workload a plan (or a hand-built Request) operates on.
+beam_block = lofar_workload().kernel  # one GPU-resident LOFAR beam block per request
 t_request = beam_block.make_plan(fleet(1)[0], 1).predict_block_cost().time_s
 rate_hz = 5.0 / t_request  # 5x what naive per-request execution can drain
 arrivals = poisson_arrivals(beam_block, rate_hz, horizon_s=0.02, seed=SEED)
@@ -68,7 +78,7 @@ for label, max_batch in (("naive per-request", 1), ("micro-batched", 32)):
     print()
 
 # --- 3. multi-tenant bursty traffic over a two-device fleet -------------------
-frames = ultrasound_workload(n_voxels=4096, k=1024, n_frames=64)
+frames = ultrasound_workload(n_voxels=4096, k=1024, n_frames=64).kernel
 trace = merge_arrivals(
     bursty_arrivals(
         beam_block, rate_on_hz=rate_hz, rate_off_hz=rate_hz / 20,
@@ -93,7 +103,7 @@ b, m, k, n = 2, 8, 16, 12
 weights = (rng.normal(size=(b, m, k)) + 1j * rng.normal(size=(b, m, k))).astype(np.complex64)
 functional_workload = lofar_workload(
     n_beams=m, n_stations=k, n_samples=n, n_channels=b, weights=weights
-)
+).kernel
 requests = [
     Request(
         rid=i,
@@ -122,9 +132,9 @@ print(
 )
 
 # --- 5. priority classes: live view vs two weighted reprocessing campaigns ---
-live_view = ultrasound_workload(n_voxels=4096, k=1024, n_frames=64)  # priority 0
-campaign_a = lofar_workload(n_samples=2048, tenant="pulsar-a")       # priority 1
-campaign_b = lofar_workload(n_samples=2048, tenant="pulsar-b")
+live_view = ultrasound_workload(n_voxels=4096, k=1024, n_frames=64).kernel  # priority 0
+campaign_a = lofar_workload(n_samples=2048, tenant="pulsar-a").kernel       # priority 1
+campaign_b = lofar_workload(n_samples=2048, tenant="pulsar-b").kernel
 capacity_hz = 32 / campaign_a.make_plan(fleet(1)[0], 32).predict_gemm_cost().time_s
 service = BeamformingService(
     fleet(1),
@@ -147,4 +157,34 @@ print(
     f"live view p99 {interactive.p99_latency_s * 1e3:.2f} ms "
     f"(SLO {SLO_5MS.p99_latency_s * 1e3:.0f} ms), "
     f"{report.shed_share(1):.0%} of shedding absorbed by the batch class"
+)
+print()
+
+# --- 6. the full observatory DAG with stage-locality placement ----------------
+# pipeline_workload() is the multi-stage form: channelize → beamform →
+# dedisperse, one Request per end-to-end observation. Stage completions
+# release successors inside the service loop; the locality-aware placer
+# keeps each stage on the worker already holding its input buffer unless
+# shipping the buffer across the interconnect is predicted cheaper.
+survey = lofar_pipeline()
+service = BeamformingService(
+    [Device("GH200", ExecutionMode.DRY_RUN), Device("A100", ExecutionMode.DRY_RUN)],
+    policy=BatchingPolicy(max_batch=8, max_wait_s=100e-6),
+    slo=SLO(p99_latency_s=10e-3),
+    placer=Placer(stage_locality=True),
+)
+report = service.run(poisson_arrivals(survey, 20_000.0, horizon_s=0.01, seed=SEED))
+print("--- three-stage DAG, locality-aware placement, GH200 + A100 ---")
+print(report.summary())
+counters = report.metrics.snapshot()["counters"]
+local = counters.get("dispatch.stage_local", 0)
+remote = counters.get("dispatch.stage_remote", 0)
+chain = next(o.stage_chain for o in report.outcomes if o.completion_s is not None)
+print(
+    f"{local / (local + remote):.0%} of stage dispatches stayed on the "
+    f"buffer-resident worker; one request's gating chain: "
+    + " → ".join(
+        f"{link.stage} {1e3 * (link.completion_s - link.arrival_s):.3f} ms"
+        for link in chain
+    )
 )

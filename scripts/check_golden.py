@@ -32,7 +32,13 @@ GOLDEN_DIR = REPO_ROOT / "tests" / "serve" / "golden"
 def _renderers():
     """Golden file name -> zero-argument callable rendering its CSV."""
     sys.path.insert(0, str(REPO_ROOT / "src"))
-    from repro.bench import serve, serve_autoscale, serve_priority, serve_resilience
+    from repro.bench import (
+        serve,
+        serve_autoscale,
+        serve_pipeline,
+        serve_priority,
+        serve_resilience,
+    )
     from repro.util.formatting import render_csv
 
     def render(rows_fn, *args):
@@ -47,6 +53,10 @@ def _renderers():
         # One short storm — serve_resilience.GOLDEN_HORIZON_S — pinning all
         # three recovery arms (fault-free, no-recovery, resilient) at once.
         "serve_resilience_small.csv": lambda: render(serve_resilience.golden_rows),
+        # One short mixed-DAG run — serve_pipeline.GOLDEN_HORIZON_S —
+        # pinning both stage-placement arms (locality-aware, stage-blind)
+        # of the end-to-end pipeline machinery at once.
+        "serve_pipeline_small.csv": lambda: render(serve_pipeline.golden_rows),
         # Perfetto span-event trace of the small serve run — pins every
         # lifecycle edge (arrival through completion), not just aggregates.
         "serve_trace_small.json": serve.golden_trace,

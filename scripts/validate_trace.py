@@ -26,7 +26,13 @@ and then runs this checker over the file. The job fails when
 * a fault-lifecycle instant (``crash``/``slow``/``retry``/
   ``request_failed``/``hedge_launched``/``hedge_resolved``/
   ``shard_recovered``) lacks its required args, a ``retry`` overruns its
-  own declared budget, or a ``hedge_resolved`` reports negative waste.
+  own declared budget, or a ``hedge_resolved`` reports negative waste,
+* a pipeline-stage span (``cat: "stage"``) begins outside its request's
+  async span or ends after it — stage spans must nest inside the
+  request lifecycle span that owns them,
+* a ``stage_dep`` flow step (``ph: "f"``) arrives with no earlier
+  matching flow start (``ph: "s"``) for its id — a dependency arrow
+  into a stage whose producing stage never completed.
 
 This is a *format* gate, not a semantic one: it proves any bench trace
 opens cleanly in ``ui.perfetto.dev``, not that the spans mean the right
@@ -133,6 +139,7 @@ def check(trace_path: str) -> list[str]:
 
     problems: list[str] = []
     open_async: dict[tuple[object, object], int] = {}
+    flow_starts: set[object] = set()
     alert_states: dict[object, list[str]] = {}
     last_ts = 0.0
     for i, event in enumerate(payload["traceEvents"]):
@@ -166,9 +173,25 @@ def check(trace_path: str) -> list[str]:
             problems.append(f"{where}: async/flow event needs an 'id'")
         if ph in "be":
             key = (event.get("pid"), event.get("id"))
+            is_stage = event.get("cat") == "stage"
+            if ph == "b" and is_stage and open_async.get(key, 0) < 1:
+                problems.append(
+                    f"{where}: stage span begins outside its request span"
+                )
             open_async[key] = open_async.get(key, 0) + (1 if ph == "b" else -1)
             if open_async[key] < 0:
                 problems.append(f"{where}: async end with no matching begin")
+            elif ph == "e" and is_stage and open_async[key] < 1:
+                problems.append(
+                    f"{where}: stage span ends after its request span closed"
+                )
+        if ph == "s" and event.get("name") == "stage_dep":
+            flow_starts.add(event.get("id"))
+        if ph == "f" and event.get("name") == "stage_dep":
+            if event.get("id") not in flow_starts:
+                problems.append(
+                    f"{where}: stage_dep flow step with no earlier flow start"
+                )
         if ph == "C":
             series = event.get("args")
             if not isinstance(series, dict) or not series:

@@ -34,6 +34,8 @@ from repro.apps.radioastronomy.beamformer import (
     LOFARBeamformer,
     BeamformOutput,
     incoherent_beam,
+    pipeline_workload,
+    service_workload,
 )
 from repro.apps.radioastronomy.reference import ReferenceBeamformer
 from repro.apps.radioastronomy.pulsar import (
@@ -68,6 +70,8 @@ __all__ = [
     "LOFARBeamformer",
     "BeamformOutput",
     "incoherent_beam",
+    "service_workload",
+    "pipeline_workload",
     "ReferenceBeamformer",
     "dedisperse",
     "fold",

@@ -33,7 +33,7 @@ from repro.gpusim.timing import Bound, KernelCost
 from repro.tcbf import BeamformerPlan, BeamformResult
 
 if TYPE_CHECKING:
-    from repro.serve.workload import Workload
+    from repro.serve.workload import PipelineWorkload
 
 #: Attribute-compatible alias: reads (``.beams``, ``.cost``, ``.tflops``)
 #: work as before, but results are constructed by the TCBF plan, not by
@@ -111,6 +111,7 @@ class LOFARBeamformer:
 
 
 def service_workload(
+    *,
     n_beams: int = 256,
     n_stations: int = 64,
     n_samples: int = 256,
@@ -122,8 +123,22 @@ def service_workload(
     tenant: str = "astronomy",
     params: TuneParams | None = None,
     weights: np.ndarray | None = None,
-) -> "Workload":
+) -> "PipelineWorkload":
     """The radio-astronomy request class for :mod:`repro.serve`.
+
+    **Adapter contract** (shared with
+    :func:`repro.apps.ultrasound.imaging.service_workload`): every
+    parameter is keyword-only; the leading keywords are the domain's shape
+    vocabulary and the tail is the shared serving surface, in this fixed
+    order — ``precision``, ``weights_version``, ``priority``, ``tenant``,
+    ``params``, ``weights``. The return value is the **single-stage
+    pipeline form** (:meth:`Workload.single_stage
+    <repro.serve.workload.Workload.single_stage>`): behaviourally
+    byte-identical to the bare workload it wraps, accepted everywhere a
+    workload is (arrivals generators, SLO maps). Callers that still need
+    the bare single-kernel :class:`~repro.serve.workload.Workload` during
+    migration should use the returned pipeline's ``.kernel`` — relying on
+    the old bare return type directly is the deprecated path.
 
     One request is a beam block — a channel range of station voltages to
     tied-array beamform, the unit a correlator node hands off. Data are
@@ -163,6 +178,97 @@ def service_workload(
         tenant=tenant,
         params=params,
         weights=weights,
+    ).single_stage()
+
+
+def pipeline_workload(
+    *,
+    n_beams: int = 256,
+    n_stations: int = 64,
+    n_samples: int = 256,
+    n_channels: int = 64,
+    n_polarizations: int = 1,
+    n_dms: int = 64,
+    precision: Precision = Precision.FLOAT16,
+    weights_version: int = 0,
+    priority: int = 1,
+    tenant: str = "astronomy",
+    params: TuneParams | None = None,
+) -> "PipelineWorkload":
+    """The full observatory chain: channelize → beamform → dedisperse.
+
+    The paper's radio-astronomy deployment is a pipeline, not one kernel
+    (§V-B: the beamformer sits between the station channelizers and the
+    pulsar search). One request is one correlator dump processed end to
+    end; the serving tier batches each stage across concurrent dumps,
+    releases a stage the instant its dependencies complete, and prices the
+    inter-stage buffers as resident (same worker) or transferred.
+
+    * ``channelize`` — the polyphase filterbank as a batched DFT GEMM: one
+      ``(n_channels, n_channels)`` filter matrix against each station's
+      sample block, batched over stations. Station voltages arrive from
+      the network, so transpose/packing are included.
+    * ``beamform`` — the tied-array beamformer at the LOFAR shape (exactly
+      :func:`service_workload`'s kernel): ``n_beams x n_stations`` weights
+      against GPU-resident channelized voltages, batched over
+      channels x polarizations, output scale restored.
+    * ``dedisperse`` — the dedispersion search as a GEMM over trial
+      dispersion measures: an ``(n_dms, n_channels)`` delay matrix against
+      each beam's dynamic spectrum (matrix-multiplication dedispersion à
+      la dedisp/FDMT), consuming the beamformer's output in place.
+
+    ``priority``/``tenant`` apply to the whole pipeline (one scheduling
+    class, one accountable caller); per-stage precision is fixed by the
+    physics above — ``precision`` selects the beamforming GEMM's mode, the
+    channelizer/dedispersion stages run float16. ``params`` pins the
+    beamforming stage's tuning only; the flanking stages auto-tune.
+    """
+    from repro.serve.workload import PipelineWorkload, Stage, Workload
+
+    channelize = Workload(
+        name="channelize",
+        n_beams=n_channels,
+        n_receivers=n_channels,
+        n_samples=n_samples,
+        batch_per_request=n_stations * n_polarizations,
+        precision=Precision.FLOAT16,
+        include_transpose=True,
+        include_packing=False,
+        weights_version=weights_version,
+    )
+    beamform = Workload(
+        name="beamform",
+        n_beams=n_beams,
+        n_receivers=n_stations,
+        n_samples=n_samples,
+        batch_per_request=n_channels * n_polarizations,
+        precision=precision,
+        include_transpose=False,
+        include_packing=False,
+        restore_output_scale=True,
+        weights_version=weights_version,
+        params=params,
+    )
+    dedisperse = Workload(
+        name="dedisperse",
+        n_beams=n_dms,
+        n_receivers=n_channels,
+        n_samples=n_samples,
+        batch_per_request=n_beams,
+        precision=Precision.FLOAT16,
+        include_transpose=False,
+        include_packing=False,
+        weights_version=weights_version,
+    )
+    return PipelineWorkload(
+        name="lofar_pulsar",
+        stages=(
+            Stage(name="channelize", workload=channelize),
+            Stage(name="beamform", workload=beamform, depends_on=("channelize",)),
+            Stage(name="dedisperse", workload=dedisperse, depends_on=("beamform",)),
+        ),
+        priority=priority,
+        tenant=tenant,
     )
 
 

@@ -35,6 +35,8 @@ from repro.apps.ultrasound.imaging import (
     UltrasoundBeamformer,
     ReconstructionResult,
     ultrasound_gemm_params,
+    pipeline_workload,
+    service_workload,
 )
 from repro.apps.ultrasound.mip import max_intensity_projections, render_ascii, contrast_db
 from repro.apps.ultrasound.realtime import (
@@ -77,6 +79,8 @@ __all__ = [
     "UltrasoundBeamformer",
     "ReconstructionResult",
     "ultrasound_gemm_params",
+    "service_workload",
+    "pipeline_workload",
     "max_intensity_projections",
     "render_ascii",
     "contrast_db",

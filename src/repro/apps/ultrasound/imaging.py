@@ -43,7 +43,7 @@ from repro.kerneltuner.tuner import tune_gemm
 from repro.tcbf import BeamformerPlan, BeamformResult
 
 if TYPE_CHECKING:
-    from repro.serve.workload import Workload
+    from repro.serve.workload import PipelineWorkload
 
 #: cache of tuned parameters keyed by (gpu, precision, shape bucket).
 _APP_PARAMS_CACHE: dict[tuple[str, str, int, int, int], TuneParams] = {}
@@ -189,17 +189,32 @@ class UltrasoundBeamformer:
 
 
 def service_workload(
+    *,
     n_voxels: int = 16384,
     k: int = 4096,
     n_frames: int = 256,
     precision: Precision = Precision.INT1,
-    params: TuneParams | None = None,
     weights_version: int = 0,
     priority: int = 0,
     tenant: str = "clinic",
+    params: TuneParams | None = None,
     weights: np.ndarray | None = None,
-) -> "Workload":
+) -> "PipelineWorkload":
     """The ultrasound request class for :mod:`repro.serve`.
+
+    **Adapter contract** (shared with
+    :func:`repro.apps.radioastronomy.beamformer.service_workload`): every
+    parameter is keyword-only; the leading keywords are the domain's shape
+    vocabulary and the tail is the shared serving surface, in this fixed
+    order — ``precision``, ``weights_version``, ``priority``, ``tenant``,
+    ``params``, ``weights``. The return value is the **single-stage
+    pipeline form** (:meth:`Workload.single_stage
+    <repro.serve.workload.Workload.single_stage>`): behaviourally
+    byte-identical to the bare workload it wraps, accepted everywhere a
+    workload is (arrivals generators, SLO maps). Callers that still need
+    the bare single-kernel :class:`~repro.serve.workload.Workload` during
+    migration should use the returned pipeline's ``.kernel`` — relying on
+    the old bare return type directly is the deprecated path.
 
     One request is a frame batch — ``n_frames`` acquisitions of one probe
     to reconstruct against a shared model matrix (the matched filter).
@@ -238,6 +253,80 @@ def service_workload(
         tenant=tenant,
         params=params,
         weights=weights,
+    ).single_stage()
+
+
+def pipeline_workload(
+    *,
+    n_voxels: int = 16384,
+    k: int = 4096,
+    n_frames: int = 256,
+    n_ensemble: int = 64,
+    precision: Precision = Precision.INT1,
+    weights_version: int = 0,
+    priority: int = 0,
+    tenant: str = "clinic",
+    params: TuneParams | None = None,
+) -> "PipelineWorkload":
+    """The functional-imaging chain: beamform → Doppler ensemble.
+
+    Clinical functional imaging does not stop at the reconstructed frame:
+    the frame ensemble feeds a Doppler/power-Doppler estimator (wall
+    filter + lag-one autocorrelation over the ensemble — the same
+    ensemble-processing stage that follows beamforming in every
+    ultrafast-Doppler pipeline). One request is one acquisition ensemble
+    processed end to end; the serving tier batches each stage across
+    concurrent probes and prices the reconstructed-frame buffer between
+    the stages as resident or transferred.
+
+    * ``beamform`` — exactly :func:`service_workload`'s kernel: the
+      matched-filter GEMM at ``precision`` (int1 by default — the paper's
+      real-time mode, NVIDIA-only), measurement transpose/packing charged
+      per request.
+    * ``doppler`` — the ensemble correlator as a float16 GEMM: per voxel
+      block, an ``(n_ensemble, n_frames)`` wall-filter/lag matrix against
+      the reconstructed ``(n_frames, n_voxels)`` ensemble. Float16 keeps
+      the Doppler stage placeable fleet-wide even when beamforming is
+      pinned to NVIDIA int1 — the mixed-precision pipeline is the normal
+      case, not a corner.
+
+    ``priority``/``tenant`` apply to the whole pipeline; ``params`` pins
+    the beamforming stage's tuning only.
+    """
+    from repro.serve.workload import PipelineWorkload, Stage, Workload
+
+    beamform = Workload(
+        name="beamform",
+        n_beams=n_voxels,
+        n_receivers=k,
+        n_samples=n_frames,
+        batch_per_request=1,
+        precision=precision,
+        include_transpose=True,
+        include_packing=precision is Precision.INT1,
+        restore_output_scale=False,
+        weights_version=weights_version,
+        params=params,
+    )
+    doppler = Workload(
+        name="doppler",
+        n_beams=n_ensemble,
+        n_receivers=n_frames,
+        n_samples=n_voxels,
+        batch_per_request=1,
+        precision=Precision.FLOAT16,
+        include_transpose=False,
+        include_packing=False,
+        weights_version=weights_version,
+    )
+    return PipelineWorkload(
+        name="doppler_imaging",
+        stages=(
+            Stage(name="beamform", workload=beamform),
+            Stage(name="doppler", workload=doppler, depends_on=("beamform",)),
+        ),
+        priority=priority,
+        tenant=tenant,
     )
 
 

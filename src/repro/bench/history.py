@@ -102,6 +102,15 @@ SPECS: tuple[MetricSpec, ...] = (
         "serve-resilience", "arms", "resilient", "p99 (ms)",
         "serve_resilience.resilient_p99_ms", higher_is_better=False, rel_tol=0.15,
     ),
+    MetricSpec(
+        "serve-pipeline", "arms", "stage-locality", "p99 (ms)",
+        "serve_pipeline.e2e_p99_ms", higher_is_better=False, rel_tol=0.15,
+    ),
+    MetricSpec(
+        "serve-pipeline", "arms", "stage-locality", "stage-local (%)",
+        "serve_pipeline.stage_local_pct", higher_is_better=True,
+        rel_tol=0.10, abs_tol=1.0,
+    ),
     # Wall-clock micro throughput of the vectorized hot paths. Real (not
     # modelled) time on a shared CI host is noisy, so the tolerance is wide
     # — the gate exists to catch a de-vectorization cliff (10-100x), not

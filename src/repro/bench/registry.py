@@ -18,6 +18,7 @@ from repro.bench import (
     serve,
     serve_autoscale,
     serve_hetero,
+    serve_pipeline,
     serve_priority,
     serve_resilience,
     table1,
@@ -44,6 +45,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "serve-hetero": serve_hetero.run,
     "serve-autoscale": serve_autoscale.run,
     "serve-resilience": serve_resilience.run,
+    "serve-pipeline": serve_pipeline.run,
 }
 
 

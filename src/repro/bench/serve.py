@@ -80,7 +80,7 @@ def _simulate(
 def _naive_rate(workload: Workload) -> float:
     """Self-calibrated overload: OVERLOAD_FACTOR x naive device capacity."""
     t_request = (
-        workload.make_plan(Device(GPU, ExecutionMode.DRY_RUN), 1)
+        workload.kernel.make_plan(Device(GPU, ExecutionMode.DRY_RUN), 1)
         .predict_block_cost()
         .time_s
     )

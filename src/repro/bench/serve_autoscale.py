@@ -118,7 +118,7 @@ def capacity_hz() -> float:
     Cached: the value is a pure function of the catalog spec, and every
     scenario (plus the replay and golden runs) consults it.
     """
-    plan = _workload().make_plan(_device(), POLICY.max_batch)
+    plan = _workload().kernel.make_plan(_device(), POLICY.max_batch)
     return POLICY.max_batch / plan.predict_gemm_cost().time_s
 
 

@@ -82,7 +82,7 @@ def _fleet() -> list[Device]:
 def _batched_capacity_hz(workload, gpu: str) -> float:
     """Requests/s one device sustains on full merged batches of this class."""
     merged = BATCH_POLICY.max_batch
-    plan = workload.make_plan(Device(gpu, ExecutionMode.DRY_RUN), merged)
+    plan = workload.kernel.make_plan(Device(gpu, ExecutionMode.DRY_RUN), merged)
     return merged / plan.predict_block_cost().time_s
 
 

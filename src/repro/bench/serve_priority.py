@@ -79,7 +79,7 @@ def _workloads():
 def _batched_capacity_hz(workload) -> float:
     """Requests/s one device sustains on full merged batches of this class."""
     merged = BATCH_POLICY.max_batch
-    gemm_s = workload.make_plan(_device(), merged).predict_gemm_cost().time_s
+    gemm_s = workload.kernel.make_plan(_device(), merged).predict_gemm_cost().time_s
     return merged / gemm_s
 
 

@@ -103,7 +103,7 @@ def capacity_hz() -> float:
     """Requests/s one device sustains on full merged batches (GEMM-bound,
     the same accounting as the serve-autoscale bench). Cached: a pure
     function of the catalog spec, consulted by every arm and replay."""
-    plan = _workload().make_plan(_device(), POLICY.max_batch)
+    plan = _workload().kernel.make_plan(_device(), POLICY.max_batch)
     return POLICY.max_batch / plan.predict_gemm_cost().time_s
 
 

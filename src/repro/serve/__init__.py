@@ -6,7 +6,10 @@ tensor cores need. This package is that tier, as a deterministic
 discrete-event simulation:
 
 * :mod:`~repro.serve.workload` — :class:`Workload`/:class:`Request`
-  descriptors (the app adapters construct them via ``service_workload()``);
+  descriptors (the app adapters construct them via ``service_workload()``),
+  plus :class:`Stage`/:class:`PipelineWorkload` — validated multi-stage DAG
+  workloads with end-to-end SLOs (built by the adapters'
+  ``pipeline_workload()``);
 * :mod:`~repro.serve.arrivals` — seeded Poisson / bursty / diurnal load
   generators;
 * :mod:`~repro.serve.batching` — the dynamic micro-batcher (``max_batch``
@@ -103,7 +106,12 @@ from repro.serve.placement import (
     Placer,
 )
 from repro.serve.scheduler import PriorityScheduler, QueuePressure
-from repro.serve.service import BeamformingService, RequestOutcome, ServiceReport
+from repro.serve.service import (
+    BeamformingService,
+    RequestOutcome,
+    ServiceReport,
+    StageLink,
+)
 from repro.serve.slo import (
     SLO,
     AdmissionController,
@@ -112,11 +120,14 @@ from repro.serve.slo import (
     SLOTracker,
     percentile,
 )
-from repro.serve.workload import Request, Workload
+from repro.serve.workload import PipelineWorkload, Request, Stage, Workload
 
 __all__ = [
     "Workload",
     "Request",
+    "Stage",
+    "PipelineWorkload",
+    "StageLink",
     "poisson_arrivals",
     "bursty_arrivals",
     "diurnal_arrivals",

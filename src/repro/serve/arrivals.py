@@ -22,8 +22,24 @@ import math
 from dataclasses import dataclass
 
 from repro.errors import ShapeError
-from repro.serve.workload import Request, Workload
+from repro.serve.workload import PipelineWorkload, Request, Workload
 from repro.util.rng import derive_seed, make_rng
+
+
+def _entry(workload: Workload | PipelineWorkload) -> tuple[Workload, PipelineWorkload | None, str | None]:
+    """The (kernel workload, pipeline, stage name) an arrival enters at.
+
+    Generators accept either descriptor form. A pipeline arrival carries
+    the *source stage's* workload (seed derivation keys on that workload's
+    name, so a single-stage pipeline built via
+    :meth:`~repro.serve.workload.Workload.single_stage` reproduces the
+    legacy stream byte-identically) plus the pipeline reference the
+    service needs to release successor stages.
+    """
+    if isinstance(workload, PipelineWorkload):
+        source = workload.source
+        return source.workload, workload, source.name
+    return workload, None, None
 
 
 @dataclass(frozen=True)
@@ -83,7 +99,7 @@ class RateForecast:
 
 
 def poisson_arrivals(
-    workload: Workload,
+    workload: Workload | PipelineWorkload,
     rate_hz: float,
     horizon_s: float,
     seed: int = 0,
@@ -93,20 +109,28 @@ def poisson_arrivals(
 
     Inter-arrival gaps are exponential with mean ``1 / rate_hz``; the
     number of requests is itself random (as in an open system), so two
-    rates are comparable over the same wall-clock horizon.
+    rates are comparable over the same wall-clock horizon. ``workload``
+    may be a :class:`~repro.serve.workload.PipelineWorkload`: arrivals
+    then enter at the pipeline's source stage.
     """
     _check_rate(rate_hz, horizon_s)
-    rng = make_rng(derive_seed(seed, "poisson", workload.name, rate_hz))
+    kernel, pipeline, stage = _entry(workload)
+    rng = make_rng(derive_seed(seed, "poisson", kernel.name, rate_hz))
     requests: list[Request] = []
     t = rng.exponential(1.0 / rate_hz)
     while t < horizon_s:
-        requests.append(Request(rid=start_id + len(requests), workload=workload, arrival_s=t))
+        requests.append(
+            Request(
+                rid=start_id + len(requests), workload=kernel, arrival_s=t,
+                pipeline=pipeline, stage=stage,
+            )
+        )
         t += rng.exponential(1.0 / rate_hz)
     return requests
 
 
 def bursty_arrivals(
-    workload: Workload,
+    workload: Workload | PipelineWorkload,
     rate_on_hz: float,
     rate_off_hz: float,
     mean_on_s: float,
@@ -127,7 +151,8 @@ def bursty_arrivals(
         raise ShapeError(f"rate_off_hz must be >= 0, got {rate_off_hz}")
     if mean_on_s <= 0 or mean_off_s <= 0:
         raise ShapeError("mean dwell times must be positive")
-    rng = make_rng(derive_seed(seed, "bursty", workload.name, rate_on_hz, rate_off_hz))
+    kernel, pipeline, stage = _entry(workload)
+    rng = make_rng(derive_seed(seed, "bursty", kernel.name, rate_on_hz, rate_off_hz))
     requests: list[Request] = []
     t, on = 0.0, True
     while t < horizon_s:
@@ -138,7 +163,10 @@ def bursty_arrivals(
             at = t + rng.exponential(1.0 / rate)
             while at < period_end:
                 requests.append(
-                    Request(rid=start_id + len(requests), workload=workload, arrival_s=at)
+                    Request(
+                        rid=start_id + len(requests), workload=kernel, arrival_s=at,
+                        pipeline=pipeline, stage=stage,
+                    )
                 )
                 at += rng.exponential(1.0 / rate)
         t = period_end
@@ -147,7 +175,7 @@ def bursty_arrivals(
 
 
 def diurnal_arrivals(
-    workload: Workload,
+    workload: Workload | PipelineWorkload,
     base_rate_hz: float,
     amplitude: float,
     period_s: float,
@@ -168,14 +196,20 @@ def diurnal_arrivals(
     """
     _check_rate(base_rate_hz, horizon_s)
     forecast = RateForecast(base_rate_hz, amplitude, period_s, phase_s)
-    rng = make_rng(derive_seed(seed, "diurnal", workload.name, base_rate_hz, amplitude))
+    kernel, pipeline, stage = _entry(workload)
+    rng = make_rng(derive_seed(seed, "diurnal", kernel.name, base_rate_hz, amplitude))
     peak = forecast.peak_rate_hz
     requests: list[Request] = []
     t = rng.exponential(1.0 / peak)
     while t < horizon_s:
         rate_t = forecast.rate_hz(t)
         if rng.uniform() < rate_t / peak:
-            requests.append(Request(rid=start_id + len(requests), workload=workload, arrival_s=t))
+            requests.append(
+                Request(
+                    rid=start_id + len(requests), workload=kernel, arrival_s=t,
+                    pipeline=pipeline, stage=stage,
+                )
+            )
         t += rng.exponential(1.0 / peak)
     return requests
 
@@ -256,7 +290,10 @@ def merge_arrivals(*streams: list[Request]) -> list[Request]:
     """
     merged = sorted((req for stream in streams for req in stream), key=lambda r: r.arrival_s)
     return [
-        Request(rid=i, workload=r.workload, arrival_s=r.arrival_s, data=r.data)
+        Request(
+            rid=i, workload=r.workload, arrival_s=r.arrival_s, data=r.data,
+            pipeline=r.pipeline, stage=r.stage,
+        )
         for i, r in enumerate(merged)
     ]
 

@@ -108,6 +108,11 @@ class FleetSignals:
     accepting worker reports ``inf``). Forming batches still inside the
     micro-batcher are deliberately excluded: they wait by policy
     (``max_wait_s``), not because the fleet is behind.
+
+    ``firing_alerts`` counts the service monitor's burn-rate alerts
+    currently in the firing state (0 on unmonitored runs): error budget
+    burning *now* is a scale-up signal the queue numbers can lag behind —
+    shed storms burn budget at the front door, before any queue forms.
     """
 
     t_s: float
@@ -118,6 +123,7 @@ class FleetSignals:
     pressure_by_priority: dict[int, QueuePressure]
     drain_s_by_capability: dict[str, float]
     busy_workers: int
+    firing_alerts: int = 0
 
     @property
     def n_provisioned(self) -> int:
@@ -175,6 +181,11 @@ class ReactiveAutoscaler:
     #: a tick is "idle" when nothing is queued and at most this fraction
     #: of accepting workers has a compute backlog.
     idle_busy_fraction: float = 0.5
+    #: opt-in: treat a firing burn-rate alert as a pressured tick even when
+    #: the queues look calm — error budget burns at the front door (shed
+    #: storms) before queue drain ever crosses ``up_pressure_s``. Off by
+    #: default, so existing queue-pressure-only runs replay byte-identically.
+    alert_burn_up: bool = False
     _pressured: int = field(default=0, init=False, repr=False)
     _idle: int = field(default=0, init=False, repr=False)
 
@@ -190,23 +201,29 @@ class ReactiveAutoscaler:
 
     def decide(self, signals: FleetSignals) -> ScaleAction | None:
         idle = signals.queued_requests == 0 and signals.busy_fraction <= self.idle_busy_fraction
-        if signals.pressure_s >= self.up_pressure_s:
+        burning = self.alert_burn_up and signals.firing_alerts > 0
+        if signals.pressure_s >= self.up_pressure_s or burning:
             self._pressured += 1
             self._idle = 0
             if self._pressured >= self.up_ticks:
                 self._pressured = 0
-                # pressure_s is inf when a capability's accepting pool is
-                # empty — the strongest possible signal, not an error.
-                ratio = signals.pressure_s / self.up_pressure_s
-                step = self.max_step if math.isinf(ratio) else min(self.max_step, int(ratio))
-                return ScaleAction(
-                    ScaleKind.UP,
-                    n=max(1, step),
-                    reason=(
+                if signals.pressure_s >= self.up_pressure_s:
+                    # pressure_s is inf when a capability's accepting pool
+                    # is empty — the strongest possible signal, not an
+                    # error.
+                    ratio = signals.pressure_s / self.up_pressure_s
+                    step = self.max_step if math.isinf(ratio) else min(self.max_step, int(ratio))
+                    reason = (
                         f"queue drain {signals.pressure_s * 1e3:.3f} ms >= "
                         f"{self.up_pressure_s * 1e3:.3f} ms for {self.up_ticks} ticks"
-                    ),
-                )
+                    )
+                else:
+                    step = 1
+                    reason = (
+                        f"{signals.firing_alerts} burn-rate alert(s) firing "
+                        f"for {self.up_ticks} ticks"
+                    )
+                return ScaleAction(ScaleKind.UP, n=max(1, step), reason=reason)
         elif idle:
             self._idle += 1
             self._pressured = 0

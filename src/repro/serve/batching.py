@@ -116,6 +116,12 @@ class Batch:
     #: (capability and memory fit are static per batch, so the dispatcher
     #: never re-derives them per event).
     candidate_indices: tuple[int, ...] | None = None
+    #: earliest instant a locality-held stage batch should be retried —
+    #: the busy buffer-resident worker's ``accept_s``, stamped when the
+    #: placer prefers waiting for it over an immediate remote transfer.
+    #: ``None`` (always, for legacy batches) defers to the candidates'
+    #: plain worker-availability times.
+    hold_until_s: float | None = None
 
     @property
     def n_requests(self) -> int:
@@ -159,6 +165,29 @@ class Batch:
     def batching_delay_s(self) -> float:
         """Time the oldest member spent waiting for the batch to form."""
         return self.formed_s - self.oldest_arrival_s
+
+    # -- pipeline-stage residency (zero for legacy single-kernel batches) ----
+
+    @property
+    def stage_input_bytes(self) -> int:
+        """Inter-stage buffer bytes the member requests carry as input.
+
+        Non-zero only for successor-stage batches of multi-stage pipelines
+        — the quantity placement prices as resident (no cost) or
+        transferred (interconnect cost) per candidate worker.
+        """
+        return sum(r.stage_input_bytes for r in self.requests)
+
+    def resident_bytes_on(self, worker_index: int) -> int:
+        """Input bytes already resident on ``worker_index``.
+
+        A request's dependency outputs live on the workers that executed
+        its predecessor stages; landing the batch there elides that share
+        of the stage-in and its transfer.
+        """
+        return sum(
+            r.stage_input_bytes for r in self.requests if worker_index in r.resident_workers
+        )
 
 
 @dataclass

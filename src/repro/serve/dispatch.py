@@ -160,6 +160,7 @@ class DeviceWorker:
         build_s: float,
         now: float = 0.0,
         n_requests: int | None = None,
+        stage_in_override: float | None = None,
     ) -> BatchExecution:
         """Place one batch on this worker's engines; returns its timeline.
 
@@ -171,8 +172,15 @@ class DeviceWorker:
         as :func:`repro.tcbf.streaming.pipelined_makespan`.
         ``n_requests`` overrides the request count attributed to this
         worker (a split batch touches several workers at once).
+        ``stage_in_override`` replaces the plan's stage-in time for
+        pipeline-stage batches whose input buffer is (partly) resident here
+        or must transfer from another worker
+        (:meth:`~repro.serve.placement.Placer.stage_in_s`); ``None`` — the
+        only value legacy batches ever pass — keeps the plan's own cost.
         """
         stage_in_s, gemm_s = entry.stage_in_s, entry.gemm_s
+        if stage_in_override is not None:
+            stage_in_s = stage_in_override
         if self.slow_factor != 1.0:
             # Straggler window: both engines run degraded. Guarded so the
             # healthy path multiplies by nothing — float-identical to the
@@ -556,6 +564,7 @@ class FleetDispatcher:
             # stamped indices verbatim when they are set.
             batch.candidate_indices = None
             batch.candidate_indices = tuple(w.index for w in self._candidates(batch))
+            batch.hold_until_s = None  # the fleet changed; the preference is stale
             batch.predicted_service_s = self.placer.predicted_service_s(
                 batch.workload, batch.n_requests
             )
@@ -690,13 +699,23 @@ class FleetDispatcher:
         an AMD worker going idle is not an event for a queue of int1 work.
         ``None`` when no live worker matches (possible transiently on an
         elastic fleet while candidates are re-stamped).
+
+        A locality-held stage batch (``hold_until_s`` set) wakes at its
+        preferred worker's accept time instead of its candidates' — an
+        idle non-preferred candidate is deliberately *not* a dispatch
+        opportunity for it, and treating it as one would stall the clock.
         """
         indices: set[int] = set()
+        waits: list[float] = []
         for batch in self._held:
-            indices.update(batch.candidate_indices or ())
+            if batch.hold_until_s is not None:
+                waits.append(batch.hold_until_s)
+            else:
+                indices.update(batch.candidate_indices or ())
         for batch in self.scheduler.queued_batches():
             indices.update(batch.candidate_indices or ())
         accepts = [w.accept_s for w in self.workers if w.index in indices]
+        accepts.extend(waits)
         return min(accepts) if accepts else None
 
     def drain(self, now: float) -> list[BatchExecution]:
@@ -747,24 +766,66 @@ class FleetDispatcher:
                 remaining.append(batch)
             else:
                 placed.append(execution)
+        for batch in held:
+            # Never attempted this drain (more urgent work took the freed
+            # worker and the loop broke with every worker busy) — its wake
+            # stamp predates this instant and would pin the clock there.
+            # Cleared, the batch wakes on its candidates' accept times,
+            # all of which are now in the future, and re-stamps on the
+            # next attempt if waiting is still the predicted-cheaper move.
+            batch.hold_until_s = None
         self._held = remaining + list(held)
         return placed
 
     def _try_place(self, batch: Batch, now: float) -> BatchExecution | None:
         """Place one batch if an eligible worker can accept it at ``now``."""
+        batch.hold_until_s = None  # re-evaluated on every attempt
         candidates = self._candidates(batch)
         available = [w for w in candidates if w.accept_s <= now]
         if not available:
             return None
         if batch.decision is not None and batch.decision.kind is PlacementKind.SPLIT:
             return self._place_split(batch, now=now)
+        if (
+            self.placer.stage_locality
+            and batch.stage_input_bytes > 0
+            and len(candidates) > len(available)
+        ):
+            # Stage-locality placement gets the full candidate view, busy
+            # workers included: the drain loop wakes the instant the *first*
+            # worker frees, so ``available`` is almost always a singleton and
+            # a locality preference could otherwise never act. The placer's
+            # finish key prices the busy resident worker's backlog against
+            # the idle worker's interconnect transfer; when waiting for the
+            # buffer-resident worker is predicted cheaper, the batch is held
+            # and retried when that worker frees.
+            preferred = self.placer.select_worker(batch, candidates, now)
+            if preferred.accept_s > now:
+                # Stamp the wake time: without it the event loop would see
+                # the idle (non-preferred) worker's past accept_s as the
+                # next dispatch instant and spin without advancing time.
+                batch.hold_until_s = preferred.accept_s
+                if self.metrics is not None:
+                    self.metrics.inc("dispatch.stage_waits")
+                return None
+            return self._place(preferred, batch, now=now)
         worker = self.placer.select_worker(batch, available, now)
         return self._place(worker, batch, now=now)
 
     def _place(self, worker: DeviceWorker, batch: Batch, now: float) -> BatchExecution:
         entry, build_s = self.cache.get(worker.device, batch.workload, batch.n_requests)
         self._record_lookup(worker, batch.workload, batch.n_requests, build_s, now)
-        execution = worker.schedule(batch, entry, build_s, now=now)
+        stage_in = None
+        if batch.stage_input_bytes > 0:
+            cost = self.placer.estimate(worker, batch.workload, batch.n_requests)
+            stage_in = self.placer.stage_in_s(worker, batch, cost)
+            if self.metrics is not None and stage_in is not None:
+                self.metrics.inc(
+                    "dispatch.stage_local"
+                    if batch.resident_bytes_on(worker.index) > 0
+                    else "dispatch.stage_remote"
+                )
+        execution = worker.schedule(batch, entry, build_s, now=now, stage_in_override=stage_in)
         self._record_execution(execution)
         if self.is_functional:
             execution.outputs = self._execute(batch, entry)

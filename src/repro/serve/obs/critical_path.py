@@ -24,6 +24,15 @@ invariant the test suite asserts for every traced request. For a split
 placement the decomposition follows the *critical shard* (the slowest
 one — the only shard on the request's critical path).
 
+Multi-stage pipeline requests attribute **end-to-end**: the outcome's
+gating chain (:attr:`RequestOutcome.stage_chain
+<repro.serve.service.RequestOutcome.stage_chain>`) names, per stage, the
+launch that gated the next release; each link's five leading segments are
+computed against the link's own release instant and summed across the
+chain, and ``compute`` closes the end-to-end latency as the residual — the
+same bit-exact-sum invariant, now spanning stages (consecutive links
+telescope: a link's release *is* the previous link's completion).
+
 :func:`blame` rolls per-request paths up into the tail story a service
 report needs: over the requests at or beyond the p99 latency, the mean
 seconds (and share) each segment contributed — "p99 blame".
@@ -158,6 +167,41 @@ def _preempted_overlap(
     return min(overlap, window_end - window_start)
 
 
+def _leading_segments(
+    arrival: float,
+    execution: "BatchExecution",
+    compute_spans: dict[int, list[tuple[float, float, int, float]]],
+) -> tuple["BatchExecution", float, float, float, float, float]:
+    """One launch's five leading segments against one release instant.
+
+    Returns ``(critical_part, wait_for_batch, queued_behind, preempted,
+    cold_build, stage_in)`` — everything but the residual ``compute``,
+    which the caller closes against its own latency (per launch for
+    single-kernel requests, end-to-end for pipeline chains). The copy-
+    engine boundaries are recomputed with the same left-to-right float
+    arithmetic ``DeviceWorker.schedule`` used, so they land on the
+    identical values.
+    """
+    part = _critical_part(execution)
+    batch = execution.batch
+    wait_for_batch = batch.formed_s - arrival
+    queue_window = part.start_s - batch.formed_s
+    preempted = _preempted_overlap(
+        batch.formed_s,
+        part.start_s,
+        batch.priority,
+        batch.formed_s,
+        compute_spans[part.worker_index],
+    )
+    build_end = part.start_s + part.build_s
+    copy_end = build_end + part.stage_in_s
+    engine_wait = part.compute_start_s - copy_end
+    queued_behind = (queue_window - preempted) + engine_wait
+    cold_build = build_end - part.start_s
+    stage_in = copy_end - build_end
+    return part, wait_for_batch, queued_behind, preempted, cold_build, stage_in
+
+
 def attribute(
     outcomes: list["RequestOutcome"], executions: list["BatchExecution"]
 ) -> list[RequestPath]:
@@ -166,7 +210,9 @@ def attribute(
     Pure function over a finished run's outcomes and executions (the
     report's own fields) — no recorder required, so attribution is
     available on every run. Returns one :class:`RequestPath` per
-    completed request, in outcome (offered) order.
+    completed request, in outcome (offered) order. Pipeline outcomes (a
+    non-empty ``stage_chain``) sum each gating launch's leading segments
+    across the chain; the path's ``worker_index`` is the final stage's.
     """
     by_bid: dict[int, BatchExecution] = {}
     compute_spans: dict[int, list[tuple[float, float, int, float]]] = {}
@@ -192,28 +238,34 @@ def attribute(
                 f"request {outcome.request.rid} completed in batch "
                 f"{outcome.batch_id}, but no execution records that batch"
             )
-        part = _critical_part(execution)
-        batch = execution.batch
         arrival = outcome.request.arrival_s
         latency = outcome.completion_s - arrival
-        wait_for_batch = batch.formed_s - arrival
-        queue_window = part.start_s - batch.formed_s
-        preempted = _preempted_overlap(
-            batch.formed_s,
-            part.start_s,
-            batch.priority,
-            batch.formed_s,
-            compute_spans[part.worker_index],
-        )
-        # The copy-engine boundaries, recomputed with the same left-to-right
-        # float arithmetic DeviceWorker.schedule used, so they land on the
-        # identical values.
-        build_end = part.start_s + part.build_s
-        copy_end = build_end + part.stage_in_s
-        engine_wait = part.compute_start_s - copy_end
-        queued_behind = (queue_window - preempted) + engine_wait
-        cold_build = build_end - part.start_s
-        stage_in = copy_end - build_end
+        if outcome.stage_chain:
+            wait_for_batch = queued_behind = preempted = 0.0
+            cold_build = stage_in = 0.0
+            part = None
+            for link in outcome.stage_chain:
+                link_exec = by_bid.get(link.batch_id)
+                if link_exec is None:
+                    raise ShapeError(
+                        f"request {outcome.request.rid} stage {link.stage!r} "
+                        f"completed in batch {link.batch_id}, but no "
+                        "execution records that batch"
+                    )
+                part, wait, queued, pre, cold, sin = _leading_segments(
+                    link.arrival_s, link_exec, compute_spans
+                )
+                wait_for_batch += wait
+                queued_behind += queued
+                preempted += pre
+                cold_build += cold
+                stage_in += sin
+            batch = execution.batch
+        else:
+            part, wait_for_batch, queued_behind, preempted, cold_build, stage_in = (
+                _leading_segments(arrival, execution, compute_spans)
+            )
+            batch = execution.batch
         # Close the decomposition as a residual: the five leading segments
         # are exact boundary differences, and making compute the remainder
         # guarantees the six sum bit-exactly to the recorded latency (a

@@ -344,6 +344,42 @@ class ShardRecovered(SpanEvent):
     completion_s: float
 
 
+@dataclass(frozen=True)
+class StageStarted(SpanEvent):
+    """One pipeline stage of a request was released for execution.
+
+    Emitted for multi-stage pipeline requests only (single-kernel requests
+    and one-stage pipelines keep the legacy event stream byte-identical).
+    The source stage starts at admission; every other stage starts the
+    instant its last dependency completes. ``stage_index`` is the stage's
+    position in the pipeline's topological order and ``dep_indices`` its
+    dependencies' positions — the stable ids the Perfetto exporter uses
+    for stage->stage flow arrows.
+    """
+
+    rid: int
+    pipeline: str
+    stage: str
+    stage_index: int
+    dep_indices: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class StageCompleted(SpanEvent):
+    """One pipeline stage of a request finished its batched launch.
+
+    ``t_s`` is the launch's completion instant; ``bid`` the batch that
+    served the stage. The request's own :class:`RequestCompleted` is
+    emitted once, when its *last* stage completes.
+    """
+
+    rid: int
+    pipeline: str
+    stage: str
+    stage_index: int
+    bid: int
+
+
 #: event-type name -> class, for exporters that dispatch on type.
 EVENT_TYPES: dict[str, type] = {
     cls.__name__: cls
@@ -368,5 +404,7 @@ EVENT_TYPES: dict[str, type] = {
         HedgeLaunched,
         HedgeResolved,
         ShardRecovered,
+        StageStarted,
+        StageCompleted,
     )
 }

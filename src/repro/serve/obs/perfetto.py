@@ -13,6 +13,10 @@ into the JSON the Perfetto UI (https://ui.perfetto.dev) and legacy
   request's span to the
   GEMM slice that served it (across merges and splits: a split's
   requests fan out to every shard's worker);
+* for multi-stage pipeline requests, one nested async span per stage
+  (category ``stage``) on the same tenant track — released to completed —
+  plus stage->stage flow arrows tracing every dependency edge of the DAG
+  from the producing stage's completion to the consuming stage's release;
 * instant events on the control-plane track for placement verdicts,
   admission decisions, batcher flushes, preemptions, holds, plan-cache
   lookups, and autoscale actions;
@@ -50,6 +54,8 @@ from repro.serve.obs.events import (
     RequestRetried,
     ScaleApplied,
     ShardRecovered,
+    StageCompleted,
+    StageStarted,
     WorkerCrashed,
     WorkerSlowed,
 )
@@ -122,6 +128,9 @@ def trace_to_dict(recorder: TraceRecorder) -> dict:
     queue_depth = 0
     started_bids: set[int] = set()
     request_tenant: dict[int, str] = {}
+    # rid -> open stage spans (stage name, topo index), so a request that
+    # fails mid-pipeline still balances every stage "b" with an "e".
+    open_stages: dict[int, list[tuple[str, int]]] = {}
 
     def instant(event, name: str, args: dict) -> None:
         timed.append(
@@ -235,6 +244,13 @@ def trace_to_dict(recorder: TraceRecorder) -> dict:
             # A failed request never reaches RequestCompleted; close its
             # async span here so every "b" has a balancing "e".
             tid = tenant_tid.get(event.tenant, 0)
+            for stage, stage_index in open_stages.pop(event.rid, []):
+                timed.append(
+                    {"ph": "e", "pid": PID_TENANTS, "tid": tid,
+                     "ts": event.t_s * _US, "cat": "stage", "id": event.rid,
+                     "name": stage,
+                     "args": {"failed": True, "stage_index": stage_index}}
+                )
             timed.append(
                 {"ph": "e", "pid": PID_TENANTS, "tid": tid, "ts": event.t_s * _US,
                  "cat": "request", "id": event.rid, "name": "request",
@@ -255,6 +271,45 @@ def trace_to_dict(recorder: TraceRecorder) -> dict:
                     {"bid": event.bid, "shard": event.shard_index,
                      "from": event.from_index, "to": event.to_index,
                      "completion_ms": event.completion_s * 1e3})
+        elif isinstance(event, StageStarted):
+            tid = tenant_tid.get(request_tenant.get(event.rid, ""), 0)
+            open_stages.setdefault(event.rid, []).append(
+                (event.stage, event.stage_index)
+            )
+            timed.append(
+                {"ph": "b", "pid": PID_TENANTS, "tid": tid, "ts": event.t_s * _US,
+                 "cat": "stage", "id": event.rid, "name": event.stage,
+                 "args": {"rid": event.rid, "pipeline": event.pipeline,
+                          "stage_index": event.stage_index,
+                          "dep_indices": list(event.dep_indices)}}
+            )
+            # One flow-arrow finish per dependency edge: the matching "s"
+            # was emitted at the producing stage's completion.
+            for dep_index in event.dep_indices:
+                timed.append(
+                    {"ph": "f", "pid": PID_TENANTS, "tid": tid,
+                     "ts": event.t_s * _US, "cat": "stage",
+                     "id": event.rid * 4096 + dep_index,
+                     "name": "stage_dep", "bp": "e"}
+                )
+        elif isinstance(event, StageCompleted):
+            tid = tenant_tid.get(request_tenant.get(event.rid, ""), 0)
+            spans = open_stages.get(event.rid, [])
+            if (event.stage, event.stage_index) in spans:
+                spans.remove((event.stage, event.stage_index))
+            timed.append(
+                {"ph": "e", "pid": PID_TENANTS, "tid": tid, "ts": event.t_s * _US,
+                 "cat": "stage", "id": event.rid, "name": event.stage,
+                 "args": {"bid": event.bid, "stage_index": event.stage_index}}
+            )
+            # Flow-arrow start for every outgoing dependency edge; consumers
+            # close it with a "f"/"bp e" at their StageStarted. Sinks leave
+            # an unterminated flow, which Perfetto renders as no arrow.
+            timed.append(
+                {"ph": "s", "pid": PID_TENANTS, "tid": tid, "ts": event.t_s * _US,
+                 "cat": "stage", "id": event.rid * 4096 + event.stage_index,
+                 "name": "stage_dep"}
+            )
         elif isinstance(event, BatchExecuted):
             if event.bid not in started_bids:
                 started_bids.add(event.bid)

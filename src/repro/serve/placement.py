@@ -63,6 +63,12 @@ if TYPE_CHECKING:
 #: (operands + output; leaves headroom for staging buffers and the runtime).
 DEFAULT_MEMORY_FRACTION = 0.9
 
+#: effective device-to-device bandwidth for moving an inter-stage buffer
+#: between workers, bytes/s. PCIe-class: the fleet model assumes no NVLink
+#: fabric between *workers* (a worker is one device), so a successor stage
+#: placed off the producer's device pays an explicit host-mediated transfer.
+INTERCONNECT_BANDWIDTH = 25e9
+
 
 class PlacementKind(enum.Enum):
     """What the placer decided to do with a request."""
@@ -126,10 +132,22 @@ class Placer:
     deterministically.
     """
 
-    def __init__(self, memory_fraction: float = DEFAULT_MEMORY_FRACTION):
+    def __init__(
+        self,
+        memory_fraction: float = DEFAULT_MEMORY_FRACTION,
+        stage_locality: bool = True,
+    ):
         if not 0.0 < memory_fraction <= 1.0:
             raise ShapeError(f"memory_fraction must be in (0, 1], got {memory_fraction}")
         self.memory_fraction = memory_fraction
+        #: score pipeline-stage routing by buffer residency: a successor
+        #: stage on the producing worker elides stage-in for the resident
+        #: fraction; off-worker placement is scored with the interconnect
+        #: transfer it will pay. ``False`` is the stage-blind baseline (the
+        #: serve-pipeline bench's comparison arm) — the transfer is still
+        #: *charged* at dispatch either way (physics is not a policy knob);
+        #: single-kernel batches are unaffected entirely.
+        self.stage_locality = stage_locality
         self._workers: list[DeviceWorker] = []
         self._cache: PlanCache | None = None
         self._costs: dict[tuple, PlacementCost] = {}
@@ -202,6 +220,35 @@ class Placer:
                 build_s=overhead + plan.predict_weight_prep_cost().time_s,
             )
         return cost
+
+    def stage_in_s(
+        self, worker: "DeviceWorker", batch: "Batch", cost: PlacementCost
+    ) -> float | None:
+        """Locality-adjusted stage-in time for a pipeline-stage batch.
+
+        Returns ``None`` for single-kernel batches (no inter-stage input) —
+        the caller falls back to the plain ``stage_in_s``, preserving legacy
+        timing byte-exactly. For a stage batch, the fraction of the input
+        already resident on ``worker`` (its dependency stages executed
+        there) skips stage-in; the remainder is charged an interconnect
+        transfer on top of the device's own streaming cost:
+
+        ``stage_in = cost.stage_in_s * (1 - resident) + moved_bytes / BW``
+
+        This is *physics*, not policy: dispatch charges it at execution
+        regardless of :attr:`stage_locality` (which only controls whether
+        :meth:`select_worker` scores with it). The memoized estimate itself
+        is never mutated: the adjustment is a pure function of the batch's
+        residency, so what-if costing of other candidates stays
+        unperturbed.
+        """
+        total = batch.stage_input_bytes
+        if total <= 0:
+            return None
+        resident = batch.resident_bytes_on(worker.index)
+        resident_frac = resident / total
+        moved = total - resident
+        return cost.stage_in_s * (1.0 - resident_frac) + moved / INTERCONNECT_BANDWIDTH
 
     def predicted_service_s(self, workload: Workload, n_requests: int) -> float:
         """Best-device steady-state service time of one merged launch.
@@ -311,12 +358,24 @@ class Placer:
         cost-model-aware generalization of least-loaded. Ties break on
         worker index (replay determinism); cold builds are deliberately
         excluded (see the module docstring).
+
+        For pipeline-stage batches with :attr:`stage_locality` on, the
+        stage-in term is replaced by :meth:`stage_in_s`: the worker holding
+        the producing stage's output buffer skips (its share of) stage-in,
+        while every other candidate is charged the interconnect transfer —
+        so locality wins routing exactly when the transfer cost exceeds the
+        backlog difference, never unconditionally.
         """
         if not candidates:
             raise DeviceError("select_worker needs at least one candidate")
 
         def finish_key(worker: "DeviceWorker") -> tuple[float, int]:
             cost = self.estimate(worker, batch.workload, batch.n_requests)
-            return (worker.backlog_s(now) + cost.service_s, worker.index)
+            stage_in = self.stage_in_s(worker, batch, cost) if self.stage_locality else None
+            if stage_in is None:
+                # Legacy expression kept verbatim: float addition is not
+                # associative, and replay byte-identity pins this ordering.
+                return (worker.backlog_s(now) + cost.service_s, worker.index)
+            return (worker.backlog_s(now) + (stage_in + cost.gemm_s), worker.index)
 
         return min(candidates, key=finish_key)

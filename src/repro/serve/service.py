@@ -56,6 +56,8 @@ from repro.serve.obs.events import (
     RequestRetried,
     ScaleApplied,
     ShardRecovered,
+    StageCompleted,
+    StageStarted,
     WorkerCrashed,
     WorkerSlowed,
 )
@@ -76,21 +78,61 @@ from repro.serve.slo import (
 from repro.serve.workload import Request
 
 
+@dataclass(frozen=True)
+class StageLink:
+    """One stage on a completed pipeline request's gating chain.
+
+    ``arrival_s`` is when the stage was released (the source stage's is the
+    request's own arrival) and ``completion_s`` when its launch finished;
+    consecutive links telescope — each link's release *is* its gating
+    dependency's completion — so per-stage latency segments sum bit-exactly
+    to the end-to-end latency (see
+    :mod:`repro.serve.obs.critical_path`).
+    """
+
+    stage: str
+    batch_id: int
+    arrival_s: float
+    completion_s: float
+
+
 @dataclass
 class RequestOutcome:
-    """Fate of one offered request."""
+    """Fate of one offered request.
+
+    For a multi-stage pipeline request, ``completion_s`` is the *last*
+    stage's completion and ``batch_id`` that stage's batch;
+    ``stage_chain`` records the gating chain source -> final for
+    cross-stage critical-path blame (empty for single-kernel requests and
+    one-stage pipelines).
+    """
 
     request: Request
     admitted: bool
     batch_id: int | None = None
     completion_s: float | None = None
     output: np.ndarray | None = None
+    stage_chain: tuple[StageLink, ...] = ()
 
     @property
     def latency_s(self) -> float | None:
         if self.completion_s is None:
             return None
         return self.completion_s - self.request.arrival_s
+
+
+@dataclass
+class _PipelineRun:
+    """In-flight bookkeeping of one admitted multi-stage pipeline request."""
+
+    root: Request
+    #: per completed stage: its gating-chain link record.
+    completed: dict[str, StageLink] = field(default_factory=dict)
+    #: worker indices each completed stage's output buffer resides on.
+    residency: dict[str, tuple[int, ...]] = field(default_factory=dict)
+    #: stages released so far (source from admission; successors on dep
+    #: completion) — guards against double-release under diamond topologies.
+    released: set[str] = field(default_factory=set)
 
 
 @dataclass
@@ -676,6 +718,13 @@ class BeamformingService:
         #: (rids may collide across independently generated streams; see
         #: :func:`repro.serve.arrivals.merge_arrivals` for renumbering).
         self._pending_outcomes: dict[int, RequestOutcome] = {}
+        #: in-flight multi-stage pipeline requests, keyed by root identity.
+        self._pipeline_runs: dict[int, _PipelineRun] = {}
+        #: min-heap of (release_s, seq, Request): successor stages whose
+        #: dependencies have completed, waiting for the clock to reach the
+        #: release instant — the pipeline event source.
+        self._stage_heap: list[tuple[float, int, Request]] = []
+        self._stage_seq = 0
         #: the fault schedule; ``None`` (also for empty plans) keeps every
         #: legacy code path — the zero-overhead-when-disabled discipline.
         self._faults = faults if faults is not None and len(faults.events) > 0 else None
@@ -724,6 +773,12 @@ class BeamformingService:
                 "the arrival trace offers the same Request object twice; "
                 "generate distinct requests (merge_arrivals renumbers ids)"
             )
+        if self.fleet.is_functional and any(r.is_pipeline_stage for r in requests):
+            raise ShapeError(
+                "multi-stage pipeline workloads are dry-run only: functional "
+                "execution of inter-stage buffers is not modelled yet "
+                "(single-stage pipelines run functionally like bare workloads)"
+            )
         slots = {id(r): i for i, r in enumerate(requests)}
         outcomes: list[RequestOutcome | None] = [None] * len(requests)
         trace = sorted(requests, key=lambda r: r.arrival_s)
@@ -741,10 +796,11 @@ class BeamformingService:
             )
             t_confirm = self._next_confirm_s() if self._faults is not None else None
             t_fault = self._next_fault_s(idx, trace) if self._faults is not None else None
+            t_stage = self._stage_heap[0][0] if self._stage_heap else None
             times = [
                 t
                 for t in (t_arrival, t_deadline, t_worker, t_retire, t_scale,
-                          t_confirm, t_fault)
+                          t_confirm, t_fault, t_stage)
                 if t is not None
             ]
             if not times:
@@ -766,6 +822,11 @@ class BeamformingService:
                 self._confirm(now)
             elif t_fault is not None and t_fault <= now:
                 self._handle_fault(now)
+            elif t_stage is not None and t_stage <= now:
+                # Release successor stages *before* a simultaneous batcher
+                # flush, so a stage released at the flush instant can still
+                # join that flush's batches.
+                self._release_stages(now)
             elif t_deadline is not None and t_deadline <= now:
                 for batch in self._batcher.due(now):
                     self.fleet.submit(batch)
@@ -796,7 +857,9 @@ class BeamformingService:
                 decision = self.fleet.placer.place(req.workload, self._batcher.policy_for(priority))
                 if self.recorder.enabled:
                     self.recorder.emit(self._placement_event(now, req, decision))
-                projected = self._estimate_latency(now, decision)
+                projected = self._estimate_latency(
+                    now, decision, pipeline=req.pipeline if req.is_pipeline_stage else None
+                )
                 depth = self._depth()
                 admitted = self.admission.admit(projected, depth, priority=priority)
                 if self.recorder.enabled:
@@ -817,6 +880,21 @@ class BeamformingService:
                 if admitted:
                     outcome.admitted = True
                     self._pending_outcomes[id(req)] = outcome
+                    if req.is_pipeline_stage:
+                        run = _PipelineRun(root=req)
+                        run.released.add(req.stage)
+                        self._pipeline_runs[id(req)] = run
+                        self.metrics.inc("service.stage_released")
+                        if self.recorder.enabled:
+                            self.recorder.emit(
+                                StageStarted(
+                                    t_s=now,
+                                    rid=req.rid,
+                                    pipeline=req.pipeline.name,
+                                    stage=req.stage,
+                                    stage_index=req.pipeline.stage_index(req.stage),
+                                )
+                            )
                     if decision.kind is PlacementKind.SPLIT:
                         # Oversized requests never coalesce: straight to the
                         # scheduler as their own batch, sharded at dispatch.
@@ -937,9 +1015,22 @@ class BeamformingService:
         self._timeline.record(now, accepting, provisioned)
 
     def _signals(self, now: float) -> FleetSignals:
-        """Snapshot the pressure signals one autoscale tick consumes."""
+        """Snapshot the pressure signals one autoscale tick consumes.
+
+        ``firing_alerts`` feeds burn-rate alert state to the autoscaler:
+        when a monitor is attached, every alert currently in the firing
+        state counts — budget burn as a scale-up signal, not just queue
+        pressure (opt-in on the policy side via
+        :attr:`ReactiveAutoscaler.alert_burn_up
+        <repro.serve.autoscale.ReactiveAutoscaler.alert_burn_up>`).
+        """
         pressure = self.fleet.queued_pressure_by_class()
         accepting = self.fleet.accepting_workers
+        firing = 0
+        if self._monitor is not None:
+            firing = sum(
+                1 for a in self._monitor.engine.history if a.state == "firing"
+            )
         return FleetSignals(
             t_s=now,
             n_accepting=len(accepting),
@@ -949,6 +1040,7 @@ class BeamformingService:
             pressure_by_priority=pressure,
             drain_s_by_capability=self.fleet.queued_drain_by_capability(),
             busy_workers=sum(1 for w in accepting if w.backlog_s(now) > 0),
+            firing_alerts=firing,
         )
 
     # -- internals -----------------------------------------------------------
@@ -967,9 +1059,17 @@ class BeamformingService:
         self._complete(execution)
 
     def _complete(self, execution: BatchExecution) -> None:
-        """Stamp every request of one finished launch: the completion edge."""
+        """Stamp every request of one finished launch: the completion edge.
+
+        Multi-stage pipeline requests divert to :meth:`_stage_complete`:
+        a finished launch completes one *stage*, releasing successors; the
+        end-to-end outcome is only stamped when the last stage finishes.
+        """
         batch = execution.batch
         for i, req in enumerate(batch.requests):
+            if req.is_pipeline_stage:
+                self._stage_complete(req, execution)
+                continue
             outcome = self._pending_outcomes.pop(id(req))
             outcome.batch_id = batch.bid
             outcome.completion_s = execution.completion_s
@@ -996,6 +1096,162 @@ class BeamformingService:
                         priority=batch.priority,
                     )
                 )
+
+    # -- pipeline stage lifecycle --------------------------------------------
+
+    def _stage_complete(self, req: Request, execution: BatchExecution) -> None:
+        """One stage of one pipeline request finished its batched launch.
+
+        Records the stage's completion (and where its output buffer now
+        resides), releases every successor whose dependencies are all
+        complete — onto the stage heap at the gating dependency's
+        completion instant, a proper future event under eager settling —
+        and finalizes the end-to-end outcome once all stages have run.
+        """
+        run = self._pipeline_runs.get(id(req.root_request))
+        if run is None:
+            return  # the root already failed on another branch
+        pipeline = req.pipeline
+        run.completed[req.stage] = StageLink(
+            stage=req.stage,
+            batch_id=execution.batch.bid,
+            arrival_s=req.arrival_s,
+            completion_s=execution.completion_s,
+        )
+        run.residency[req.stage] = (execution.worker_index,)
+        self.metrics.inc("service.stage_completed")
+        if self.recorder.enabled:
+            self.recorder.emit(
+                StageCompleted(
+                    t_s=execution.completion_s,
+                    rid=req.rid,
+                    pipeline=pipeline.name,
+                    stage=req.stage,
+                    stage_index=pipeline.stage_index(req.stage),
+                    bid=execution.batch.bid,
+                )
+            )
+        for stage in pipeline.successors(req.stage):
+            if stage.name in run.released:
+                continue
+            deps = [run.completed.get(d) for d in stage.depends_on]
+            if any(link is None for link in deps):
+                continue
+            release_s = max(link.completion_s for link in deps)
+            run.released.add(stage.name)
+            resident = tuple(
+                sorted({w for d in stage.depends_on for w in run.residency[d]})
+            )
+            successor = Request(
+                rid=req.root_request.rid,
+                workload=stage.workload,
+                arrival_s=release_s,
+                pipeline=pipeline,
+                stage=stage.name,
+                root=req.root_request,
+                resident_workers=resident,
+                stage_input_bytes=pipeline.stage_input_bytes(stage.name),
+            )
+            heapq.heappush(self._stage_heap, (release_s, self._stage_seq, successor))
+            self._stage_seq += 1
+        if len(run.completed) == pipeline.n_stages:
+            self._finish_pipeline(run)
+
+    def _release_stages(self, now: float) -> None:
+        """Feed every stage whose release instant the clock reached.
+
+        The pipeline event source's handler: released stages skip admission
+        (the root was admitted end-to-end at arrival) and enter the same
+        placement -> batcher -> scheduler path an arrival takes, so
+        same-stage requests of *different* pipeline arrivals coalesce into
+        shared launches exactly like ordinary requests.
+        """
+        while self._stage_heap and self._stage_heap[0][0] <= now:
+            _, _, req = heapq.heappop(self._stage_heap)
+            run = self._pipeline_runs.get(id(req.root_request))
+            if run is None:
+                continue  # the root failed while this release was pending
+            priority = req.workload.priority
+            self.metrics.inc("service.stage_released")
+            if self.recorder.enabled:
+                stage = req.pipeline.stage(req.stage)
+                self.recorder.emit(
+                    StageStarted(
+                        t_s=now,
+                        rid=req.rid,
+                        pipeline=req.pipeline.name,
+                        stage=req.stage,
+                        stage_index=req.pipeline.stage_index(req.stage),
+                        dep_indices=tuple(
+                            req.pipeline.stage_index(d) for d in stage.depends_on
+                        ),
+                    )
+                )
+            decision = self.fleet.placer.place(
+                req.workload, self._batcher.policy_for(priority)
+            )
+            if decision.is_shed:
+                # Mid-pipeline infeasibility (e.g. the only capable worker
+                # crashed since admission): the whole request fails.
+                self._fail(req, now, "no_capable_worker")
+                continue
+            if decision.kind is PlacementKind.SPLIT:
+                self.fleet.submit(self._batcher.singleton(req, now, decision=decision))
+            else:
+                full = self._batcher.offer(req, now, decision=decision)
+                if full is not None:
+                    self.fleet.submit(full)
+
+    def _finish_pipeline(self, run: _PipelineRun) -> None:
+        """All stages of one pipeline request ran: stamp the e2e outcome.
+
+        The outcome's completion is the last sink's; the gating chain is
+        reconstructed by walking back from that sink through, at each
+        stage, the dependency whose completion gated the release (ties
+        break on topological index for replay determinism).
+        """
+        root = run.root
+        pipeline = root.pipeline
+        final = max(
+            (run.completed[s.name] for s in pipeline.sinks),
+            key=lambda link: (link.completion_s, pipeline.stage_index(link.stage)),
+        )
+        chain = [final]
+        while True:
+            deps = pipeline.stage(chain[0].stage).depends_on
+            if not deps:
+                break
+            gating = max(
+                (run.completed[d] for d in deps),
+                key=lambda link: (link.completion_s, pipeline.stage_index(link.stage)),
+            )
+            chain.insert(0, gating)
+        outcome = self._pending_outcomes.pop(id(root))
+        outcome.batch_id = final.batch_id
+        outcome.completion_s = final.completion_s
+        outcome.stage_chain = tuple(chain)
+        del self._pipeline_runs[id(root)]
+        latency = final.completion_s - root.arrival_s
+        self.metrics.inc("service.completed")
+        self.metrics.observe("service.latency_ms", latency * 1e3)
+        if self._monitor is not None:
+            self._monitor.observe_completion(
+                final.completion_s,
+                root.workload.priority,
+                root.workload.tenant,
+                latency,
+            )
+        if self.recorder.enabled:
+            self.recorder.emit(
+                RequestCompleted(
+                    t_s=final.completion_s,
+                    rid=root.rid,
+                    bid=final.batch_id,
+                    latency_s=latency,
+                    tenant=root.workload.tenant,
+                    priority=root.workload.priority,
+                )
+            )
 
     def _placement_event(self, now: float, req: Request, decision: PlacementDecision):
         """The :class:`PlacementDecided` span of one arrival (traced runs).
@@ -1058,7 +1314,12 @@ class BeamformingService:
         """
         if self._fault_idx >= len(self._faults.events):
             return None
-        if idx >= len(trace) and not self._pending and not self.fleet.has_queued():
+        if (
+            idx >= len(trace)
+            and not self._pending
+            and not self._stage_heap
+            and not self.fleet.has_queued()
+        ):
             return None
         return self._faults.events[self._fault_idx].t_s
 
@@ -1380,7 +1641,10 @@ class BeamformingService:
         post-crash fleet (the original route may name a dead worker) and
         is only submitted when the projected finish fits inside
         ``retry_deadline_factor`` times the admission deadline — a doomed
-        launch wastes capacity the surviving fleet needs.
+        launch wastes capacity the surviving fleet needs. A lost pipeline
+        *stage* retries as itself — re-entering the pipeline at the failed
+        stage, with completed predecessors standing — while the deadline
+        clock runs from the *root* arrival (end-to-end, not per stage).
         """
         policy = self._resilience
         priority = req.workload.priority
@@ -1396,7 +1660,7 @@ class BeamformingService:
             self._fail(req, now, "no_capable_worker")
             return
         projected = self._estimate_latency(now, decision)
-        elapsed = now - req.arrival_s
+        elapsed = now - req.root_request.arrival_s
         deadline = policy.retry_deadline_factor * self.slo.admission_deadline_s
         if elapsed + projected > deadline:
             self._fail(req, now, "deadline")
@@ -1423,9 +1687,13 @@ class BeamformingService:
         The outcome stays admitted with no completion — the report's
         availability denominator counts it against the service. Failures
         feed the monitor as budget-bad verdicts, so crash storms drive
-        burn-rate alerts exactly like shed storms do.
+        burn-rate alerts exactly like shed storms do. A failed pipeline
+        *stage* fails its whole request: the bookkeeping is keyed through
+        the root arrival, and completed sibling branches are discarded.
         """
-        self._pending_outcomes.pop(id(req), None)
+        root = req.root_request
+        self._pending_outcomes.pop(id(root), None)
+        self._pipeline_runs.pop(id(root), None)
         self.metrics.inc("service.failed")
         priority = req.workload.priority
         if self._monitor is not None:
@@ -1453,7 +1721,12 @@ class BeamformingService:
         """Admitted requests waiting or in flight (admission's queue view)."""
         return self.queued_requests() + self._in_flight_requests
 
-    def _estimate_latency(self, now: float, decision: PlacementDecision) -> float:
+    def _estimate_latency(
+        self,
+        now: float,
+        decision: PlacementDecision,
+        pipeline=None,
+    ) -> float:
         """At-arrival, class-aware latency projection for admission control.
 
         Built entirely from the placer's per-device cost model — no
@@ -1499,4 +1772,14 @@ class BeamformingService:
             self.fleet.scheduler.queued_service_s(priority)
             + self.fleet.held_service_s(priority)
         ) / n_usable
-        return batching_wait + backlog + queue_drain + own_service
+        projected = batching_wait + backlog + queue_drain + own_service
+        if pipeline is not None:
+            # End-to-end admission for a multi-stage arrival: every
+            # downstream stage adds at least its own best-device launch.
+            # Queueing and transfer along the chain show up in the SLO,
+            # not the projection — admission stays optimistic the same way
+            # it is for single-kernel requests; a downstream stage with no
+            # capable worker projects inf and sheds at the door.
+            for name in pipeline.topo_order[1:]:
+                projected += placer.predicted_service_s(pipeline.stage(name).workload, 1)
+        return projected

@@ -1,4 +1,4 @@
-"""Service request and workload descriptors.
+"""Service request and workload descriptors — single kernels and pipelines.
 
 A serving tier sees neither matrices nor plans — it sees *requests*: "beam
 this block", "reconstruct this frame", each tied to a workload class. A
@@ -9,8 +9,21 @@ requests against different calibrations must never share a GEMM). A
 :class:`Request` is one arrival of a workload, optionally carrying a real
 data block for functional fleets.
 
+Real deployments chain kernels, not single launches — channelizer →
+beamformer → dedispersion search for a radio observatory, beamform →
+Doppler ensemble for a clinic. A :class:`PipelineWorkload` describes such a
+chain as a validated DAG of :class:`Stage` nodes, each wrapping one
+batchable :class:`Workload` (today's single-kernel descriptor is exactly
+the one-stage special case — see :meth:`Workload.single_stage`). Stages of
+different pipeline arrivals batch together per stage (same compat key);
+stages of *different* pipelines never coalesce (their workload names are
+pipeline-qualified). Inter-stage buffers are first-class: each stage
+declares the bytes it hands its successors, which placement prices as
+resident (same worker) or transferred (different worker).
+
 The domain adapters expose ready-made descriptors through their
-``service_workload()`` entry points
+``service_workload()`` (single-stage) and ``pipeline_workload()`` (DAG)
+entry points
 (:func:`repro.apps.radioastronomy.beamformer.service_workload`,
 :func:`repro.apps.ultrasound.imaging.service_workload`).
 """
@@ -221,6 +234,246 @@ class Workload:
             return self
         return replace(self, batch_per_request=batch_per_request, weights=None)
 
+    def single_stage(self) -> "PipelineWorkload":
+        """This workload as a one-stage pipeline — the blessed conversion.
+
+        The single-stage pipeline is *behaviourally identical* to the bare
+        workload: the stage keeps this workload's name (no pipeline
+        qualification), so its requests share batches, plans, and golden
+        replays with legacy ``Request(workload=...)`` arrivals bit-exactly.
+        Use this, not a hand-built :class:`PipelineWorkload`, when lifting
+        an existing request class into the pipeline API.
+        """
+        return PipelineWorkload(name=self.name, stages=(Stage(name=self.name, workload=self),))
+
+    def output_bytes(self) -> int:
+        """Bytes of one request's output block (the inter-stage buffer unit).
+
+        The float32 complex accumulator output of the merged GEMM, per
+        request — what a successor stage must read, resident or over the
+        interconnect. :class:`Stage` uses this as its default buffer size.
+        """
+        tr = traits(self.precision)
+        return int(2 * self.batch_per_request * self.n_beams * self.n_samples * tr.output_bytes)
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One node of a :class:`PipelineWorkload`: a batchable kernel class.
+
+    ``workload`` is the stage's single-kernel descriptor — batching,
+    placement, and the plan cache treat a stage exactly as they treat a
+    standalone workload (same compat key machinery), so same-stage requests
+    from different pipeline arrivals coalesce into one launch while stages
+    of different pipelines never share a batch (their workload names are
+    pipeline-qualified by :class:`PipelineWorkload`).
+
+    ``depends_on`` names the stages whose outputs this stage consumes; a
+    stage is released the instant its last dependency completes.
+    ``output_bytes`` is the per-request inter-stage buffer this stage hands
+    each successor (default: the workload's own output block) — the
+    quantity placement prices as resident or transferred.
+    """
+
+    name: str
+    workload: Workload
+    depends_on: tuple[str, ...] = ()
+    output_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ShapeError("Stage needs a non-empty name")
+        if len(set(self.depends_on)) != len(self.depends_on):
+            raise ShapeError(f"stage {self.name!r} lists a duplicate dependency")
+        if self.name in self.depends_on:
+            raise ShapeError(f"stage {self.name!r} depends on itself")
+        if self.output_bytes is None:
+            object.__setattr__(self, "output_bytes", self.workload.output_bytes())
+        elif self.output_bytes < 0:
+            raise ShapeError(f"output_bytes must be >= 0, got {self.output_bytes}")
+
+
+@dataclass(frozen=True)
+class PipelineWorkload:
+    """A validated DAG of stages served as one end-to-end request class.
+
+    Topology rules, checked at construction: stage names are unique, every
+    dependency names an earlier-declared-or-later stage that exists, the
+    graph is acyclic, and exactly one stage has no dependencies (the
+    *source* — the stage arrivals enter at). Multiple sinks are allowed; a
+    request completes when its last stage does.
+
+    ``priority`` / ``tenant``, when given, are inherited by every stage
+    workload (the whole pipeline schedules as one class and bills one
+    caller); per-stage precision is whatever each stage's workload says —
+    mixed-precision pipelines (int1 beamform feeding a float16 Doppler
+    ensemble) are the normal case.
+
+    Multi-stage pipelines qualify their stage workload names as
+    ``"<pipeline>/<stage>"`` so stages of *different* pipelines never share
+    a compat key; a single-stage pipeline keeps the bare workload name —
+    that is what makes :meth:`Workload.single_stage` a byte-identical
+    refactor of the legacy single-kernel path.
+    """
+
+    name: str
+    stages: tuple[Stage, ...]
+    priority: int | None = None
+    tenant: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ShapeError("PipelineWorkload needs a non-empty name")
+        if not self.stages:
+            raise ShapeError(f"pipeline {self.name!r} needs at least one stage")
+        names = [stage.name for stage in self.stages]
+        if len(set(names)) != len(names):
+            raise ShapeError(f"pipeline {self.name!r} has duplicate stage names")
+        known = set(names)
+        for stage in self.stages:
+            for dep in stage.depends_on:
+                if dep not in known:
+                    raise ShapeError(
+                        f"pipeline {self.name!r}: stage {stage.name!r} depends on "
+                        f"unknown stage {dep!r}"
+                    )
+        sources = [stage for stage in self.stages if not stage.depends_on]
+        if len(sources) != 1:
+            raise ShapeError(
+                f"pipeline {self.name!r} must have exactly one source stage "
+                f"(no dependencies), found {len(sources)}"
+            )
+        order = self._topo_sort()  # raises on cycles
+        object.__setattr__(self, "_topo", tuple(order))
+        stages = self.stages
+        if self.priority is not None or self.tenant is not None:
+            stages = tuple(
+                replace(
+                    stage,
+                    workload=replace(
+                        stage.workload,
+                        priority=self.priority if self.priority is not None else stage.workload.priority,
+                        tenant=self.tenant if self.tenant is not None else stage.workload.tenant,
+                    ),
+                )
+                for stage in stages
+            )
+        if len(stages) > 1:
+            prefix = f"{self.name}/"
+            stages = tuple(
+                stage
+                if stage.workload.name.startswith(prefix)
+                else replace(stage, workload=replace(stage.workload, name=f"{prefix}{stage.name}"))
+                for stage in stages
+            )
+        object.__setattr__(self, "stages", stages)
+
+    def _topo_sort(self) -> list[str]:
+        indegree = {stage.name: len(stage.depends_on) for stage in self.stages}
+        successors: dict[str, list[str]] = {stage.name: [] for stage in self.stages}
+        for stage in self.stages:
+            for dep in stage.depends_on:
+                successors[dep].append(stage.name)
+        ready = [name for name, deg in indegree.items() if deg == 0]
+        order: list[str] = []
+        while ready:
+            name = ready.pop(0)
+            order.append(name)
+            for succ in successors[name]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(self.stages):
+            cyclic = sorted(name for name, deg in indegree.items() if deg > 0)
+            raise ShapeError(f"pipeline {self.name!r} has a dependency cycle through {cyclic}")
+        return order
+
+    # -- topology views ------------------------------------------------------
+
+    @property
+    def n_stages(self) -> int:
+        return len(self.stages)
+
+    @property
+    def topo_order(self) -> tuple[str, ...]:
+        """Stage names in one deterministic dependency-respecting order."""
+        return self._topo  # type: ignore[attr-defined]
+
+    def stage(self, name: str) -> Stage:
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise ShapeError(f"pipeline {self.name!r} has no stage {name!r}")
+
+    def stage_index(self, name: str) -> int:
+        """Position of a stage in :attr:`topo_order` (trace flow-arrow ids)."""
+        return self.topo_order.index(self.stage(name).name)
+
+    @property
+    def source(self) -> Stage:
+        """The unique entry stage — what an arrival's request executes first."""
+        return next(stage for stage in self.stages if not stage.depends_on)
+
+    @property
+    def sinks(self) -> tuple[Stage, ...]:
+        """Stages nothing depends on; the request completes when all have run."""
+        consumed = {dep for stage in self.stages for dep in stage.depends_on}
+        return tuple(stage for stage in self.stages if stage.name not in consumed)
+
+    def successors(self, name: str) -> tuple[Stage, ...]:
+        """Stages that consume ``name``'s output, in declaration order."""
+        key = self.stage(name).name
+        return tuple(stage for stage in self.stages if key in stage.depends_on)
+
+    # -- serving-facing views ------------------------------------------------
+
+    @property
+    def kernel(self) -> Workload:
+        """The sole stage's workload — single-stage pipelines only.
+
+        The migration escape hatch for callers that still need the bare
+        single-kernel :class:`Workload` surface (``make_plan``,
+        ``footprint_bytes`` per launch, direct :class:`Request`
+        construction) after the adapters' ``service_workload()`` moved to
+        returning the pipeline form. Raises for multi-stage pipelines,
+        which have no single kernel to name.
+        """
+        if len(self.stages) != 1:
+            raise ShapeError(
+                f"pipeline {self.name!r} has {len(self.stages)} stages; "
+                ".kernel is defined for single-stage pipelines only"
+            )
+        return self.stages[0].workload
+
+    @property
+    def priority_class(self) -> int:
+        """The pipeline's scheduling class (the source stage's priority)."""
+        return self.source.workload.priority
+
+    @property
+    def tenant_name(self) -> str:
+        """The accountable caller (the source stage's tenant)."""
+        return self.source.workload.tenant
+
+    def stage_input_bytes(self, name: str) -> int:
+        """Bytes one request's ``name`` stage reads from its dependencies."""
+        return sum(self.stage(dep).output_bytes or 0 for dep in self.stage(name).depends_on)
+
+    def footprint_bytes(self, n_requests: int = 1) -> float:
+        """Device-memory estimate across all stages and inter-stage buffers.
+
+        The sum of every stage's merged-operand footprint plus every
+        inter-stage buffer, for ``n_requests`` coalesced requests — the
+        whole-pipeline number capacity planning compares against fleet
+        memory (each *stage* still places against its own workload
+        footprint, since stages run one at a time per request).
+        """
+        stage_bytes = sum(s.workload.footprint_bytes(n_requests) for s in self.stages)
+        buffer_bytes = float(
+            n_requests * sum((s.output_bytes or 0) for s in self.stages if self.successors(s.name))
+        )
+        return stage_bytes + buffer_bytes
+
 
 @dataclass
 class Request:
@@ -229,9 +482,45 @@ class Request:
     ``data`` is the caller's B operand ``(batch_per_request, n_receivers,
     n_samples)`` for functional fleets; ``None`` on dry-run fleets, where
     only the cost model runs.
+
+    The pipeline fields are populated by the serving tier, not by callers:
+    an arrival of a :class:`PipelineWorkload` carries ``pipeline`` and
+    ``stage`` (the source stage); requests for successor stages are created
+    internally by the service when dependencies complete, with ``root``
+    pointing at the original arrival, ``resident_workers`` naming where
+    dependency outputs live, and ``stage_input_bytes`` the buffer bytes a
+    non-resident placement must transfer. All default off, so legacy
+    single-kernel requests are untouched.
     """
 
     rid: int
     workload: Workload
     arrival_s: float
     data: np.ndarray | None = field(default=None, compare=False)
+    pipeline: "PipelineWorkload | None" = field(default=None, compare=False, repr=False)
+    stage: str | None = field(default=None, compare=False)
+    root: "Request | None" = field(default=None, compare=False, repr=False)
+    resident_workers: tuple[int, ...] = field(default=(), compare=False)
+    stage_input_bytes: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if isinstance(self.workload, PipelineWorkload):
+            # Hand-built requests may pass the pipeline form directly;
+            # they enter at the source stage, exactly as the arrival
+            # generators do (a single-stage pipeline's source workload is
+            # the wrapped kernel, so legacy behaviour is unchanged).
+            if self.pipeline is None:
+                source = self.workload.source
+                self.pipeline = self.workload
+                self.stage = source.name
+                self.workload = source.workload
+
+    @property
+    def root_request(self) -> "Request":
+        """The originating arrival (itself for legacy/source requests)."""
+        return self.root if self.root is not None else self
+
+    @property
+    def is_pipeline_stage(self) -> bool:
+        """True when this request is one stage of a multi-stage pipeline."""
+        return self.pipeline is not None and self.pipeline.n_stages > 1

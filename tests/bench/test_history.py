@@ -58,6 +58,7 @@ class TestSpecs:
             "serve-hetero",
             "serve-autoscale",
             "serve-resilience",
+            "serve-pipeline",
             "backend-micro",
         }
         assert len({s.name for s in SPECS}) == len(SPECS)

@@ -54,6 +54,7 @@ def signals(
     queued_service_s=0.0,
     drain_s=None,
     busy_workers=0,
+    firing_alerts=0,
 ) -> FleetSignals:
     drain_by_cap = {"float16": drain_s} if drain_s is not None else {}
     return FleetSignals(
@@ -65,6 +66,7 @@ def signals(
         pressure_by_priority={},
         drain_s_by_capability=drain_by_cap,
         busy_workers=busy_workers,
+        firing_alerts=firing_alerts,
     )
 
 
@@ -152,6 +154,31 @@ class TestReactivePolicy:
         policy = ReactiveAutoscaler(up_pressure_s=1e-3, down_ticks=1, idle_busy_fraction=0.5)
         assert policy.decide(signals(n_accepting=2, busy_workers=2)) is None
         assert policy.decide(signals(queued_requests=3, busy_workers=0)) is None
+
+    def test_alert_burn_up_scales_on_firing_alert_with_calm_queues(self):
+        # Error budget can burn at the front door (shed storms) before any
+        # queue forms; with alert_burn_up on, a firing burn-rate alert is a
+        # pressured tick even at zero queue drain.
+        policy = ReactiveAutoscaler(up_pressure_s=1e-3, up_ticks=2, alert_burn_up=True)
+        assert policy.decide(signals(firing_alerts=1)) is None
+        action = policy.decide(signals(firing_alerts=1))
+        assert action is not None and action.kind is ScaleKind.UP
+        assert action.n == 1
+        assert "burn-rate alert" in action.reason
+
+    def test_alert_burn_up_off_by_default_keeps_legacy_behavior(self):
+        policy = ReactiveAutoscaler(up_pressure_s=1e-3, up_ticks=1)
+        assert policy.decide(signals(firing_alerts=3)) is None
+
+    def test_queue_pressure_still_takes_the_proportional_step_while_burning(self):
+        # When real queue pressure and a firing alert coincide, the reason
+        # and step come from the pressure path (the stronger signal).
+        policy = ReactiveAutoscaler(
+            up_pressure_s=1e-3, up_ticks=1, max_step=4, alert_burn_up=True
+        )
+        action = policy.decide(signals(drain_s=3.2e-3, firing_alerts=1))
+        assert action.n == 3
+        assert "queue drain" in action.reason
 
     def test_validation(self):
         with pytest.raises(ShapeError):

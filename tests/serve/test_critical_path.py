@@ -231,7 +231,7 @@ class TestWholeRunInvariants:
     def test_ultrasound_frames_run(self):
         from repro.apps.ultrasound.imaging import service_workload
 
-        frames = service_workload(n_voxels=2048, k=512, n_frames=32)
+        frames = service_workload(n_voxels=2048, k=512, n_frames=32).kernel
         rate = 2.0 / frames.make_plan(
             Device("A100", ExecutionMode.DRY_RUN), 1
         ).predict_block_cost().time_s

@@ -18,7 +18,7 @@ from functools import cache
 
 import pytest
 
-from repro.apps.radioastronomy.beamformer import service_workload as lofar_workload
+from repro.apps.radioastronomy.beamformer import service_workload as _lofar_pipeline
 from repro.errors import ShapeError
 from repro.gpusim.device import Device, ExecutionMode
 from repro.serve import (
@@ -33,6 +33,11 @@ from repro.serve import (
     poisson_arrivals,
 )
 from repro.serve.workload import Request
+
+def lofar_workload(**kwargs):
+    """The LOFAR adapter's bare kernel (the documented migration unwrap)."""
+    return _lofar_pipeline(**kwargs).kernel
+
 
 POLICY = BatchingPolicy(max_batch=32, max_wait_s=0.5e-3)
 HORIZON_S = 4e-3

@@ -19,6 +19,7 @@ from pathlib import Path
 
 from repro.bench.registry import run_experiment
 from repro.bench.serve_autoscale import golden_rows as autoscale_golden_rows
+from repro.bench.serve_pipeline import golden_rows as pipeline_golden_rows
 from repro.bench.serve_priority import golden_rows
 from repro.bench.serve_resilience import golden_rows as resilience_golden_rows
 from repro.util.formatting import render_csv
@@ -101,3 +102,31 @@ class TestResilienceGoldenFile:
         assert float(by_label["fault-free"][availability]) == 100.0
         assert float(by_label["no-recovery"][availability]) < 100.0
         assert float(by_label["resilient"][availability]) >= 99.9
+
+
+class TestPipelineGoldenFile:
+    def test_small_scenario_matches_checked_in_golden(self):
+        # golden_rows defaults to serve_pipeline.GOLDEN_HORIZON_S — the
+        # same single source scripts/check_golden.py regenerates from.
+        headers, rows = pipeline_golden_rows()
+        rendered = render_csv(headers, rows)
+        golden = (GOLDEN_DIR / "serve_pipeline_small.csv").read_text()
+        assert rendered == golden
+
+    def test_golden_covers_both_placement_arms(self):
+        golden = (GOLDEN_DIR / "serve_pipeline_small.csv").read_text()
+        first_column = [line.split(",")[0] for line in golden.splitlines()[1:]]
+        assert first_column == ["stage-locality", "stage-blind"]
+
+    def test_golden_pins_the_locality_story(self):
+        # The pinned bytes must keep telling the story the bench claims:
+        # locality-aware stage placement keeps more dispatches on the
+        # buffer-resident worker and holds a tighter end-to-end tail.
+        golden = (GOLDEN_DIR / "serve_pipeline_small.csv").read_text()
+        header, *rows = [line.split(",") for line in golden.splitlines()]
+        local_pct = header.index("stage-local (%)")
+        p99 = header.index("p99 (ms)")
+        by_label = {row[0]: row for row in rows}
+        locality, blind = by_label["stage-locality"], by_label["stage-blind"]
+        assert float(locality[local_pct]) > float(blind[local_pct])
+        assert float(locality[p99]) <= float(blind[p99])

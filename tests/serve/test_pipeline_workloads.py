@@ -1,0 +1,301 @@
+"""Pipeline (DAG) workloads end to end through the serving tier.
+
+The acceptance bars of the pipeline PR, layer by layer:
+
+* **topology** — :class:`PipelineWorkload` validation rejects cycles,
+  duplicate stages, unknown or duplicate dependencies, and multi-source
+  graphs at construction; ``.kernel`` is defined for single-stage
+  pipelines only;
+* **byte-identity** — a :meth:`Workload.single_stage` pipeline replays
+  the legacy bare-workload path bit-identically (the refactor that let
+  ``service_workload()`` change its return type without moving a golden);
+* **end-to-end** — a multi-stage run releases every stage exactly once,
+  completes at the last stage, and records a gating chain whose
+  telescoping segments sum bit-exactly to the end-to-end latency;
+* **locality** — stage-locality placement keeps more stage dispatches on
+  the buffer-resident worker than stage-blind placement, at a no-worse
+  tail, with both arms paying the same transfer physics;
+* **recovery** — a mid-run crash under the default
+  :class:`ResiliencePolicy` re-enters the pipeline at the lost stage and
+  still completes every admitted request;
+* **observability** — a traced run replays an untraced one bit-identically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.radioastronomy.beamformer import pipeline_workload as radio_pipeline
+from repro.apps.radioastronomy.beamformer import service_workload as lofar_service
+from repro.apps.ultrasound.imaging import pipeline_workload as ultrasound_pipeline
+from repro.errors import ShapeError
+from repro.gpusim.device import Device, ExecutionMode
+from repro.serve import (
+    SLO,
+    BatchingPolicy,
+    BeamformingService,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    PipelineWorkload,
+    Placer,
+    ResiliencePolicy,
+    Stage,
+    Workload,
+    merge_arrivals,
+    poisson_arrivals,
+)
+from repro.serve.obs.trace import TraceRecorder
+
+POLICY = BatchingPolicy(max_batch=8, max_wait_s=100e-6)
+SLO_WIDE = SLO(p99_latency_s=1.0)
+
+
+def _fleet(n: int = 2, gpu: str = "A100") -> list[Device]:
+    return [Device(gpu, ExecutionMode.DRY_RUN) for _ in range(n)]
+
+
+def _stage_workload(name: str = "k") -> Workload:
+    return Workload(name=name, n_beams=64, n_receivers=32, n_samples=128)
+
+
+def _service(devices=None, **kwargs) -> BeamformingService:
+    return BeamformingService(
+        devices if devices is not None else _fleet(),
+        policy=POLICY,
+        slo=kwargs.pop("slo", SLO_WIDE),
+        **kwargs,
+    )
+
+
+def _pipeline_trace(horizon_s: float = 0.002, rate: float = 20000.0, seed: int = 7):
+    return poisson_arrivals(radio_pipeline(), rate, horizon_s, seed=seed)
+
+
+class TestTopologyValidation:
+    def test_cycle_is_rejected(self):
+        with pytest.raises(ShapeError, match="cycle"):
+            PipelineWorkload(
+                name="cyclic",
+                stages=(
+                    Stage(name="src", workload=_stage_workload()),
+                    Stage(name="a", workload=_stage_workload(), depends_on=("src", "b")),
+                    Stage(name="b", workload=_stage_workload(), depends_on=("a",)),
+                ),
+            )
+
+    def test_duplicate_stage_names_rejected(self):
+        with pytest.raises(ShapeError, match="duplicate stage names"):
+            PipelineWorkload(
+                name="dup",
+                stages=(
+                    Stage(name="a", workload=_stage_workload()),
+                    Stage(name="a", workload=_stage_workload()),
+                ),
+            )
+
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(ShapeError, match="unknown stage"):
+            PipelineWorkload(
+                name="dangling",
+                stages=(
+                    Stage(name="a", workload=_stage_workload()),
+                    Stage(name="b", workload=_stage_workload(), depends_on=("ghost",)),
+                ),
+            )
+
+    def test_multiple_sources_rejected(self):
+        with pytest.raises(ShapeError, match="exactly one source"):
+            PipelineWorkload(
+                name="twin",
+                stages=(
+                    Stage(name="a", workload=_stage_workload()),
+                    Stage(name="b", workload=_stage_workload()),
+                ),
+            )
+
+    def test_self_and_duplicate_dependencies_rejected(self):
+        with pytest.raises(ShapeError, match="depends on itself"):
+            Stage(name="a", workload=_stage_workload(), depends_on=("a",))
+        with pytest.raises(ShapeError, match="duplicate dependency"):
+            Stage(name="a", workload=_stage_workload(), depends_on=("b", "b"))
+
+    def test_kernel_raises_on_multi_stage(self):
+        pipeline = radio_pipeline()
+        with pytest.raises(ShapeError, match="single-stage"):
+            pipeline.kernel
+
+    def test_single_stage_kernel_is_the_wrapped_workload(self):
+        workload = _stage_workload()
+        assert workload.single_stage().kernel is workload
+
+    def test_diamond_topology_is_valid(self):
+        diamond = PipelineWorkload(
+            name="diamond",
+            stages=(
+                Stage(name="src", workload=_stage_workload()),
+                Stage(name="left", workload=_stage_workload(), depends_on=("src",)),
+                Stage(name="right", workload=_stage_workload(), depends_on=("src",)),
+                Stage(name="sink", workload=_stage_workload(), depends_on=("left", "right")),
+            ),
+        )
+        assert diamond.topo_order[0] == "src"
+        assert diamond.topo_order[-1] == "sink"
+        assert {s.name for s in diamond.sinks} == {"sink"}
+        # Multi-stage pipelines qualify their stage workload names.
+        assert diamond.stage("left").workload.name == "diamond/left"
+
+    def test_pipeline_priority_and_tenant_inherited_by_every_stage(self):
+        pipeline = radio_pipeline(priority=0, tenant="followup")
+        assert pipeline.priority_class == 0
+        assert pipeline.tenant_name == "followup"
+        assert all(s.workload.priority == 0 for s in pipeline.stages)
+        assert all(s.workload.tenant == "followup" for s in pipeline.stages)
+
+
+class TestSingleStageEquivalence:
+    def test_single_stage_pipeline_replays_bare_workload_byte_identically(self):
+        bare = lofar_service().kernel
+        trace_bare = poisson_arrivals(bare, 30000.0, 0.002, seed=3)
+        trace_pipe = poisson_arrivals(bare.single_stage(), 30000.0, 0.002, seed=3)
+        a = _service().run(trace_bare)
+        b = _service().run(trace_pipe)
+        assert a.latencies_s == b.latencies_s
+        assert a.n_batches == b.n_batches
+        assert a.placements == b.placements
+        # One-stage pipelines keep the bare workload name end to end.
+        assert {e.batch.workload.name for e in b.executions} == {"lofar_beam_block"}
+        # ... and never populate the cross-stage chain.
+        assert all(o.stage_chain == () for o in b.outcomes)
+
+
+class TestEndToEnd:
+    def test_multi_stage_run_completes_every_admitted_request(self):
+        report = _service().run(_pipeline_trace())
+        assert report.n_offered > 0
+        assert report.n_completed == report.n_admitted > 0
+        counters = report.metrics.snapshot()["counters"]
+        # Three stages per admitted request, released and completed once each.
+        assert counters["service.stage_released"] == 3 * report.n_admitted
+        assert counters["service.stage_completed"] == 3 * report.n_admitted
+
+    def test_stage_chain_telescopes_and_sums_bit_exactly(self):
+        report = _service().run(_pipeline_trace())
+        completed = [o for o in report.outcomes if o.completion_s is not None]
+        assert completed
+        for outcome in completed:
+            chain = outcome.stage_chain
+            assert [link.stage for link in chain] == ["channelize", "beamform", "dedisperse"]
+            assert chain[0].arrival_s == outcome.request.arrival_s
+            for prev, nxt in zip(chain, chain[1:]):
+                assert nxt.arrival_s == prev.completion_s  # telescoping links
+            assert chain[-1].completion_s == outcome.completion_s
+            # The boundaries are bit-exact (no gaps, no overlaps); the sum
+            # of the per-link differences telescopes to the end-to-end
+            # latency up to float-addition rounding of the partial sums.
+            segments = sum(link.completion_s - link.arrival_s for link in chain)
+            assert segments == pytest.approx(outcome.latency_s, rel=1e-12, abs=0.0)
+
+    def test_same_stage_requests_coalesce_but_pipelines_never_mix(self):
+        survey = radio_pipeline()
+        imaging = ultrasound_pipeline()
+        trace = merge_arrivals(
+            poisson_arrivals(survey, 20000.0, 0.002, seed=5),
+            poisson_arrivals(imaging, 20000.0, 0.002, seed=6),
+        )
+        report = _service().run(trace)
+        names = {e.batch.workload.name for e in report.executions}
+        assert names <= {
+            "lofar_pulsar/channelize",
+            "lofar_pulsar/beamform",
+            "lofar_pulsar/dedisperse",
+            "doppler_imaging/beamform",
+            "doppler_imaging/doppler",
+        }
+        coalesced = [e for e in report.executions if e.batch.n_requests > 1]
+        assert coalesced  # same-stage requests from different arrivals merged
+        for execution in report.executions:
+            pipelines = {r.pipeline.name for r in execution.batch.requests}
+            stages = {r.stage for r in execution.batch.requests}
+            assert len(pipelines) == 1
+            assert len(stages) == 1
+
+
+class TestStageLocality:
+    def _run(self, stage_locality: bool):
+        trace = merge_arrivals(
+            poisson_arrivals(radio_pipeline(), 25000.0, 0.002, seed=11),
+            poisson_arrivals(ultrasound_pipeline(), 25000.0, 0.002, seed=12),
+        )
+        service = _service(
+            [Device("GH200", ExecutionMode.DRY_RUN), Device("A100", ExecutionMode.DRY_RUN)],
+            placer=Placer(stage_locality=stage_locality),
+        )
+        return service.run(trace)
+
+    @staticmethod
+    def _local_fraction(report) -> float:
+        counters = report.metrics.snapshot()["counters"]
+        local = counters.get("dispatch.stage_local", 0)
+        remote = counters.get("dispatch.stage_remote", 0)
+        return local / (local + remote)
+
+    def test_locality_beats_stage_blind_on_residency_and_tail(self):
+        locality = self._run(stage_locality=True)
+        blind = self._run(stage_locality=False)
+        assert self._local_fraction(locality) > self._local_fraction(blind)
+        assert locality.p99_latency_s <= blind.p99_latency_s
+
+    def test_locality_waits_for_the_resident_worker_by_policy(self):
+        locality = self._run(stage_locality=True)
+        blind = self._run(stage_locality=False)
+        assert locality.metrics.snapshot()["counters"].get("dispatch.stage_waits", 0) > 0
+        assert blind.metrics.snapshot()["counters"].get("dispatch.stage_waits", 0) == 0
+
+
+class TestStageFailureRecovery:
+    def _crash_plan(self) -> FaultPlan:
+        return FaultPlan(events=(FaultEvent(t_s=1e-3, kind=FaultKind.CRASH, worker_index=0),))
+
+    def test_crash_with_recovery_reenters_at_the_lost_stage(self):
+        trace = _pipeline_trace(horizon_s=0.002, rate=30000.0, seed=19)
+        resilient = _service(
+            _fleet(3),
+            faults=self._crash_plan(),
+            resilience=ResiliencePolicy(),
+        )
+        report = resilient.run(trace)
+        assert report.n_crashes == 1
+        assert report.n_retries > 0
+        # Every admitted pipeline request still completed end to end, and
+        # every completed chain is whole (the retry re-entered mid-pipeline
+        # rather than restarting or dropping the request).
+        assert report.availability == 1.0
+        for outcome in report.outcomes:
+            if outcome.completion_s is not None:
+                assert [link.stage for link in outcome.stage_chain] == [
+                    "channelize",
+                    "beamform",
+                    "dedisperse",
+                ]
+
+    def test_crash_without_recovery_loses_pipeline_requests(self):
+        trace = _pipeline_trace(horizon_s=0.002, rate=30000.0, seed=19)
+        fragile = _service(
+            _fleet(3), faults=self._crash_plan(), resilience=ResiliencePolicy.disabled()
+        )
+        report = fragile.run(trace)
+        assert report.availability < 1.0
+
+
+class TestTracedEquivalence:
+    def test_traced_run_replays_untraced_bit_identically(self):
+        plain = _service().run(_pipeline_trace())
+        recorder = TraceRecorder()
+        traced = _service(recorder=recorder).run(_pipeline_trace())
+        assert traced.latencies_s == plain.latencies_s
+        assert traced.n_batches == plain.n_batches
+        assert traced.placements == plain.placements
+        names = {type(e).__name__ for e in recorder.events}
+        assert "StageStarted" in names
+        assert "StageCompleted" in names

@@ -12,8 +12,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.apps.radioastronomy.beamformer import service_workload as lofar_workload
-from repro.apps.ultrasound.imaging import service_workload as ultrasound_workload
+from repro.apps.radioastronomy.beamformer import service_workload as _lofar_pipeline
+from repro.apps.ultrasound.imaging import service_workload as _ultrasound_pipeline
 from repro.errors import DeviceError, ShapeError
 from repro.gpusim.device import Device, ExecutionMode
 from repro.serve import (
@@ -31,6 +31,16 @@ from repro.serve import (
     poisson_arrivals,
 )
 from tests.conftest import random_complex
+
+def lofar_workload(**kwargs):
+    """The LOFAR adapter's bare kernel (the documented migration unwrap)."""
+    return _lofar_pipeline(**kwargs).kernel
+
+
+def ultrasound_workload(**kwargs):
+    """The ultrasound adapter's bare kernel (the documented migration unwrap)."""
+    return _ultrasound_pipeline(**kwargs).kernel
+
 
 BIG_SLO = SLO(p99_latency_s=1e6)
 

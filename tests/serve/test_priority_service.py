@@ -8,8 +8,8 @@ discrete-event simulation the rest of the serving tier uses.
 
 from __future__ import annotations
 
-from repro.apps.radioastronomy.beamformer import service_workload as lofar_workload
-from repro.apps.ultrasound.imaging import service_workload as ultrasound_workload
+from repro.apps.radioastronomy.beamformer import service_workload as _lofar_pipeline
+from repro.apps.ultrasound.imaging import service_workload as _ultrasound_pipeline
 from repro.gpusim.device import Device, ExecutionMode
 from repro.serve import (
     SLO,
@@ -18,6 +18,16 @@ from repro.serve import (
     merge_arrivals,
     poisson_arrivals,
 )
+
+def lofar_workload(**kwargs):
+    """The LOFAR adapter's bare kernel (the documented migration unwrap)."""
+    return _lofar_pipeline(**kwargs).kernel
+
+
+def ultrasound_workload(**kwargs):
+    """The ultrasound adapter's bare kernel (the documented migration unwrap)."""
+    return _ultrasound_pipeline(**kwargs).kernel
+
 
 SLO_5MS = SLO(p99_latency_s=5e-3)
 INTERACTIVE_POLICY = BatchingPolicy(max_batch=4, max_wait_s=50e-6)

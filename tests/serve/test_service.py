@@ -4,8 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.apps.radioastronomy.beamformer import service_workload as lofar_workload
-from repro.apps.ultrasound.imaging import service_workload as ultrasound_workload
+from repro.apps.radioastronomy.beamformer import service_workload as _lofar_pipeline
+from repro.apps.ultrasound.imaging import service_workload as _ultrasound_pipeline
 from repro.gpusim.device import Device, ExecutionMode
 from repro.serve import (
     SLO,
@@ -16,6 +16,16 @@ from repro.serve import (
     poisson_arrivals,
 )
 from tests.conftest import random_complex
+
+def lofar_workload(**kwargs):
+    """The LOFAR adapter's bare kernel (the documented migration unwrap)."""
+    return _lofar_pipeline(**kwargs).kernel
+
+
+def ultrasound_workload(**kwargs):
+    """The ultrasound adapter's bare kernel (the documented migration unwrap)."""
+    return _ultrasound_pipeline(**kwargs).kernel
+
 
 #: the serving scenario of the acceptance bar: small GPU-resident beam
 #: blocks, one A100, 5 ms p99 SLO.
